@@ -1,0 +1,41 @@
+//! §IV.B ablation — the paper's second-phase (ready-set) rules versus plain FCFS.
+//!
+//! Regenerates the ablation table once at benchmark scale, then benchmarks the min-min variant
+//! with both ready-set rules so the cost of the second phase itself is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation};
+use p2pgrid_experiments::{fcfs_ablation, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ablation = fcfs_ablation::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    println!("\n# fcfs-ablation (benchmark scale)\n{}", ablation.table());
+    println!(
+        "paper second phase beats or matches FCFS for {}/{} algorithms\n",
+        ablation.second_phase_wins(),
+        ablation.pairs.len()
+    );
+
+    let mut group = c.benchmark_group("fcfs_ablation");
+    for (label, cfg) in [
+        ("min-min+phase2", AlgorithmConfig::paper_default(Algorithm::MinMin)),
+        ("min-min+FCFS", AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin)),
+    ] {
+        group.bench_function(format!("simulate_36h/{label}"), |bencher| {
+            bencher.iter(|| {
+                let grid = bench_grid_config(32, 2, 36);
+                black_box(GridSimulation::new(grid, cfg).run().act_secs())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 3 — the worked example: RPM computation and dispatch-order planning.
+//!
+//! Prints the reproduced RPM values, then benchmarks the two kernels a home node executes every
+//! scheduling cycle on this scenario: the rest-path-makespan recursion (Eq. 7/8) and the
+//! first-phase dispatch planning (Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::bench_criterion_config;
+use p2pgrid_core::estimate::{CandidateNode, FinishTimeEstimator};
+use p2pgrid_core::policy::first_phase::{plan_dispatch, DispatchCandidateTask};
+use p2pgrid_core::worked_example;
+use p2pgrid_core::Algorithm;
+use p2pgrid_workflow::{ExpectedCosts, TaskId, Workflow, WorkflowAnalysis};
+use std::hint::black_box;
+
+fn fig3_tasks(
+    wa: &Workflow,
+    wb: &Workflow,
+    aa: &WorkflowAnalysis,
+    ab: &WorkflowAnalysis,
+) -> Vec<DispatchCandidateTask> {
+    let (a2, a3, b2, b3) = worked_example::schedule_points();
+    let mk = |wf: usize, w: &Workflow, an: &WorkflowAnalysis, t: TaskId, ms: f64| {
+        DispatchCandidateTask {
+            workflow: wf,
+            task: t,
+            load_mi: w.task(t).load_mi,
+            image_size_mb: w.task(t).image_size_mb,
+            rpm_secs: an.rpm_secs(t),
+            workflow_ms_secs: ms,
+            predecessors: vec![],
+        }
+    };
+    vec![
+        mk(0, wa, aa, a2, 115.0),
+        mk(0, wa, aa, a3, 115.0),
+        mk(1, wb, ab, b2, 65.0),
+        mk(1, wb, ab, b3, 65.0),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let wa = worked_example::workflow_a();
+    let wb = worked_example::workflow_b();
+    let costs = ExpectedCosts::new(1.0, 1.0);
+    let aa = WorkflowAnalysis::new(&wa, costs);
+    let ab = WorkflowAnalysis::new(&wb, costs);
+    let (a2, a3, b2, b3) = worked_example::schedule_points();
+    println!(
+        "\n# fig3 — RPM(A2)={} RPM(A3)={} RPM(B2)={} RPM(B3)={} (paper: 80 / 115 / 65 / 60)",
+        aa.rpm_secs(a2),
+        aa.rpm_secs(a3),
+        ab.rpm_secs(b2),
+        ab.rpm_secs(b3)
+    );
+
+    let mut group = c.benchmark_group("fig03_worked_example");
+    group.bench_function("rpm_analysis_both_workflows", |bencher| {
+        bencher.iter(|| {
+            let aa = WorkflowAnalysis::new(black_box(&wa), costs);
+            let ab = WorkflowAnalysis::new(black_box(&wb), costs);
+            black_box((aa.rpm_secs(a3), ab.rpm_secs(b2)))
+        })
+    });
+
+    let tasks = fig3_tasks(&wa, &wb, &aa, &ab);
+    let bw = |x: usize, y: usize| if x == y { f64::INFINITY } else { 1.0 };
+    let estimator = FinishTimeEstimator::new(0, &bw);
+    for alg in [Algorithm::Dsmf, Algorithm::Dheft, Algorithm::MinMin] {
+        group.bench_function(format!("plan_dispatch/{alg}"), |bencher| {
+            bencher.iter(|| {
+                let mut candidates: Vec<CandidateNode> = (1..=3)
+                    .map(|i| CandidateNode {
+                        node: i,
+                        capacity_mips: 1.0,
+                        total_load_mi: 0.0,
+                    })
+                    .collect();
+                black_box(plan_dispatch(alg, black_box(&tasks), &mut candidates, &estimator))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

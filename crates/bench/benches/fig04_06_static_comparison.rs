@@ -1,0 +1,47 @@
+//! Fig. 4 / Fig. 5 / Fig. 6 — throughput, average finish time and average efficiency of the
+//! eight algorithms in a static P2P grid.
+//!
+//! Regenerates the three figures once at benchmark scale (printed to the bench log; see the
+//! `repro` binary for reduced/full scale), then benchmarks a complete 36-hour simulation run
+//! for a representative subset of the algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
+use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_experiments::{static_comparison, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure data once (smoke scale keeps this in the seconds range).
+    let comparison = static_comparison::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    print_figure(&comparison.fig4_throughput());
+    print_figure(&comparison.fig5_average_finish_time());
+    print_figure(&comparison.fig6_average_efficiency());
+    println!("{}", comparison.summary_table());
+    let headline = comparison.headline();
+    println!(
+        "headline: ACT -{:.1}%..-{:.1}%, AE +{:.1}%..+{:.1}% vs other decentralized algorithms\n",
+        headline.act_reduction_pct.0,
+        headline.act_reduction_pct.1,
+        headline.ae_improvement_pct.0,
+        headline.ae_improvement_pct.1
+    );
+
+    let mut group = c.benchmark_group("fig04_06_static_comparison");
+    for alg in [Algorithm::Dsmf, Algorithm::Heft, Algorithm::MinMin, Algorithm::Smf] {
+        group.bench_function(format!("simulate_36h/{alg}"), |bencher| {
+            bencher.iter(|| {
+                let cfg = bench_grid_config(32, 2, 36);
+                black_box(GridSimulation::with_algorithm(cfg, alg).run().completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

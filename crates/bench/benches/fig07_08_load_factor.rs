@@ -1,0 +1,38 @@
+//! Fig. 7 / Fig. 8 — converged ACT and AE as the load factor (workflows per node) grows.
+//!
+//! Regenerates the two figures once at benchmark scale, then benchmarks DSMF at load factor 1
+//! versus load factor 8 so the cost of rising contention is visible in the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
+use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_experiments::{load_factor, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = load_factor::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    print_figure(&sweep.fig7_average_finish_time());
+    print_figure(&sweep.fig8_average_efficiency());
+
+    let mut group = c.benchmark_group("fig07_08_load_factor");
+    for lf in [1usize, 4, 8] {
+        group.bench_function(format!("dsmf_36h/load_factor_{lf}"), |bencher| {
+            bencher.iter(|| {
+                let cfg = bench_grid_config(24, lf, 36);
+                black_box(
+                    GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                        .run()
+                        .act_secs(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

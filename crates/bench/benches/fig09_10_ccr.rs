@@ -1,0 +1,45 @@
+//! Fig. 9 / Fig. 10 — converged ACT and AE under the four load/data combinations (CCR 0.16–16).
+//!
+//! Regenerates the two figures once at benchmark scale, then benchmarks DSMF under the
+//! compute-heavy and the data-heavy extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
+use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_experiments::{ccr, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = ccr::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    println!("\n# CCR cases");
+    for (i, case) in sweep.cases.iter().enumerate() {
+        println!("case {i}: {}", case.label);
+    }
+    print_figure(&sweep.fig9_average_finish_time());
+    print_figure(&sweep.fig10_average_efficiency());
+
+    let mut group = c.benchmark_group("fig09_10_ccr");
+    for (label, load, data) in [
+        ("compute_heavy_ccr0.16", 100.0..=10_000.0, 10.0..=1000.0),
+        ("data_heavy_ccr16", 10.0..=1000.0, 100.0..=10_000.0),
+    ] {
+        group.bench_function(format!("dsmf_36h/{label}"), |bencher| {
+            bencher.iter(|| {
+                let cfg = bench_grid_config(24, 2, 36).with_load_and_data(load.clone(), data.clone());
+                black_box(
+                    GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                        .run()
+                        .average_efficiency(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 11 — gossip space scalability (RSS size) and DSMF's ACT / AE as the system grows.
+//!
+//! Regenerates the three sub-figures once at benchmark scale, then benchmarks complete DSMF
+//! runs at increasing node counts so the simulator's own scaling is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
+use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_experiments::{scalability, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = scalability::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    print_figure(&sweep.fig11a_rss_size());
+    print_figure(&sweep.fig11b_average_efficiency());
+    print_figure(&sweep.fig11c_average_finish_time());
+
+    let mut group = c.benchmark_group("fig11_scalability");
+    for nodes in [16usize, 48, 96] {
+        group.bench_with_input(BenchmarkId::new("dsmf_36h", nodes), &nodes, |bencher, &n| {
+            bencher.iter(|| {
+                let cfg = bench_grid_config(n, 1, 36);
+                black_box(GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run().avg_rss_size)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 12 / Fig. 13 / Fig. 14 — DSMF throughput, ACT and AE under node churn.
+//!
+//! Regenerates the three figures once at benchmark scale (including the future-work
+//! rescheduling ablation), then benchmarks complete DSMF runs at increasing dynamic factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
+use p2pgrid_core::{Algorithm, ChurnConfig, GridSimulation};
+use p2pgrid_experiments::{churn, ExperimentScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = churn::run(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED);
+    print_figure(&sweep.fig12_throughput());
+    print_figure(&sweep.fig13_average_finish_time());
+    print_figure(&sweep.fig14_average_efficiency());
+    let resched = churn::run_with_rescheduling(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED, true);
+    println!("# rescheduling ablation (future-work extension)");
+    for (df, r) in resched.dynamic_factors.iter().zip(&resched.reports) {
+        println!(
+            "df={df:.1}: finished {} failed {} (paper behaviour fails lost workflows)",
+            r.completed, r.failed
+        );
+    }
+
+    let mut group = c.benchmark_group("fig12_14_churn");
+    for df in [0.0f64, 0.2, 0.4] {
+        group.bench_with_input(BenchmarkId::new("dsmf_36h", format!("df_{df}")), &df, |bencher, &df| {
+            bencher.iter(|| {
+                let cfg = bench_grid_config(32, 2, 36)
+                    .with_churn(ChurnConfig::with_dynamic_factor(df));
+                black_box(GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run().completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the substrate crates: Waxman topology generation, all-pairs bandwidth,
+//! the mixed gossip cycle, random workflow generation and the discrete-event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pgrid_bench::bench_criterion_config;
+use p2pgrid_gossip::{LocalNodeState, MixedGossip, MixedGossipConfig};
+use p2pgrid_sim::{EventQueue, SimRng, SimTime};
+use p2pgrid_topology::{PairwiseMetrics, WaxmanConfig, WaxmanGenerator};
+use p2pgrid_workflow::{WorkflowGenerator, WorkflowGeneratorConfig};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("waxman_generate", n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                let mut rng = SimRng::seed_from_u64(7);
+                black_box(WaxmanGenerator::new(WaxmanConfig::with_nodes(n)).generate(&mut rng))
+            })
+        });
+    }
+    let mut rng = SimRng::seed_from_u64(7);
+    let topo = WaxmanGenerator::new(WaxmanConfig::with_nodes(400)).generate(&mut rng);
+    group.bench_function("pairwise_metrics_400_nodes", |bencher| {
+        bencher.iter(|| black_box(PairwiseMetrics::compute(black_box(&topo))))
+    });
+    group.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let n = 500;
+    let mut rng = SimRng::seed_from_u64(9);
+    let local: Vec<LocalNodeState> = (0..n)
+        .map(|i| LocalNodeState {
+            alive: true,
+            capacity_mips: [1.0, 2.0, 4.0, 8.0, 16.0][i % 5],
+            total_load_mi: (i as f64) * 10.0,
+            local_avg_bandwidth_mbps: 5.0,
+        })
+        .collect();
+    let mut gossip = MixedGossip::new(n, MixedGossipConfig::default(), &mut rng);
+    // Warm the views so the benchmark measures steady-state cycles.
+    for cycle in 0..5 {
+        gossip.run_cycle(SimTime::from_secs(cycle * 300), &local, &mut rng);
+    }
+    let mut group = c.benchmark_group("gossip");
+    group.bench_function("mixed_gossip_cycle_500_nodes", |bencher| {
+        let mut cycle = 5u64;
+        bencher.iter(|| {
+            cycle += 1;
+            gossip.run_cycle(SimTime::from_secs(cycle * 300), black_box(&local), &mut rng);
+            black_box(gossip.stats().cycles)
+        })
+    });
+    group.finish();
+}
+
+fn bench_workflow_and_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workflow_and_events");
+    group.bench_function("generate_100_workflows", |bencher| {
+        let gen = WorkflowGenerator::new(WorkflowGeneratorConfig::default());
+        bencher.iter(|| {
+            let mut rng = SimRng::seed_from_u64(11);
+            black_box(gen.generate_batch(100, &mut rng))
+        })
+    });
+    group.bench_function("event_queue_100k_schedule_pop", |bencher| {
+        bencher.iter(|| {
+            let mut q = EventQueue::with_capacity(100_000);
+            let mut rng = SimRng::seed_from_u64(13);
+            for i in 0..100_000u64 {
+                q.schedule(SimTime::from_millis(rng.gen_range(0..1_000_000)), i);
+            }
+            let mut count = 0u64;
+            while let Some(ev) = q.pop() {
+                count += ev.event;
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench_topology, bench_gossip, bench_workflow_and_events
+}
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! Experiment configuration (Table I defaults).
+
+use p2pgrid_gossip::MixedGossipConfig;
+use p2pgrid_sim::{SimDuration, SimRng};
+use p2pgrid_topology::WaxmanConfig;
+use p2pgrid_workflow::WorkflowGeneratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// How node capacities are assigned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapacityModel {
+    /// Capacities drawn uniformly from the given set (Table I: {1, 2, 4, 8, 16} MIPS).
+    Choices(Vec<f64>),
+    /// Every node has the same capacity (useful for tests).
+    Uniform(f64),
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        CapacityModel::Choices(vec![1.0, 2.0, 4.0, 8.0, 16.0])
+    }
+}
+
+impl CapacityModel {
+    /// Sample a capacity for one node.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            CapacityModel::Choices(choices) => {
+                assert!(!choices.is_empty(), "capacity choice set must not be empty");
+                *rng.choose(choices).expect("non-empty")
+            }
+            CapacityModel::Uniform(c) => *c,
+        }
+    }
+
+    /// The mean capacity of the model (used by tests; the running system estimates this through
+    /// the aggregation gossip instead).
+    pub fn mean(&self) -> f64 {
+        match self {
+            CapacityModel::Choices(choices) => {
+                choices.iter().sum::<f64>() / choices.len() as f64
+            }
+            CapacityModel::Uniform(c) => *c,
+        }
+    }
+}
+
+/// The churn model of §IV.B: a fixed fraction of the population is *stable* (may serve as home
+/// nodes and never departs); the rest may join/leave every scheduling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// The dynamic factor `df`: the ratio of churning (joined + the same number departed) nodes
+    /// to the total population per scheduling interval.  Zero disables churn.
+    pub dynamic_factor: f64,
+    /// Fraction of nodes that are stable (the paper uses 500 of 1 000).
+    pub stable_fraction: f64,
+    /// Restrict home nodes to the stable population even when `dynamic_factor` is zero.
+    ///
+    /// The churn experiments (Fig. 12–14) compare different dynamic factors against a `df = 0`
+    /// baseline; for that comparison to be apples-to-apples every point must submit workflows
+    /// from the same (stable) home nodes.  The static experiments (Fig. 4–10) leave this off so
+    /// every node is a home node, as in the paper.
+    pub homes_on_stable_only: bool,
+    /// The paper's future-work extension: re-schedule tasks lost to a departed node instead of
+    /// counting their workflow as failed.  Off by default (the paper's behaviour).
+    pub reschedule_lost_tasks: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            dynamic_factor: 0.0,
+            stable_fraction: 0.5,
+            homes_on_stable_only: false,
+            reschedule_lost_tasks: false,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A static system (no churn, every node is a home node).
+    pub fn none() -> Self {
+        ChurnConfig::default()
+    }
+
+    /// Churn with the given dynamic factor and the paper's 50% stable population.  Home nodes
+    /// are restricted to the stable population (also for `df = 0`) so that churn sweeps are
+    /// comparable across dynamic factors.
+    pub fn with_dynamic_factor(df: f64) -> Self {
+        ChurnConfig {
+            dynamic_factor: df,
+            homes_on_stable_only: true,
+            ..ChurnConfig::default()
+        }
+    }
+
+    /// True when resource nodes outside the stable population may churn or must not host
+    /// workflows — i.e. when the node population has to be split into stable / churnable.
+    pub fn splits_population(&self) -> bool {
+        self.dynamic_factor > 0.0 || self.homes_on_stable_only
+    }
+}
+
+/// Full configuration of one grid-simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Number of peer nodes (Table I: 200–2 000; the headline experiments use 1 000).
+    pub nodes: usize,
+    /// Workflows submitted per home node ("load factor" in Fig. 7/8; headline experiments: 3).
+    pub workflows_per_node: usize,
+    /// Node capacity model.
+    pub capacity: CapacityModel,
+    /// Workflow generator parameters.
+    pub workflow: WorkflowGeneratorConfig,
+    /// WAN topology parameters.
+    pub waxman: WaxmanConfig,
+    /// Mixed gossip protocol parameters.
+    pub gossip: MixedGossipConfig,
+    /// Scheduler activation period (paper: 15 minutes).
+    pub scheduling_interval: SimDuration,
+    /// Gossip cycle period (paper: 5 minutes).
+    pub gossip_interval: SimDuration,
+    /// Metrics sampling period (the figures sample hourly).
+    pub metrics_interval: SimDuration,
+    /// Total simulated time (paper: 36 hours).
+    pub horizon: SimDuration,
+    /// Churn model.
+    pub churn: ChurnConfig,
+    /// Master seed; every stochastic component derives its own stream from it.
+    pub seed: u64,
+}
+
+impl GridConfig {
+    /// The paper's headline configuration (§IV.B, first experiment): 1 000 nodes, 3 workflows
+    /// per node, loads of 100–10 000 MI, dependent data of 10–1 000 Mb (CCR ≈ 0.16), 36 hours.
+    pub fn paper_default() -> Self {
+        GridConfig {
+            nodes: 1000,
+            workflows_per_node: 3,
+            capacity: CapacityModel::default(),
+            workflow: WorkflowGeneratorConfig {
+                data_mb: 10.0..=1000.0,
+                ..WorkflowGeneratorConfig::default()
+            },
+            waxman: WaxmanConfig::with_nodes(1000),
+            gossip: MixedGossipConfig::default(),
+            scheduling_interval: SimDuration::from_mins(15),
+            gossip_interval: SimDuration::from_mins(5),
+            metrics_interval: SimDuration::from_hours(1),
+            horizon: SimDuration::from_hours(36),
+            churn: ChurnConfig::none(),
+            seed: 20100913, // ICPP 2010 started on 13 September 2010.
+        }
+    }
+
+    /// A scaled-down configuration for unit/integration tests and quick examples: same model,
+    /// far fewer nodes and workflows, shorter horizon.
+    pub fn small(nodes: usize) -> Self {
+        GridConfig {
+            nodes,
+            workflows_per_node: 2,
+            workflow: WorkflowGeneratorConfig {
+                tasks: 2..=12,
+                data_mb: 10.0..=500.0,
+                ..WorkflowGeneratorConfig::default()
+            },
+            waxman: WaxmanConfig::with_nodes(nodes),
+            horizon: SimDuration::from_hours(12),
+            ..GridConfig::paper_default()
+        }
+    }
+
+    /// Override the number of nodes, keeping the topology consistent.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self.waxman.nodes = nodes;
+        self
+    }
+
+    /// Override the load factor (workflows per home node), as swept in Fig. 7/8.
+    pub fn with_load_factor(mut self, workflows_per_node: usize) -> Self {
+        self.workflows_per_node = workflows_per_node;
+        self
+    }
+
+    /// Override the per-task load and per-edge data ranges, as swept in Fig. 9/10 (CCR).
+    pub fn with_load_and_data(
+        mut self,
+        load_mi: std::ops::RangeInclusive<f64>,
+        data_mb: std::ops::RangeInclusive<f64>,
+    ) -> Self {
+        self.workflow.load_mi = load_mi;
+        self.workflow.data_mb = data_mb;
+        self
+    }
+
+    /// Override the churn model, as swept in Fig. 12–14.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Override the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "at least one node is required");
+        assert_eq!(
+            self.waxman.nodes, self.nodes,
+            "topology node count must match the grid node count"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.churn.dynamic_factor),
+            "dynamic factor must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.churn.stable_fraction),
+            "stable fraction must be in [0, 1]"
+        );
+        assert!(!self.scheduling_interval.is_zero(), "scheduling interval must be positive");
+        assert!(!self.gossip_interval.is_zero(), "gossip interval must be positive");
+        assert!(!self.metrics_interval.is_zero(), "metrics interval must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_i() {
+        let cfg = GridConfig::paper_default();
+        cfg.validate();
+        assert_eq!(cfg.nodes, 1000);
+        assert_eq!(cfg.workflows_per_node, 3);
+        assert_eq!(cfg.scheduling_interval, SimDuration::from_mins(15));
+        assert_eq!(cfg.gossip_interval, SimDuration::from_mins(5));
+        assert_eq!(cfg.horizon, SimDuration::from_hours(36));
+        assert_eq!(cfg.capacity.mean(), 6.2);
+        assert_eq!(*cfg.workflow.tasks.start(), 2);
+        assert_eq!(*cfg.workflow.tasks.end(), 30);
+    }
+
+    #[test]
+    fn capacity_models_sample_within_their_support() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let choices = CapacityModel::default();
+        for _ in 0..100 {
+            let c = choices.sample(&mut rng);
+            assert!([1.0, 2.0, 4.0, 8.0, 16.0].contains(&c));
+        }
+        let uniform = CapacityModel::Uniform(3.5);
+        assert_eq!(uniform.sample(&mut rng), 3.5);
+        assert_eq!(uniform.mean(), 3.5);
+    }
+
+    #[test]
+    fn builders_keep_the_config_consistent() {
+        let cfg = GridConfig::small(50)
+            .with_nodes(80)
+            .with_load_factor(4)
+            .with_load_and_data(10.0..=1000.0, 100.0..=10_000.0)
+            .with_churn(ChurnConfig::with_dynamic_factor(0.2))
+            .with_seed(7);
+        cfg.validate();
+        assert_eq!(cfg.nodes, 80);
+        assert_eq!(cfg.waxman.nodes, 80);
+        assert_eq!(cfg.workflows_per_node, 4);
+        assert_eq!(cfg.churn.dynamic_factor, 0.2);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(*cfg.workflow.data_mb.end(), 10_000.0);
+    }
+
+    #[test]
+    fn churn_population_split_rules() {
+        // The static experiments use every node as a home node...
+        assert!(!ChurnConfig::none().splits_population());
+        // ...while the churn sweep keeps the home set fixed to the stable half, even for the
+        // df = 0 baseline, so its points are comparable.
+        assert!(ChurnConfig::with_dynamic_factor(0.0).splits_population());
+        assert!(ChurnConfig::with_dynamic_factor(0.2).splits_population());
+        assert!(ChurnConfig::with_dynamic_factor(0.2).homes_on_stable_only);
+        assert_eq!(ChurnConfig::with_dynamic_factor(0.2).stable_fraction, 0.5);
+    }
+
+    #[test]
+    fn churn_baseline_restricts_home_nodes_like_the_churned_points() {
+        use crate::algorithm::Algorithm;
+        use crate::simulation::GridSimulation;
+        let mut cfg = GridConfig::small(12).with_seed(3);
+        cfg.workflows_per_node = 1;
+        cfg.workflow.tasks = 2..=4;
+        cfg.horizon = p2pgrid_sim::SimDuration::from_hours(6);
+        let all_homes =
+            GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
+        assert_eq!(all_homes.submitted, 12);
+        let stable_homes = GridSimulation::with_algorithm(
+            cfg.with_churn(ChurnConfig::with_dynamic_factor(0.0)),
+            Algorithm::Dsmf,
+        )
+        .run();
+        assert_eq!(stable_homes.submitted, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic factor")]
+    fn invalid_dynamic_factor_is_rejected() {
+        GridConfig::small(10)
+            .with_churn(ChurnConfig::with_dynamic_factor(1.5))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "topology node count")]
+    fn mismatched_topology_is_rejected() {
+        let mut cfg = GridConfig::small(10);
+        cfg.waxman.nodes = 99;
+        cfg.validate();
+    }
+}

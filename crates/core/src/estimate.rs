@@ -1,0 +1,348 @@
+//! The finish-time estimation model of Eq. (4)–(7) and the target-node rule of Formula (9).
+//!
+//! All quantities are *relative to the scheduling instant* ("now"): the queuing delay
+//! `R(τ, p_h) = l_h / c_h` is how long the candidate node's current backlog will keep its CPU
+//! busy, and data transfers towards the candidate start immediately upon dispatch, so the
+//! longest transmission delay (LTD, Eq. 4) is simply the slowest of the individual transfers
+//! (program image from the home node plus one dependent-data transfer per precedent).  The two
+//! delays overlap in time, hence `ST = max(R, LTD)` (Eq. 5) and `FT = ST + et` (Eq. 6/7).
+//!
+//! The estimator is deliberately decoupled from the simulation: it sees candidate nodes as
+//! `(capacity, total load)` records — exactly what the epidemic gossip's `RSS` provides, stale
+//! or not — and network bandwidth through a caller-supplied estimate function (landmark-based
+//! for the decentralized algorithms, exact for the full-ahead baselines).
+
+use crate::NodeId;
+
+/// A candidate resource node as seen by a scheduler (one `RSS` record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateNode {
+    /// The node's identifier.
+    pub node: NodeId,
+    /// Its capacity in MIPS.
+    pub capacity_mips: f64,
+    /// Its believed total load (running + ready tasks) in MI.
+    pub total_load_mi: f64,
+}
+
+impl CandidateNode {
+    /// The queuing delay `R(τ, p_h) = l_h / c_h`, in seconds.
+    pub fn queuing_delay_secs(&self) -> f64 {
+        if self.capacity_mips <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_load_mi / self.capacity_mips
+        }
+    }
+
+    /// Execution time of a task with `load_mi` on this node, in seconds.
+    pub fn execution_secs(&self, load_mi: f64) -> f64 {
+        if self.capacity_mips <= 0.0 {
+            f64::INFINITY
+        } else {
+            load_mi / self.capacity_mips
+        }
+    }
+
+    /// Account for a task of `load_mi` just dispatched to this node (Algorithm 1, line 15:
+    /// "Update p_r's state record in RSS(p_s)").
+    pub fn add_load(&mut self, load_mi: f64) {
+        self.total_load_mi += load_mi;
+    }
+}
+
+/// One precedent of the task being placed: where its output data currently lives and how much
+/// of it must be moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredecessorData {
+    /// Node on which the precedent task executed (so where its output resides).
+    pub location: NodeId,
+    /// Data volume to transfer, in Mb.
+    pub data_mb: f64,
+}
+
+/// Finish-time estimator for one scheduling decision site.
+pub struct FinishTimeEstimator<'a> {
+    home: NodeId,
+    bandwidth_mbps: &'a dyn Fn(NodeId, NodeId) -> f64,
+}
+
+impl<'a> FinishTimeEstimator<'a> {
+    /// Create an estimator for decisions taken at `home`, using the given pairwise bandwidth
+    /// estimate (Mb/s).
+    pub fn new(home: NodeId, bandwidth_mbps: &'a dyn Fn(NodeId, NodeId) -> f64) -> Self {
+        FinishTimeEstimator {
+            home,
+            bandwidth_mbps,
+        }
+    }
+
+    /// The home node this estimator plans from.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Time in seconds to move `data_mb` megabits from `from` to `to`.
+    pub fn transfer_secs(&self, from: NodeId, to: NodeId, data_mb: f64) -> f64 {
+        if from == to || data_mb <= 0.0 {
+            return 0.0;
+        }
+        let bw = (self.bandwidth_mbps)(from, to);
+        if bw <= 0.0 {
+            f64::INFINITY
+        } else {
+            data_mb / bw
+        }
+    }
+
+    /// The longest transmission delay LTD (Eq. 4): the slowest of the concurrent transfers the
+    /// task needs before it can start on `target` — its program image from the home node plus
+    /// one dependent-data transfer per precedent.
+    pub fn longest_transmission_delay_secs(
+        &self,
+        target: NodeId,
+        image_size_mb: f64,
+        predecessors: &[PredecessorData],
+    ) -> f64 {
+        let image = self.transfer_secs(self.home, target, image_size_mb);
+        predecessors
+            .iter()
+            .map(|p| self.transfer_secs(p.location, target, p.data_mb))
+            .fold(image, f64::max)
+    }
+
+    /// The start time ST (Eq. 5): queuing delay and transmission delay overlap, so the task can
+    /// start once both have elapsed.
+    pub fn start_time_secs(
+        &self,
+        candidate: &CandidateNode,
+        image_size_mb: f64,
+        predecessors: &[PredecessorData],
+    ) -> f64 {
+        candidate.queuing_delay_secs().max(self.longest_transmission_delay_secs(
+            candidate.node,
+            image_size_mb,
+            predecessors,
+        ))
+    }
+
+    /// The finish time FT (Eq. 6/7), in seconds from "now".
+    pub fn finish_time_secs(
+        &self,
+        candidate: &CandidateNode,
+        load_mi: f64,
+        image_size_mb: f64,
+        predecessors: &[PredecessorData],
+    ) -> f64 {
+        self.start_time_secs(candidate, image_size_mb, predecessors)
+            + candidate.execution_secs(load_mi)
+    }
+
+    /// Formula (9): the index (into `candidates`) of the node with the earliest estimated finish
+    /// time, together with that finish time.  Ties break towards the lower node id so decisions
+    /// are deterministic.  Returns `None` when `candidates` is empty.
+    pub fn best_candidate(
+        &self,
+        candidates: &[CandidateNode],
+        load_mi: f64,
+        image_size_mb: f64,
+        predecessors: &[PredecessorData],
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            let ft = self.finish_time_secs(c, load_mi, image_size_mb, predecessors);
+            let better = match best {
+                None => true,
+                Some((bi, bft)) => {
+                    ft < bft - 1e-12
+                        || ((ft - bft).abs() <= 1e-12 && c.node < candidates[bi].node)
+                }
+            };
+            if better {
+                best = Some((i, ft));
+            }
+        }
+        best
+    }
+
+    /// The completion-time matrix `CT[task][candidate]` used by the min-min / max-min /
+    /// sufferage heuristics.
+    pub fn completion_matrix(
+        &self,
+        tasks: &[(f64, f64, Vec<PredecessorData>)],
+        candidates: &[CandidateNode],
+    ) -> Vec<Vec<f64>> {
+        tasks
+            .iter()
+            .map(|(load, image, preds)| {
+                candidates
+                    .iter()
+                    .map(|c| self.finish_time_secs(c, *load, *image, preds))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform 1 Mb/s bandwidth between distinct nodes.
+    fn unit_bw(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    #[test]
+    fn queuing_delay_and_execution_follow_load_over_capacity() {
+        let c = CandidateNode {
+            node: 3,
+            capacity_mips: 4.0,
+            total_load_mi: 200.0,
+        };
+        assert_eq!(c.queuing_delay_secs(), 50.0);
+        assert_eq!(c.execution_secs(100.0), 25.0);
+        let dead = CandidateNode {
+            node: 0,
+            capacity_mips: 0.0,
+            total_load_mi: 0.0,
+        };
+        assert_eq!(dead.queuing_delay_secs(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ltd_takes_the_slowest_concurrent_transfer() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let preds = [
+            PredecessorData { location: 1, data_mb: 30.0 },
+            PredecessorData { location: 2, data_mb: 80.0 },
+        ];
+        // Image from home (0 -> 5): 10 s; preds: 30 s and 80 s; the slowest (80) wins.
+        assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &preds), 80.0);
+        // If the target holds the big predecessor's data locally, only 30 s and 10 s remain.
+        let preds_local = [
+            PredecessorData { location: 1, data_mb: 30.0 },
+            PredecessorData { location: 5, data_mb: 80.0 },
+        ];
+        assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &preds_local), 30.0);
+        // No predecessors: only the image matters; on the home node itself even that is free.
+        assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &[]), 10.0);
+        assert_eq!(est.longest_transmission_delay_secs(0, 10.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn start_time_is_max_of_queue_and_transfers() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let busy = CandidateNode {
+            node: 2,
+            capacity_mips: 1.0,
+            total_load_mi: 500.0, // 500 s of queue
+        };
+        let idle = CandidateNode {
+            node: 2,
+            capacity_mips: 1.0,
+            total_load_mi: 0.0,
+        };
+        let preds = [PredecessorData { location: 1, data_mb: 100.0 }];
+        assert_eq!(est.start_time_secs(&busy, 10.0, &preds), 500.0);
+        assert_eq!(est.start_time_secs(&idle, 10.0, &preds), 100.0);
+    }
+
+    #[test]
+    fn finish_time_adds_execution_on_top_of_start() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let c = CandidateNode {
+            node: 1,
+            capacity_mips: 2.0,
+            total_load_mi: 100.0, // 50 s queue
+        };
+        // LTD = image 20 Mb / 1 Mb/s = 20 s < queue 50 s; execution = 300 / 2 = 150 s.
+        assert_eq!(est.finish_time_secs(&c, 300.0, 20.0, &[]), 200.0);
+    }
+
+    #[test]
+    fn best_candidate_implements_formula_9() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let candidates = [
+            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 }, // exec 100
+            CandidateNode { node: 2, capacity_mips: 4.0, total_load_mi: 0.0 }, // exec 25
+            CandidateNode { node: 3, capacity_mips: 16.0, total_load_mi: 8000.0 }, // queue 500
+        ];
+        let (idx, ft) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
+        assert_eq!(candidates[idx].node, 2);
+        assert_eq!(ft, 25.0);
+        assert!(est.best_candidate(&[], 100.0, 0.0, &[]).is_none());
+    }
+
+    #[test]
+    fn best_candidate_accounts_for_data_locality() {
+        // Node 9 is slower but already holds the predecessor's large output; node 2 is faster
+        // but must pull 1 000 Mb across a 1 Mb/s link.  Locality must win (the paper's
+        // "node locality issue" in §III.D).
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let candidates = [
+            CandidateNode { node: 2, capacity_mips: 16.0, total_load_mi: 0.0 },
+            CandidateNode { node: 9, capacity_mips: 2.0, total_load_mi: 0.0 },
+        ];
+        let preds = [PredecessorData { location: 9, data_mb: 1000.0 }];
+        let (idx, _) = est.best_candidate(&candidates, 160.0, 0.0, &preds).unwrap();
+        assert_eq!(candidates[idx].node, 9);
+    }
+
+    #[test]
+    fn ties_break_towards_lower_node_id() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let candidates = [
+            CandidateNode { node: 7, capacity_mips: 2.0, total_load_mi: 0.0 },
+            CandidateNode { node: 3, capacity_mips: 2.0, total_load_mi: 0.0 },
+        ];
+        let (idx, _) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
+        assert_eq!(candidates[idx].node, 3);
+    }
+
+    #[test]
+    fn add_load_updates_subsequent_estimates() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let mut c = CandidateNode {
+            node: 1,
+            capacity_mips: 2.0,
+            total_load_mi: 0.0,
+        };
+        assert_eq!(est.finish_time_secs(&c, 100.0, 0.0, &[]), 50.0);
+        c.add_load(100.0);
+        assert_eq!(est.finish_time_secs(&c, 100.0, 0.0, &[]), 100.0);
+    }
+
+    #[test]
+    fn completion_matrix_matches_individual_estimates() {
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let candidates = [
+            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 },
+            CandidateNode { node: 2, capacity_mips: 2.0, total_load_mi: 100.0 },
+        ];
+        let tasks = vec![
+            (100.0, 0.0, vec![]),
+            (400.0, 0.0, vec![PredecessorData { location: 1, data_mb: 50.0 }]),
+        ];
+        let m = est.completion_matrix(&tasks, &candidates);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[0][0], est.finish_time_secs(&candidates[0], 100.0, 0.0, &[]));
+        assert_eq!(
+            m[1][1],
+            est.finish_time_secs(&candidates[1], 400.0, 0.0, &tasks[1].2)
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_means_unreachable() {
+        let no_bw = |_a: NodeId, _b: NodeId| 0.0;
+        let est = FinishTimeEstimator::new(0, &no_bw);
+        assert_eq!(est.transfer_secs(0, 1, 10.0), f64::INFINITY);
+        assert_eq!(est.transfer_secs(1, 1, 10.0), 0.0, "local transfers never hit the network");
+    }
+}

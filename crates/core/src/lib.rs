@@ -1,0 +1,54 @@
+//! # p2pgrid-core — dual-phase just-in-time workflow scheduling
+//!
+//! This crate is the reproduction of the paper's contribution: the **DSMF** (dynamic shortest
+//! makespan first) dual-phase just-in-time scheduler for P2P grid systems, its seven comparison
+//! algorithms, and the end-to-end grid simulation that evaluates them on top of the substrate
+//! crates (`p2pgrid-sim`, `p2pgrid-topology`, `p2pgrid-workflow`, `p2pgrid-gossip`,
+//! `p2pgrid-metrics`).
+//!
+//! ## The dual-phase model
+//!
+//! Every task crosses two scheduling phases before it runs:
+//!
+//! 1. **First phase — at the home (scheduler) node.**  Every scheduling cycle, the home node
+//!    recomputes the *rest path makespan* (RPM, Eq. 7) of every schedule-point task of every
+//!    locally submitted workflow, derives each workflow's remaining makespan (Eq. 8), orders
+//!    workflows/tasks according to the configured heuristic and dispatches each task to the
+//!    resource node with the earliest estimated finish time (Formula 9) among the `O(log n)`
+//!    candidates in its gossip-aggregated resource state set.
+//! 2. **Second phase — at the resource node.**  Whenever the (single, non-preemptive) CPU frees
+//!    up, the resource node picks the next data-complete task from its ready set according to
+//!    the configured ready-set rule (Formula 10 for DSMF).
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`algorithm`] | the eight algorithms, their paper-default phase pairings, and the FCFS ablation |
+//! | [`estimate`]  | the finish-time model of Eq. 4–7 evaluated against (possibly stale) gossip state |
+//! | [`policy`]    | first-phase dispatch planning and second-phase ready-set selection |
+//! | [`fullahead`] | the centralized full-ahead planner used by the HEFT and SMF baselines |
+//! | [`config`]    | experiment configuration (Table I defaults, churn, load factor, CCR) |
+//! | [`simulation`]| the event-driven grid simulation tying everything together |
+//! | [`worked_example`] | the two-workflow scenario of Fig. 3 used by tests and `examples/paper_example.rs` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod config;
+pub mod estimate;
+pub mod fullahead;
+pub mod policy;
+pub mod report;
+pub mod simulation;
+pub mod worked_example;
+
+pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
+pub use config::{CapacityModel, ChurnConfig, GridConfig};
+pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
+pub use report::SimulationReport;
+pub use simulation::GridSimulation;
+
+/// Identifier of a peer node (shared dense index with `p2pgrid-topology` and `p2pgrid-gossip`).
+pub type NodeId = usize;

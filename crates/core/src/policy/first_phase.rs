@@ -1,0 +1,451 @@
+//! First-phase (home-node) dispatch planning — Algorithm 1 and its competitor heuristics.
+
+use crate::algorithm::Algorithm;
+use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
+use crate::NodeId;
+use p2pgrid_workflow::TaskId;
+use std::cmp::Ordering;
+
+/// One schedule-point task as presented to the first-phase planner.
+#[derive(Debug, Clone)]
+pub struct DispatchCandidateTask {
+    /// Home-node-local workflow index this task belongs to.
+    pub workflow: usize,
+    /// Task id within its workflow.
+    pub task: TaskId,
+    /// Computational load in MI.
+    pub load_mi: f64,
+    /// Program image size in Mb.
+    pub image_size_mb: f64,
+    /// Rest path makespan RPM of this task under the current average-cost estimates, seconds.
+    pub rpm_secs: f64,
+    /// Remaining makespan `ms(f)` of its workflow (Eq. 8), seconds.
+    pub workflow_ms_secs: f64,
+    /// Finished precedents: where their data lives and how much must be moved.
+    pub predecessors: Vec<PredecessorData>,
+}
+
+/// A dispatch decision produced by the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchDecision {
+    /// Home-node-local workflow index.
+    pub workflow: usize,
+    /// Task id within that workflow.
+    pub task: TaskId,
+    /// Chosen resource node.
+    pub target: NodeId,
+    /// Estimated finish time (seconds from the scheduling instant) on the chosen node.
+    pub estimated_finish_secs: f64,
+    /// Sufferage value (second-best minus best completion time) at decision time; zero for
+    /// heuristics that do not use it.
+    pub sufferage_secs: f64,
+}
+
+/// The three classical matrix heuristics used as decentralized first-phase competitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixHeuristic {
+    /// Earliest-completion-time task first.
+    MinMin,
+    /// The task whose best completion time is largest goes first.
+    MaxMin,
+    /// The task that would "suffer" most from losing its best node goes first.
+    Sufferage,
+}
+
+/// Pick the next `(task, node, sufferage)` from a completion-time matrix restricted to the
+/// still-unassigned `remaining` task rows.
+///
+/// `ct[t][h]` is the estimated completion time of task `t` on candidate `h`.  Ties break toward
+/// the lower task index and lower candidate index so decisions are deterministic.  Returns
+/// `None` if `remaining` is empty or the matrix has no candidates.
+pub fn matrix_pick_next(
+    heuristic: MatrixHeuristic,
+    ct: &[Vec<f64>],
+    remaining: &[usize],
+) -> Option<(usize, usize, f64)> {
+    if remaining.is_empty() || ct.is_empty() || ct[0].is_empty() {
+        return None;
+    }
+    // For every remaining task: its best candidate, best CT and second-best CT.
+    let per_task: Vec<(usize, usize, f64, f64)> = remaining
+        .iter()
+        .map(|&t| {
+            let row = &ct[t];
+            let mut best_h = 0usize;
+            let mut best = f64::INFINITY;
+            let mut second = f64::INFINITY;
+            for (h, &v) in row.iter().enumerate() {
+                if v < best {
+                    second = best;
+                    best = v;
+                    best_h = h;
+                } else if v < second {
+                    second = v;
+                }
+            }
+            if second.is_infinite() {
+                second = best;
+            }
+            (t, best_h, best, second)
+        })
+        .collect();
+
+    let chosen = match heuristic {
+        MatrixHeuristic::MinMin => per_task.iter().min_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        }),
+        MatrixHeuristic::MaxMin => per_task.iter().max_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(Ordering::Equal)
+                .then(b.0.cmp(&a.0))
+        }),
+        MatrixHeuristic::Sufferage => per_task.iter().max_by(|a, b| {
+            (a.3 - a.2)
+                .partial_cmp(&(b.3 - b.2))
+                .unwrap_or(Ordering::Equal)
+                .then(b.0.cmp(&a.0))
+        }),
+    };
+    chosen.map(|&(t, h, best, second)| (t, h, second - best))
+}
+
+/// Plan this cycle's dispatches at one home node (Algorithm 1 for DSMF; the corresponding
+/// orderings for the other heuristics).
+///
+/// `candidates` is the home node's current view of its `RSS`; the planner updates the candidate
+/// loads as it assigns tasks (Algorithm 1, line 15), so the caller sees the post-dispatch view.
+/// The returned decisions are in dispatch order.
+pub fn plan_dispatch(
+    algorithm: Algorithm,
+    tasks: &[DispatchCandidateTask],
+    candidates: &mut [CandidateNode],
+    estimator: &FinishTimeEstimator<'_>,
+) -> Vec<DispatchDecision> {
+    if tasks.is_empty() || candidates.is_empty() {
+        return Vec::new();
+    }
+    match algorithm {
+        Algorithm::Dsmf | Algorithm::Smf => {
+            // Workflows in ascending remaining makespan, tasks within a workflow in descending
+            // RPM.  (SMF shares the ordering; it only differs by being planned full-ahead,
+            // which the simulation handles elsewhere.)
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| {
+                let ta = &tasks[a];
+                let tb = &tasks[b];
+                ta.workflow_ms_secs
+                    .partial_cmp(&tb.workflow_ms_secs)
+                    .unwrap_or(Ordering::Equal)
+                    .then(ta.workflow.cmp(&tb.workflow))
+                    .then(
+                        tb.rpm_secs
+                            .partial_cmp(&ta.rpm_secs)
+                            .unwrap_or(Ordering::Equal),
+                    )
+                    .then(ta.task.cmp(&tb.task))
+            });
+            greedy_assign(&order, tasks, candidates, estimator)
+        }
+        Algorithm::Dheft | Algorithm::Heft => {
+            // Longest RPM first, across all workflows.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| {
+                tasks[b]
+                    .rpm_secs
+                    .partial_cmp(&tasks[a].rpm_secs)
+                    .unwrap_or(Ordering::Equal)
+                    .then(tasks[a].workflow.cmp(&tasks[b].workflow))
+                    .then(tasks[a].task.cmp(&tasks[b].task))
+            });
+            greedy_assign(&order, tasks, candidates, estimator)
+        }
+        Algorithm::Dsdf => {
+            // Shortest deadline (slack between the workflow's remaining makespan and the task's
+            // own rest path makespan) first.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| {
+                let slack_a = tasks[a].workflow_ms_secs - tasks[a].rpm_secs;
+                let slack_b = tasks[b].workflow_ms_secs - tasks[b].rpm_secs;
+                slack_a
+                    .partial_cmp(&slack_b)
+                    .unwrap_or(Ordering::Equal)
+                    .then(tasks[a].workflow.cmp(&tasks[b].workflow))
+                    .then(tasks[a].task.cmp(&tasks[b].task))
+            });
+            greedy_assign(&order, tasks, candidates, estimator)
+        }
+        Algorithm::MinMin | Algorithm::MaxMin | Algorithm::Sufferage => {
+            let heuristic = match algorithm {
+                Algorithm::MinMin => MatrixHeuristic::MinMin,
+                Algorithm::MaxMin => MatrixHeuristic::MaxMin,
+                _ => MatrixHeuristic::Sufferage,
+            };
+            let mut decisions = Vec::with_capacity(tasks.len());
+            let mut remaining: Vec<usize> = (0..tasks.len()).collect();
+            while !remaining.is_empty() {
+                // Rebuild the completion-time matrix against the *current* candidate loads, as
+                // the classical dynamic matching algorithms do after every assignment.
+                let rows: Vec<(f64, f64, Vec<PredecessorData>)> = tasks
+                    .iter()
+                    .map(|t| (t.load_mi, t.image_size_mb, t.predecessors.clone()))
+                    .collect();
+                let ct = estimator.completion_matrix(&rows, candidates);
+                let Some((t_idx, h_idx, sufferage)) =
+                    matrix_pick_next(heuristic, &ct, &remaining)
+                else {
+                    break;
+                };
+                let t = &tasks[t_idx];
+                decisions.push(DispatchDecision {
+                    workflow: t.workflow,
+                    task: t.task,
+                    target: candidates[h_idx].node,
+                    estimated_finish_secs: ct[t_idx][h_idx],
+                    sufferage_secs: sufferage,
+                });
+                candidates[h_idx].add_load(t.load_mi);
+                remaining.retain(|&x| x != t_idx);
+            }
+            decisions
+        }
+    }
+}
+
+fn greedy_assign(
+    order: &[usize],
+    tasks: &[DispatchCandidateTask],
+    candidates: &mut [CandidateNode],
+    estimator: &FinishTimeEstimator<'_>,
+) -> Vec<DispatchDecision> {
+    let mut decisions = Vec::with_capacity(order.len());
+    for &i in order {
+        let t = &tasks[i];
+        let Some((idx, ft)) =
+            estimator.best_candidate(candidates, t.load_mi, t.image_size_mb, &t.predecessors)
+        else {
+            continue;
+        };
+        decisions.push(DispatchDecision {
+            workflow: t.workflow,
+            task: t.task,
+            target: candidates[idx].node,
+            estimated_finish_secs: ft,
+            sufferage_secs: 0.0,
+        });
+        candidates[idx].add_load(t.load_mi);
+    }
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_bw(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// The four schedule-point tasks of the Fig. 3 worked example with their paper RPM values
+    /// and workflow makespans (workflow 0 = A with ms 115, workflow 1 = B with ms 65).
+    fn fig3_tasks() -> Vec<DispatchCandidateTask> {
+        let mk = |workflow, task, rpm, ms| DispatchCandidateTask {
+            workflow,
+            task: TaskId(task),
+            load_mi: 10.0,
+            image_size_mb: 0.0,
+            rpm_secs: rpm,
+            workflow_ms_secs: ms,
+            predecessors: vec![],
+        };
+        vec![
+            mk(0, 1, 80.0, 115.0),  // A2
+            mk(0, 2, 115.0, 115.0), // A3
+            mk(1, 1, 65.0, 65.0),   // B2
+            mk(1, 2, 60.0, 65.0),   // B3
+        ]
+    }
+
+    fn idle_candidates(n: usize) -> Vec<CandidateNode> {
+        (0..n)
+            .map(|i| CandidateNode {
+                node: 100 + i,
+                capacity_mips: 1.0,
+                total_load_mi: 0.0,
+            })
+            .collect()
+    }
+
+    fn dispatch_order(decisions: &[DispatchDecision]) -> Vec<(usize, u32)> {
+        decisions.iter().map(|d| (d.workflow, d.task.0)).collect()
+    }
+
+    #[test]
+    fn dsmf_orders_b2_b3_a3_a2_as_in_fig3() {
+        let tasks = fig3_tasks();
+        let mut candidates = idle_candidates(3);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let decisions = plan_dispatch(Algorithm::Dsmf, &tasks, &mut candidates, &est);
+        // The paper: "According to DSMF, the scheduling order is thus B2, B3, A3, A2."
+        assert_eq!(dispatch_order(&decisions), vec![(1, 1), (1, 2), (0, 2), (0, 1)]);
+    }
+
+    #[test]
+    fn dheft_orders_by_decreasing_rpm_as_in_fig3() {
+        let tasks = fig3_tasks();
+        let mut candidates = idle_candidates(3);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let decisions = plan_dispatch(Algorithm::Dheft, &tasks, &mut candidates, &est);
+        // The paper: "The HEFT algorithm will choose A3, A2, B2, and B3 one by one."
+        assert_eq!(dispatch_order(&decisions), vec![(0, 2), (0, 1), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn dsdf_prefers_critical_tasks_of_each_workflow() {
+        let tasks = fig3_tasks();
+        let mut candidates = idle_candidates(3);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let decisions = plan_dispatch(Algorithm::Dsdf, &tasks, &mut candidates, &est);
+        let order = dispatch_order(&decisions);
+        // Slacks: A3 = 0, B2 = 0, B3 = 5, A2 = 35 — so both critical tasks come first and A2
+        // (the largest slack) comes last.
+        assert_eq!(order[3], (0, 1));
+        assert!(order[..2].contains(&(0, 2)));
+        assert!(order[..2].contains(&(1, 1)));
+    }
+
+    #[test]
+    fn fig3_matrix_min_min_and_max_min_first_picks() {
+        // The estimated finish-time matrix of Fig. 3 (rows A2, A3, B2, B3; columns X, Y, Z).
+        let ct = vec![
+            vec![15.0, 10.0, 30.0],
+            vec![30.0, 50.0, 40.0],
+            vec![50.0, 60.0, 40.0],
+            vec![40.0, 20.0, 30.0],
+        ];
+        let remaining = vec![0, 1, 2, 3];
+        // min-min selects A2 (its best completion time, 10 on Y, is the global minimum).
+        let (t, h, _) = matrix_pick_next(MatrixHeuristic::MinMin, &ct, &remaining).unwrap();
+        assert_eq!((t, h), (0, 1));
+        // max-min selects B2 (its best completion time, 40 on Z, is the largest best).
+        let (t, h, _) = matrix_pick_next(MatrixHeuristic::MaxMin, &ct, &remaining).unwrap();
+        assert_eq!((t, h), (2, 2));
+        // sufferage: differences between second-best and best are 5 (A2), 10 (A3), 10 (B2),
+        // 10 (B3); the first task index with the maximum (A3) wins deterministically.
+        let (t, _, s) = matrix_pick_next(MatrixHeuristic::Sufferage, &ct, &remaining).unwrap();
+        assert_eq!(t, 1);
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn matrix_pick_respects_remaining_set_and_empty_inputs() {
+        let ct = vec![vec![5.0, 1.0], vec![2.0, 9.0]];
+        let (t, h, _) = matrix_pick_next(MatrixHeuristic::MinMin, &ct, &[1]).unwrap();
+        assert_eq!((t, h), (1, 0));
+        assert!(matrix_pick_next(MatrixHeuristic::MinMin, &ct, &[]).is_none());
+        assert!(matrix_pick_next(MatrixHeuristic::MinMin, &[], &[0]).is_none());
+    }
+
+    #[test]
+    fn single_candidate_sufferage_is_zero() {
+        let ct = vec![vec![5.0], vec![2.0]];
+        let (_, _, s) = matrix_pick_next(MatrixHeuristic::Sufferage, &ct, &[0, 1]).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn min_min_greedy_assignment_spreads_load() {
+        // Two identical tasks, two identical idle nodes: after the first assignment the first
+        // node is loaded, so the second task must go to the other node.
+        let tasks: Vec<DispatchCandidateTask> = (0..2)
+            .map(|i| DispatchCandidateTask {
+                workflow: 0,
+                task: TaskId(i),
+                load_mi: 1000.0,
+                image_size_mb: 0.0,
+                rpm_secs: 10.0,
+                workflow_ms_secs: 10.0,
+                predecessors: vec![],
+            })
+            .collect();
+        let mut candidates = idle_candidates(2);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let decisions = plan_dispatch(Algorithm::MinMin, &tasks, &mut candidates, &est);
+        assert_eq!(decisions.len(), 2);
+        assert_ne!(decisions[0].target, decisions[1].target);
+        // Both candidates now carry exactly one task's load.
+        assert!(candidates.iter().all(|c| c.total_load_mi == 1000.0));
+    }
+
+    #[test]
+    fn greedy_heuristics_also_balance_when_queues_grow() {
+        // DSMF dispatching four equal tasks over two equal idle nodes must alternate targets,
+        // because each dispatch updates the local copy of the RSS record.
+        let tasks: Vec<DispatchCandidateTask> = (0..4)
+            .map(|i| DispatchCandidateTask {
+                workflow: i as usize,
+                task: TaskId(0),
+                load_mi: 500.0,
+                image_size_mb: 0.0,
+                rpm_secs: 100.0,
+                workflow_ms_secs: 100.0,
+                predecessors: vec![],
+            })
+            .collect();
+        let mut candidates = idle_candidates(2);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let decisions = plan_dispatch(Algorithm::Dsmf, &tasks, &mut candidates, &est);
+        let to_first = decisions.iter().filter(|d| d.target == 100).count();
+        let to_second = decisions.iter().filter(|d| d.target == 101).count();
+        assert_eq!(to_first, 2);
+        assert_eq!(to_second, 2);
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_decisions() {
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        let mut candidates = idle_candidates(2);
+        assert!(plan_dispatch(Algorithm::Dsmf, &[], &mut candidates, &est).is_empty());
+        let tasks = fig3_tasks();
+        let mut no_candidates: Vec<CandidateNode> = Vec::new();
+        assert!(plan_dispatch(Algorithm::Dsmf, &tasks, &mut no_candidates, &est).is_empty());
+    }
+
+    #[test]
+    fn faster_node_attracts_the_long_task() {
+        // One powerful node and one weak node: the long task must land on the 16 MIPS node.
+        let tasks = vec![DispatchCandidateTask {
+            workflow: 0,
+            task: TaskId(0),
+            load_mi: 8000.0,
+            image_size_mb: 0.0,
+            rpm_secs: 1.0,
+            workflow_ms_secs: 1.0,
+            predecessors: vec![],
+        }];
+        let mut candidates = vec![
+            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 },
+            CandidateNode { node: 2, capacity_mips: 16.0, total_load_mi: 0.0 },
+        ];
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        for alg in [
+            Algorithm::Dsmf,
+            Algorithm::Dheft,
+            Algorithm::Dsdf,
+            Algorithm::MinMin,
+            Algorithm::MaxMin,
+            Algorithm::Sufferage,
+        ] {
+            let mut cands = candidates.clone();
+            let d = plan_dispatch(alg, &tasks, &mut cands, &est);
+            assert_eq!(d.len(), 1, "{alg}: task not dispatched");
+            assert_eq!(d[0].target, 2, "{alg}: long task should go to the fast node");
+        }
+        let _ = &mut candidates;
+    }
+}

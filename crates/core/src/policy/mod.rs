@@ -1,0 +1,18 @@
+//! The two scheduling phases.
+//!
+//! * [`first_phase`] — Algorithm 1: how a home node orders its schedule-point tasks and picks a
+//!   target resource node for each of them, for every first-phase heuristic in the paper.
+//! * [`second_phase`] — Algorithm 2: how a resource node picks the next task from its ready
+//!   set, for every ready-set rule (including the FCFS ablation).
+//!
+//! Both phases are pure functions over small view structs, so they are unit-testable against
+//! hand-constructed scenarios (including the paper's Fig. 3 worked example) without running the
+//! full grid simulation.
+
+pub mod first_phase;
+pub mod second_phase;
+
+pub use first_phase::{
+    matrix_pick_next, plan_dispatch, DispatchCandidateTask, DispatchDecision, MatrixHeuristic,
+};
+pub use second_phase::{select_next, ReadyTaskView};

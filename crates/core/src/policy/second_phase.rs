@@ -1,0 +1,182 @@
+//! Second-phase (resource-node) ready-set selection — Algorithm 2 and its competitor rules.
+
+use crate::algorithm::SecondPhase;
+use std::cmp::Ordering;
+
+/// The attributes of one ready task that the second-phase rules consult.
+///
+/// All of them were captured when the task was dispatched (the paper migrates the task
+/// "together with its rest path makespan and its workflow's makespan").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyTaskView {
+    /// Remaining makespan of the task's workflow at dispatch time, seconds.
+    pub workflow_ms_secs: f64,
+    /// Rest path makespan of the task at dispatch time, seconds.
+    pub rpm_secs: f64,
+    /// Execution time of the task on *this* node, seconds.
+    pub exec_secs: f64,
+    /// Sufferage value captured at dispatch time, seconds.
+    pub sufferage_secs: f64,
+    /// Monotonic arrival sequence number at this node (for FCFS and deterministic ties).
+    pub enqueued_seq: u64,
+}
+
+/// Select the index of the task to execute next from `tasks` (the data-complete subset of a
+/// resource node's ready set) according to `rule`.  Returns `None` when the slice is empty.
+pub fn select_next(rule: SecondPhase, tasks: &[ReadyTaskView]) -> Option<usize> {
+    if tasks.is_empty() {
+        return None;
+    }
+    let cmp = |a: &ReadyTaskView, b: &ReadyTaskView| -> Ordering {
+        let primary = match rule {
+            // Formula 10 with Algorithm 2's tie-break: shortest workflow makespan first, then
+            // longest RPM.
+            SecondPhase::ShortestWorkflowMakespan => a
+                .workflow_ms_secs
+                .partial_cmp(&b.workflow_ms_secs)
+                .unwrap_or(Ordering::Equal)
+                .then(
+                    b.rpm_secs
+                        .partial_cmp(&a.rpm_secs)
+                        .unwrap_or(Ordering::Equal),
+                ),
+            SecondPhase::LongestRpmFirst => b
+                .rpm_secs
+                .partial_cmp(&a.rpm_secs)
+                .unwrap_or(Ordering::Equal),
+            SecondPhase::ShortestDeadlineFirst => {
+                let slack_a = a.workflow_ms_secs - a.rpm_secs;
+                let slack_b = b.workflow_ms_secs - b.rpm_secs;
+                slack_a.partial_cmp(&slack_b).unwrap_or(Ordering::Equal)
+            }
+            SecondPhase::ShortestTaskFirst => a
+                .exec_secs
+                .partial_cmp(&b.exec_secs)
+                .unwrap_or(Ordering::Equal),
+            SecondPhase::LongestTaskFirst => b
+                .exec_secs
+                .partial_cmp(&a.exec_secs)
+                .unwrap_or(Ordering::Equal),
+            SecondPhase::LargestSufferageFirst => b
+                .sufferage_secs
+                .partial_cmp(&a.sufferage_secs)
+                .unwrap_or(Ordering::Equal),
+            SecondPhase::Fcfs => Ordering::Equal,
+        };
+        primary.then(a.enqueued_seq.cmp(&b.enqueued_seq))
+    };
+    let mut best = 0usize;
+    for i in 1..tasks.len() {
+        if cmp(&tasks[i], &tasks[best]) == Ordering::Less {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(ms: f64, rpm: f64, exec: f64, suff: f64, seq: u64) -> ReadyTaskView {
+        ReadyTaskView {
+            workflow_ms_secs: ms,
+            rpm_secs: rpm,
+            exec_secs: exec,
+            sufferage_secs: suff,
+            enqueued_seq: seq,
+        }
+    }
+
+    #[test]
+    fn empty_ready_set_selects_nothing() {
+        assert_eq!(select_next(SecondPhase::Fcfs, &[]), None);
+    }
+
+    #[test]
+    fn dsmf_rule_prefers_shortest_workflow_makespan() {
+        let tasks = [
+            task(300.0, 120.0, 10.0, 0.0, 0),
+            task(100.0, 50.0, 10.0, 0.0, 1),
+            task(200.0, 80.0, 10.0, 0.0, 2),
+        ];
+        assert_eq!(select_next(SecondPhase::ShortestWorkflowMakespan, &tasks), Some(1));
+    }
+
+    #[test]
+    fn dsmf_rule_breaks_ties_by_longest_rpm() {
+        // Two tasks from workflows with equal remaining makespans: Algorithm 2 line 4 picks the
+        // longer RPM.
+        let tasks = [
+            task(100.0, 30.0, 10.0, 0.0, 0),
+            task(100.0, 90.0, 10.0, 0.0, 1),
+        ];
+        assert_eq!(select_next(SecondPhase::ShortestWorkflowMakespan, &tasks), Some(1));
+    }
+
+    #[test]
+    fn longest_rpm_and_deadline_rules() {
+        let tasks = [
+            task(200.0, 150.0, 10.0, 0.0, 0), // slack 50
+            task(200.0, 195.0, 10.0, 0.0, 1), // slack 5
+            task(500.0, 180.0, 10.0, 0.0, 2), // slack 320
+        ];
+        assert_eq!(select_next(SecondPhase::LongestRpmFirst, &tasks), Some(1));
+        assert_eq!(select_next(SecondPhase::ShortestDeadlineFirst, &tasks), Some(1));
+    }
+
+    #[test]
+    fn task_length_rules() {
+        let tasks = [
+            task(0.0, 0.0, 40.0, 0.0, 0),
+            task(0.0, 0.0, 5.0, 0.0, 1),
+            task(0.0, 0.0, 90.0, 0.0, 2),
+        ];
+        assert_eq!(select_next(SecondPhase::ShortestTaskFirst, &tasks), Some(1));
+        assert_eq!(select_next(SecondPhase::LongestTaskFirst, &tasks), Some(2));
+    }
+
+    #[test]
+    fn sufferage_rule_uses_captured_value() {
+        let tasks = [
+            task(0.0, 0.0, 10.0, 3.0, 0),
+            task(0.0, 0.0, 10.0, 42.0, 1),
+        ];
+        assert_eq!(select_next(SecondPhase::LargestSufferageFirst, &tasks), Some(1));
+    }
+
+    #[test]
+    fn fcfs_takes_arrival_order_and_breaks_all_other_ties() {
+        let tasks = [
+            task(1.0, 1.0, 1.0, 1.0, 7),
+            task(999.0, 0.0, 999.0, 0.0, 2),
+            task(500.0, 3.0, 5.0, 9.0, 5),
+        ];
+        assert_eq!(select_next(SecondPhase::Fcfs, &tasks), Some(1));
+        // Identical tasks: every rule falls back to arrival order.
+        let same = [task(9.0, 9.0, 9.0, 9.0, 4), task(9.0, 9.0, 9.0, 9.0, 1)];
+        for rule in [
+            SecondPhase::ShortestWorkflowMakespan,
+            SecondPhase::LongestRpmFirst,
+            SecondPhase::ShortestDeadlineFirst,
+            SecondPhase::ShortestTaskFirst,
+            SecondPhase::LongestTaskFirst,
+            SecondPhase::LargestSufferageFirst,
+            SecondPhase::Fcfs,
+        ] {
+            assert_eq!(select_next(rule, &same), Some(1), "rule {rule}");
+        }
+    }
+
+    #[test]
+    fn single_task_is_always_selected() {
+        let tasks = [task(1.0, 2.0, 3.0, 4.0, 0)];
+        for rule in [
+            SecondPhase::ShortestWorkflowMakespan,
+            SecondPhase::Fcfs,
+            SecondPhase::LongestTaskFirst,
+        ] {
+            assert_eq!(select_next(rule, &tasks), Some(0));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The result of one grid-simulation run.
+
+use p2pgrid_gossip::GossipStats;
+use p2pgrid_metrics::WorkflowMetrics;
+use p2pgrid_sim::SimTime;
+
+/// Everything an experiment needs to know about one finished run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Label of the algorithm configuration (e.g. `"DSMF"`, `"min-min+FCFS"`).
+    pub algorithm: String,
+    /// The workflow metrics accumulator, including the hourly throughput / ACT / AE series.
+    pub metrics: WorkflowMetrics,
+    /// Gossip traffic statistics.
+    pub gossip_stats: GossipStats,
+    /// Average `RSS` size over alive nodes at the end of the run (Fig. 11a).
+    pub avg_rss_size: f64,
+    /// Virtual time at which the run ended.
+    pub end_time: SimTime,
+    /// Number of nodes in the run.
+    pub nodes: usize,
+    /// Total workflows submitted.
+    pub submitted: u64,
+    /// Workflows completed within the horizon.
+    pub completed: u64,
+    /// Workflows lost to churn.
+    pub failed: u64,
+}
+
+impl SimulationReport {
+    /// Average completion time (Eq. 2) in seconds.
+    pub fn act_secs(&self) -> f64 {
+        self.metrics.average_completion_time_secs()
+    }
+
+    /// Average efficiency (Eq. 3).
+    pub fn average_efficiency(&self) -> f64 {
+        self.metrics.average_efficiency()
+    }
+
+    /// Cumulative throughput (finished workflows).
+    pub fn throughput(&self) -> u64 {
+        self.metrics.throughput()
+    }
+
+    /// One row for the experiment summary tables.
+    pub fn summary_row(&self) -> Vec<String> {
+        vec![
+            self.algorithm.clone(),
+            format!("{}", self.throughput()),
+            format!("{:.0}", self.act_secs()),
+            format!("{:.3}", self.average_efficiency()),
+            format!("{:.2}", self.metrics.completion_rate()),
+        ]
+    }
+
+    /// Header matching [`SimulationReport::summary_row`].
+    pub fn summary_header() -> [&'static str; 5] {
+        ["algorithm", "finished", "ACT(s)", "AE", "completion-rate"]
+    }
+}

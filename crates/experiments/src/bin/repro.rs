@@ -1,0 +1,195 @@
+//! `repro` — regenerate every table and figure of the paper from the command line.
+//!
+//! ```text
+//! repro [--scale smoke|reduced|full] [--seed N] [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]
+//! ```
+//!
+//! The default is `--scale reduced --fig all`, which runs every experiment at a laptop-friendly
+//! scale (120 nodes, full 36-hour horizon) and prints the regenerated series in the same layout
+//! as the paper's figures.  `--scale full` runs the paper-scale configuration (1 000 nodes) and
+//! takes correspondingly longer.
+
+use p2pgrid_core::worked_example;
+use p2pgrid_experiments::{ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison};
+use p2pgrid_experiments::ExperimentScale;
+use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Figure {
+    All,
+    WorkedExample,
+    StaticComparison,
+    FcfsAblation,
+    LoadFactor,
+    Ccr,
+    Scalability,
+    Churn,
+    Headline,
+}
+
+impl Figure {
+    fn parse(s: &str) -> Option<Figure> {
+        match s.to_ascii_lowercase().as_str() {
+            "all" => Some(Figure::All),
+            "3" | "fig3" | "example" => Some(Figure::WorkedExample),
+            "4" | "5" | "6" | "4-6" | "static" => Some(Figure::StaticComparison),
+            "fcfs" | "ablation" => Some(Figure::FcfsAblation),
+            "7" | "8" | "7-8" | "load" => Some(Figure::LoadFactor),
+            "9" | "10" | "9-10" | "ccr" => Some(Figure::Ccr),
+            "11" | "scale" | "scalability" => Some(Figure::Scalability),
+            "12" | "13" | "14" | "12-14" | "churn" => Some(Figure::Churn),
+            "headline" => Some(Figure::Headline),
+            _ => None,
+        }
+    }
+}
+
+struct Args {
+    scale: ExperimentScale,
+    seed: u64,
+    figure: Figure,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = ExperimentScale::Reduced;
+    let mut seed = 20100913u64;
+    let mut figure = Figure::All;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--scale needs a value")?;
+                scale = ExperimentScale::parse(v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            "--fig" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--fig needs a value")?;
+                figure = Figure::parse(v).ok_or(format!("unknown figure '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale smoke|reduced|full] [--seed N] \
+                            [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(Args { scale, seed, figure })
+}
+
+fn print_worked_example() {
+    println!("== Fig. 3 worked example ==");
+    let wa = worked_example::workflow_a();
+    let wb = worked_example::workflow_b();
+    let costs = ExpectedCosts::new(1.0, 1.0);
+    let aa = WorkflowAnalysis::new(&wa, costs);
+    let ab = WorkflowAnalysis::new(&wb, costs);
+    let (a2, a3, b2, b3) = worked_example::schedule_points();
+    println!("RPM(A2) = {} (paper: 80)", aa.rpm_secs(a2));
+    println!("RPM(A3) = {} (paper: 115)", aa.rpm_secs(a3));
+    println!("RPM(B2) = {} (paper: 65)", ab.rpm_secs(b2));
+    println!("RPM(B3) = {} (paper: 60)", ab.rpm_secs(b3));
+    println!("ms(A) = {}, ms(B) = {}", aa.rpm_secs(a3), ab.rpm_secs(b2));
+    println!("DSMF dispatch order: B2, B3, A3, A2 (see tests in p2pgrid-core::worked_example)");
+    println!();
+}
+
+fn run_static(scale: ExperimentScale, seed: u64, headline_only: bool) {
+    let cmp = static_comparison::run(scale, seed);
+    if !headline_only {
+        println!("{}", cmp.fig4_throughput().render());
+        println!("{}", cmp.fig5_average_finish_time().render());
+        println!("{}", cmp.fig6_average_efficiency().render());
+        println!("== converged summary (static environment) ==");
+        println!("{}", cmp.summary_table());
+    }
+    let h = cmp.headline();
+    println!("== headline claims (DSMF vs other decentralized algorithms) ==");
+    println!(
+        "ACT reduction:   {:.1}% .. {:.1}%   (paper: 20% .. 60%)",
+        h.act_reduction_pct.0, h.act_reduction_pct.1
+    );
+    println!(
+        "AE improvement:  {:.1}% .. {:.1}%   (paper: 37.5% .. 90%)",
+        h.ae_improvement_pct.0, h.ae_improvement_pct.1
+    );
+    println!();
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("usage") { 0 } else { 2 });
+        }
+    };
+    let scale = args.scale;
+    let seed = args.seed;
+    println!(
+        "# p2pgrid reproduction — scale: {scale:?}, seed: {seed}, nodes: {}\n",
+        scale.nodes()
+    );
+
+    let run_all = args.figure == Figure::All;
+    if run_all || args.figure == Figure::WorkedExample {
+        print_worked_example();
+    }
+    if run_all || args.figure == Figure::StaticComparison || args.figure == Figure::Headline {
+        run_static(scale, seed, args.figure == Figure::Headline);
+    }
+    if run_all || args.figure == Figure::FcfsAblation {
+        let ablation = fcfs_ablation::run(scale, seed);
+        println!("== second-phase vs FCFS ablation (§IV.B) ==");
+        println!("{}", ablation.table());
+        println!(
+            "paper second phase beats or matches FCFS for {}/{} algorithms\n",
+            ablation.second_phase_wins(),
+            ablation.pairs.len()
+        );
+    }
+    if run_all || args.figure == Figure::LoadFactor {
+        let sweep = load_factor::run(scale, seed);
+        println!("{}", sweep.fig7_average_finish_time().render());
+        println!("{}", sweep.fig8_average_efficiency().render());
+    }
+    if run_all || args.figure == Figure::Ccr {
+        let sweep = ccr::run(scale, seed);
+        println!("== CCR cases ==");
+        for (i, case) in sweep.cases.iter().enumerate() {
+            println!("case {i}: {}", case.label);
+        }
+        println!("{}", sweep.fig9_average_finish_time().render());
+        println!("{}", sweep.fig10_average_efficiency().render());
+    }
+    if run_all || args.figure == Figure::Scalability {
+        let sweep = scalability::run(scale, seed);
+        println!("{}", sweep.fig11a_rss_size().render());
+        println!("{}", sweep.fig11b_average_efficiency().render());
+        println!("{}", sweep.fig11c_average_finish_time().render());
+    }
+    if run_all || args.figure == Figure::Churn {
+        let sweep = churn::run(scale, seed);
+        println!("{}", sweep.fig12_throughput().render());
+        println!("{}", sweep.fig13_average_finish_time().render());
+        println!("{}", sweep.fig14_average_efficiency().render());
+        println!("== churn summary ==");
+        for (df, r) in sweep.dynamic_factors.iter().zip(&sweep.reports) {
+            println!(
+                "df={df:.1}: finished {}, failed {}, ACT {:.0}s, AE {:.3}",
+                r.completed,
+                r.failed,
+                r.act_secs(),
+                r.average_efficiency()
+            );
+        }
+    }
+}

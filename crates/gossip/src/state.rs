@@ -1,0 +1,210 @@
+//! Per-node state records and the bounded resource state set `RSS`.
+
+use p2pgrid_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a peer node (dense index, shared with `p2pgrid-topology`).
+pub type PeerId = usize;
+
+/// A gossiped record describing one resource node's state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStateRecord {
+    /// The node this record describes.
+    pub node: PeerId,
+    /// Its computing capacity in MIPS.
+    pub capacity_mips: f64,
+    /// Total load (running + waiting tasks) in MI, `l_r` in the paper.
+    pub total_load_mi: f64,
+    /// Virtual time at which the record was produced by its origin node.
+    pub updated_at: SimTime,
+    /// Number of gossip hops this record has already travelled.
+    pub hops: u32,
+}
+
+impl NodeStateRecord {
+    /// The queuing-delay estimate the paper derives from this record: `l_r / c_r` seconds.
+    pub fn queuing_delay_secs(&self) -> f64 {
+        if self.capacity_mips <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_load_mi / self.capacity_mips
+        }
+    }
+}
+
+/// The bounded set of resource-state records a node has aggregated, `RSS(p_i)` in the paper.
+///
+/// The set keeps at most `capacity` records (the freshest ones win) and purges records older
+/// than the configured staleness limit, which together keep the per-node space complexity at
+/// `O(log n)` as claimed in Section III and measured in Fig. 11(a).
+#[derive(Debug, Clone)]
+pub struct ResourceStateSet {
+    records: HashMap<PeerId, NodeStateRecord>,
+    capacity: usize,
+}
+
+impl ResourceStateSet {
+    /// Create an empty set bounded to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        ResourceStateSet {
+            records: HashMap::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for `node`, if known.
+    pub fn get(&self, node: PeerId) -> Option<&NodeStateRecord> {
+        self.records.get(&node)
+    }
+
+    /// Iterate over all known records (arbitrary order).
+    pub fn records(&self) -> impl Iterator<Item = &NodeStateRecord> {
+        self.records.values()
+    }
+
+    /// Known records sorted by node id (deterministic order for scheduling decisions).
+    pub fn records_sorted(&self) -> Vec<NodeStateRecord> {
+        let mut v: Vec<NodeStateRecord> = self.records.values().copied().collect();
+        v.sort_by_key(|r| r.node);
+        v
+    }
+
+    /// Insert or refresh a record.  A record only replaces an existing one for the same node if
+    /// it is strictly fresher.  Returns `true` if the set changed.
+    pub fn merge(&mut self, record: NodeStateRecord) -> bool {
+        match self.records.get(&record.node) {
+            Some(existing) if existing.updated_at >= record.updated_at => false,
+            _ => {
+                self.records.insert(record.node, record);
+                self.enforce_capacity();
+                true
+            }
+        }
+    }
+
+    /// Remove every record older than `limit` relative to `now`, and any record describing a
+    /// node in `departed`.
+    pub fn purge(&mut self, now: SimTime, limit: SimDuration, departed: &dyn Fn(PeerId) -> bool) {
+        self.records.retain(|&node, r| {
+            !departed(node) && now.saturating_duration_since(r.updated_at) <= limit
+        });
+    }
+
+    /// Remove the record for a specific node (e.g. observed to have churned away).
+    pub fn remove(&mut self, node: PeerId) {
+        self.records.remove(&node);
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.records.len() > self.capacity {
+            // Evict the stalest record; ties broken by node id for determinism.
+            let victim = self
+                .records
+                .values()
+                .min_by_key(|r| (r.updated_at, r.node))
+                .map(|r| r.node)
+                .expect("set is non-empty");
+            self.records.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: PeerId, t: u64) -> NodeStateRecord {
+        NodeStateRecord {
+            node,
+            capacity_mips: 4.0,
+            total_load_mi: 100.0,
+            updated_at: SimTime::from_secs(t),
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn queuing_delay_is_load_over_capacity() {
+        assert_eq!(rec(0, 0).queuing_delay_secs(), 25.0);
+        let zero_cap = NodeStateRecord {
+            capacity_mips: 0.0,
+            ..rec(0, 0)
+        };
+        assert_eq!(zero_cap.queuing_delay_secs(), f64::INFINITY);
+    }
+
+    #[test]
+    fn merge_prefers_fresher_records() {
+        let mut rss = ResourceStateSet::new(10);
+        assert!(rss.merge(rec(1, 10)));
+        assert!(!rss.merge(rec(1, 5)), "stale record must not overwrite");
+        assert!(!rss.merge(rec(1, 10)), "equal freshness must not count as a change");
+        assert!(rss.merge(rec(1, 20)));
+        assert_eq!(rss.get(1).unwrap().updated_at, SimTime::from_secs(20));
+        assert_eq!(rss.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_stalest() {
+        let mut rss = ResourceStateSet::new(3);
+        rss.merge(rec(1, 10));
+        rss.merge(rec(2, 20));
+        rss.merge(rec(3, 30));
+        rss.merge(rec(4, 40));
+        assert_eq!(rss.len(), 3);
+        assert!(rss.get(1).is_none(), "the stalest record must be evicted");
+        assert!(rss.get(4).is_some());
+    }
+
+    #[test]
+    fn purge_removes_stale_and_departed() {
+        let mut rss = ResourceStateSet::new(10);
+        rss.merge(rec(1, 100));
+        rss.merge(rec(2, 500));
+        rss.merge(rec(3, 900));
+        rss.purge(
+            SimTime::from_secs(1000),
+            SimDuration::from_secs(600),
+            &|n| n == 3,
+        );
+        assert!(rss.get(1).is_none(), "older than the staleness limit");
+        assert!(rss.get(2).is_some());
+        assert!(rss.get(3).is_none(), "departed node");
+    }
+
+    #[test]
+    fn sorted_records_are_deterministic() {
+        let mut rss = ResourceStateSet::new(10);
+        rss.merge(rec(5, 1));
+        rss.merge(rec(2, 2));
+        rss.merge(rec(9, 3));
+        let order: Vec<PeerId> = rss.records_sorted().iter().map(|r| r.node).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut rss = ResourceStateSet::new(2);
+        assert!(rss.is_empty());
+        rss.merge(rec(1, 1));
+        rss.remove(1);
+        assert!(rss.is_empty());
+        assert_eq!(rss.capacity(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text table and series formatting for the experiment runners.
+
+use crate::timeseries::TimeSeries;
+
+/// Format a table with a header row and data rows as aligned plain text.
+///
+/// Every row must have the same number of cells as the header.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row has {} cells, expected {cols}", row.len());
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a set of time series as a column-per-series table keyed by time in hours — the same
+/// layout as the gnuplot data behind the paper's figures.
+pub fn format_series(series: &[&TimeSeries]) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let header: Vec<&str> = std::iter::once("hour")
+        .chain(series.iter().map(|s| s.name()))
+        .collect();
+    // Use the sample times of the longest series as the time base.
+    let base = series
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("non-empty slice");
+    let rows: Vec<Vec<String>> = base
+        .points()
+        .iter()
+        .map(|&(t, _)| {
+            std::iter::once(format!("{:.1}", t.as_hours_f64()))
+                .chain(series.iter().map(|s| {
+                    s.value_at(t)
+                        .map(|v| format!("{v:.3}"))
+                        .unwrap_or_else(|| "-".to_string())
+                }))
+                .collect()
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pgrid_sim::SimTime;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let out = format_table(
+            &["algorithm", "ACT", "AE"],
+            &[
+                vec!["DSMF".into(), "12000".into(), "0.30".into()],
+                vec!["min-min".into(), "31977".into(), "0.11".into()],
+            ],
+        );
+        assert!(out.contains("algorithm"));
+        assert!(out.contains("min-min"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The header and data rows align on the second column.
+        let header_pos = lines[0].find("ACT").unwrap();
+        let row_pos = lines[2].find("12000").unwrap();
+        assert_eq!(header_pos, row_pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn mismatched_row_width_panics() {
+        format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_table_uses_hours_and_fills_missing_with_dash() {
+        let mut a = TimeSeries::new("DSMF");
+        a.push(SimTime::from_hours_helper(1), 10.0);
+        a.push(SimTime::from_hours_helper(2), 20.0);
+        let mut b = TimeSeries::new("HEFT");
+        b.push(SimTime::from_hours_helper(2), 5.0);
+        let out = format_series(&[&a, &b]);
+        assert!(out.contains("hour"));
+        assert!(out.contains("DSMF"));
+        assert!(out.contains("1.0"));
+        assert!(out.contains('-'), "missing early HEFT sample should print as a dash");
+        assert_eq!(format_series(&[]), "");
+    }
+
+    trait FromHours {
+        fn from_hours_helper(h: u64) -> SimTime;
+    }
+    impl FromHours for SimTime {
+        fn from_hours_helper(h: u64) -> SimTime {
+            SimTime::from_secs(h * 3600)
+        }
+    }
+}

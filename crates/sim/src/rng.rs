@@ -1,0 +1,179 @@
+//! Seeded, splittable random-number utilities.
+//!
+//! Every stochastic component of the reproduction (topology generation, workflow generation,
+//! gossip peer sampling, churn, ...) draws from its own [`SimRng`], derived from a single
+//! experiment seed plus a component label.  Deriving independent streams — rather than sharing
+//! one RNG — means that changing the number of random draws in one component does not perturb
+//! any other component, which keeps regression tests meaningful.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random-number generator for simulation components.
+///
+/// Internally a ChaCha8 stream cipher RNG: fast, high quality, portable and reproducible
+/// across platforms (unlike `SmallRng`, whose algorithm may change between `rand` releases).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Create a generator from a raw 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent generator for a named sub-component.
+    ///
+    /// The derivation hashes the label into the stream number, so `derive("gossip")` and
+    /// `derive("churn")` from the same parent never overlap.
+    pub fn derive(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut child = self.inner.clone();
+        child.set_stream(h);
+        child.set_word_pos(0);
+        SimRng { inner: child }
+    }
+
+    /// Derive an independent generator for an indexed sub-component (e.g. per node).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> SimRng {
+        self.derive(&format!("{label}#{index}"))
+    }
+
+    /// Sample a value uniformly from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Sample a uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Sample a uniform `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Choose a uniformly random element of `slice`, or `None` if it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        slice.choose(&mut self.inner)
+    }
+
+    /// Choose `amount` distinct elements of `slice` uniformly at random (fewer if the slice is
+    /// shorter), preserving no particular order.
+    pub fn choose_multiple<'a, T>(&mut self, slice: &'a [T], amount: usize) -> Vec<&'a T> {
+        slice.choose_multiple(&mut self.inner, amount).collect()
+    }
+
+    /// Shuffle a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        slice.shuffle(&mut self.inner);
+    }
+
+    /// Access the underlying `rand::Rng` implementation (for distributions not wrapped here).
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_reproducible() {
+        let root = SimRng::seed_from_u64(7);
+        let mut g1 = root.derive("gossip");
+        let mut g2 = root.derive("gossip");
+        let mut c1 = root.derive("churn");
+        let a: Vec<u64> = (0..16).map(|_| g1.gen_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| g2.gen_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| c1.gen_u64()).collect();
+        assert_eq!(a, b, "same label must reproduce the same stream");
+        assert_ne!(a, c, "different labels must give different streams");
+    }
+
+    #[test]
+    fn derive_indexed_distinguishes_indices() {
+        let root = SimRng::seed_from_u64(7);
+        let mut n0 = root.derive_indexed("node", 0);
+        let mut n1 = root.derive_indexed("node", 1);
+        assert_ne!(n0.gen_u64(), n1.gen_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(100..=10_000);
+            assert!((100..=10_000).contains(&x));
+            let f: f64 = rng.gen_range(0.1..10.0);
+            assert!((0.1..10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let items = [1, 2, 3, 4, 5];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+        assert!(rng.choose::<u32>(&[]).is_none());
+        let picked = rng.choose_multiple(&items, 3);
+        assert_eq!(picked.len(), 3);
+        let picked_all = rng.choose_multiple(&items, 50);
+        assert_eq!(picked_all.len(), items.len());
+        let mut v: Vec<u32> = (0..100).collect();
+        let original = v.clone();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original, "shuffle must be a permutation");
+    }
+}

@@ -1,0 +1,311 @@
+//! The simulation driver.
+//!
+//! [`Simulator`] owns the virtual clock and the event queue and repeatedly delivers the
+//! earliest pending event to a user-supplied [`EventHandler`].  The handler schedules follow-up
+//! events through the [`SimControl`] handle it receives with every event.  The driver supports
+//! a hard time horizon and an event budget, both of which the paper's experiments use
+//! (36 simulated hours).
+
+use crate::event::{EventQueue, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle given to event handlers for scheduling new events and inspecting the clock.
+#[derive(Debug)]
+pub struct SimControl<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    stop_requested: bool,
+}
+
+impl<E> SimControl<E> {
+    fn new() -> Self {
+        SimControl {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            stop_requested: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute virtual time.
+    ///
+    /// Events scheduled in the past are delivered "now" (at the current clock value) rather
+    /// than rewinding the clock; this mirrors PeerSim's behaviour and keeps time monotonic.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let t = time.max(self.now);
+        self.queue.schedule(t, event);
+    }
+
+    /// Ask the driver to stop after the current event has been handled.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events scheduled so far (including already delivered ones).
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+}
+
+/// Trait implemented by simulation models.
+pub trait EventHandler<E> {
+    /// Handle a single event.  New events are scheduled through `ctl`.
+    fn handle(&mut self, ctl: &mut SimControl<E>, event: E);
+}
+
+impl<E, F> EventHandler<E> for F
+where
+    F: FnMut(&mut SimControl<E>, E),
+{
+    fn handle(&mut self, ctl: &mut SimControl<E>, event: E) {
+        self(ctl, event)
+    }
+}
+
+/// Why a simulation run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured maximum number of delivered events was reached.
+    EventBudgetExhausted,
+    /// The handler requested a stop.
+    StoppedByHandler,
+}
+
+/// Summary returned by [`Simulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Virtual time when the run ended.
+    pub end_time: SimTime,
+    /// Number of events delivered to the handler.
+    pub events_delivered: u64,
+    /// Why the run ended.
+    pub reason: StopReason,
+}
+
+/// The discrete-event simulation driver.
+#[derive(Debug)]
+pub struct Simulator<E> {
+    ctl: SimControl<E>,
+    horizon: Option<SimTime>,
+    max_events: Option<u64>,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Create a simulator with no horizon and no event budget.
+    pub fn new() -> Self {
+        Simulator {
+            ctl: SimControl::new(),
+            horizon: None,
+            max_events: None,
+        }
+    }
+
+    /// Stop delivering events whose timestamp is strictly greater than `horizon`.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Stop after delivering at most `max_events` events (a runaway-model backstop).
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctl.now()
+    }
+
+    /// Schedule an initial event before the run starts.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        self.ctl.schedule_at(time, event);
+    }
+
+    /// Schedule an initial event `delay` after time zero.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.ctl.schedule_in(delay, event);
+    }
+
+    /// Run until the queue drains, the horizon is reached, the event budget is exhausted or the
+    /// handler calls [`SimControl::stop`].
+    pub fn run<H: EventHandler<E>>(&mut self, handler: &mut H) -> RunSummary {
+        let mut delivered = 0u64;
+        loop {
+            if self.ctl.stop_requested {
+                return RunSummary {
+                    end_time: self.ctl.now,
+                    events_delivered: delivered,
+                    reason: StopReason::StoppedByHandler,
+                };
+            }
+            if let Some(max) = self.max_events {
+                if delivered >= max {
+                    return RunSummary {
+                        end_time: self.ctl.now,
+                        events_delivered: delivered,
+                        reason: StopReason::EventBudgetExhausted,
+                    };
+                }
+            }
+            let next: Option<ScheduledEvent<E>> = match self.ctl.queue.peek_time() {
+                None => None,
+                Some(t) => {
+                    if let Some(h) = self.horizon {
+                        if t > h {
+                            return RunSummary {
+                                end_time: h,
+                                events_delivered: delivered,
+                                reason: StopReason::HorizonReached,
+                            };
+                        }
+                    }
+                    self.ctl.queue.pop()
+                }
+            };
+            match next {
+                None => {
+                    return RunSummary {
+                        end_time: self.ctl.now,
+                        events_delivered: delivered,
+                        reason: StopReason::QueueEmpty,
+                    }
+                }
+                Some(ev) => {
+                    debug_assert!(ev.time >= self.ctl.now, "virtual time must be monotonic");
+                    self.ctl.now = ev.time;
+                    handler.handle(&mut self.ctl, ev.event);
+                    delivered += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Tick {
+        Periodic(u32),
+        Oneshot,
+    }
+
+    #[test]
+    fn delivers_events_in_time_order_and_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(5), 'b');
+        sim.schedule_at(SimTime::from_secs(1), 'a');
+        let mut seen = Vec::new();
+        let mut handler = |ctl: &mut SimControl<char>, ev: char| {
+            seen.push((ctl.now().as_millis(), ev));
+        };
+        let summary = sim.run(&mut handler);
+        assert_eq!(seen, vec![(1000, 'a'), (5000, 'b')]);
+        assert_eq!(summary.reason, StopReason::QueueEmpty);
+        assert_eq!(summary.events_delivered, 2);
+        assert_eq!(summary.end_time, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn periodic_events_respect_horizon() {
+        let mut sim = Simulator::new().with_horizon(SimTime::from_secs(10));
+        sim.schedule_at(SimTime::ZERO, Tick::Periodic(0));
+        let mut count = 0u32;
+        let mut handler = |ctl: &mut SimControl<Tick>, ev: Tick| {
+            if let Tick::Periodic(k) = ev {
+                count = k + 1;
+                ctl.schedule_in(SimDuration::from_secs(1), Tick::Periodic(k + 1));
+            }
+        };
+        let summary = sim.run(&mut handler);
+        assert_eq!(summary.reason, StopReason::HorizonReached);
+        // Ticks at t = 0..=10 seconds inclusive: 11 deliveries.
+        assert_eq!(summary.events_delivered, 11);
+        assert_eq!(summary.end_time, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn handler_can_stop_the_run() {
+        let mut sim = Simulator::new();
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_secs(i), Tick::Periodic(i as u32));
+        }
+        let mut delivered = 0;
+        let mut handler = |ctl: &mut SimControl<Tick>, _ev: Tick| {
+            delivered += 1;
+            if delivered == 10 {
+                ctl.stop();
+            }
+        };
+        let summary = sim.run(&mut handler);
+        assert_eq!(summary.reason, StopReason::StoppedByHandler);
+        assert_eq!(summary.events_delivered, 10);
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let mut sim = Simulator::new().with_max_events(5);
+        sim.schedule_at(SimTime::ZERO, Tick::Oneshot);
+        let mut handler = |ctl: &mut SimControl<Tick>, _ev: Tick| {
+            // Self-perpetuating event storm.
+            ctl.schedule_in(SimDuration::from_millis(1), Tick::Oneshot);
+        };
+        let summary = sim.run(&mut handler);
+        assert_eq!(summary.reason, StopReason::EventBudgetExhausted);
+        assert_eq!(summary.events_delivered, 5);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_does_not_rewind_the_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(10), Tick::Oneshot);
+        let mut times = Vec::new();
+        let mut first = true;
+        let mut handler = |ctl: &mut SimControl<Tick>, _ev: Tick| {
+            times.push(ctl.now());
+            if first {
+                first = false;
+                // Attempt to schedule before "now"; must be clamped to now.
+                ctl.schedule_at(SimTime::from_secs(1), Tick::Oneshot);
+            }
+        };
+        sim.run(&mut handler);
+        assert_eq!(times, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+    }
+
+    #[test]
+    fn empty_run_terminates_immediately() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let mut handler = |_: &mut SimControl<()>, _: ()| {};
+        let summary = sim.run(&mut handler);
+        assert_eq!(summary.reason, StopReason::QueueEmpty);
+        assert_eq!(summary.events_delivered, 0);
+        assert_eq!(summary.end_time, SimTime::ZERO);
+    }
+}

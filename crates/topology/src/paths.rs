@@ -1,0 +1,284 @@
+//! All-pairs end-to-end network metrics.
+//!
+//! The schedulers consume pairwise *effective bandwidth* (for data aggregation times) and
+//! *latency* (for locality).  On a multi-hop WAN the effective bandwidth of a pair is the
+//! **bottleneck bandwidth of the widest path** between them, and the latency is the length of
+//! the shortest (minimum-latency) path.  [`PairwiseMetrics`] precomputes both matrices with a
+//! Dijkstra sweep from every source, parallelised across sources with rayon — at the paper's
+//! maximum scale (2 000 nodes) this is a few million relaxations and finishes in well under a
+//! second.
+
+use crate::graph::{NodeId, Topology};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dense all-pairs bandwidth/latency matrices.
+#[derive(Debug, Clone)]
+pub struct PairwiseMetrics {
+    n: usize,
+    /// Bottleneck bandwidth of the widest path, Mb/s; 0 when unreachable.
+    bandwidth: Vec<f32>,
+    /// Latency of the minimum-latency path, ms; +inf when unreachable.
+    latency: Vec<f32>,
+    avg_bandwidth: f64,
+}
+
+impl PairwiseMetrics {
+    /// Compute all-pairs metrics for `topo`.
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let rows: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|src| single_source(topo, src))
+            .collect();
+        let mut bandwidth = Vec::with_capacity(n * n);
+        let mut latency = Vec::with_capacity(n * n);
+        for (bw_row, lat_row) in rows {
+            bandwidth.extend_from_slice(&bw_row);
+            latency.extend_from_slice(&lat_row);
+        }
+        let mut sum = 0.0f64;
+        let mut cnt = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let b = bandwidth[u * n + v] as f64;
+                if b > 0.0 {
+                    sum += b;
+                    cnt += 1;
+                }
+            }
+        }
+        let avg_bandwidth = if cnt > 0 { sum / cnt as f64 } else { 0.0 };
+        PairwiseMetrics {
+            n,
+            bandwidth,
+            latency,
+            avg_bandwidth,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Effective (bottleneck) bandwidth between `u` and `v` in Mb/s.
+    ///
+    /// Returns `f64::INFINITY` for `u == v` (a local transfer takes no time) and `0.0` when the
+    /// pair is disconnected.
+    pub fn bandwidth_mbps(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return f64::INFINITY;
+        }
+        self.bandwidth[u * self.n + v] as f64
+    }
+
+    /// Minimum path latency between `u` and `v` in milliseconds (0 for `u == v`).
+    pub fn latency_ms(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.latency[u * self.n + v] as f64
+    }
+
+    /// True pairwise-average effective bandwidth over all connected ordered pairs, Mb/s.
+    ///
+    /// This is the ground-truth value that the aggregation gossip protocol estimates.
+    pub fn average_bandwidth_mbps(&self) -> f64 {
+        self.avg_bandwidth
+    }
+
+    /// Time in seconds to move `megabits` of data from `u` to `v`.
+    ///
+    /// Local transfers are free; transfers between disconnected nodes take infinitely long.
+    pub fn transfer_secs(&self, u: NodeId, v: NodeId, megabits: f64) -> f64 {
+        if u == v || megabits <= 0.0 {
+            return 0.0;
+        }
+        let bw = self.bandwidth_mbps(u, v);
+        if bw <= 0.0 {
+            return f64::INFINITY;
+        }
+        megabits / bw + self.latency_ms(u, v) / 1000.0
+    }
+}
+
+/// Widest-path bandwidth and shortest-path latency from a single source.
+fn single_source(topo: &Topology, src: NodeId) -> (Vec<f32>, Vec<f32>) {
+    let n = topo.node_count();
+    let mut best_bw = vec![0.0f32; n];
+    let mut best_lat = vec![f32::INFINITY; n];
+
+    // Widest path (maximise the minimum edge bandwidth along the path): Dijkstra variant with a
+    // max-heap keyed on bottleneck bandwidth.
+    #[derive(PartialEq)]
+    struct BwEntry(f32, NodeId);
+    impl Eq for BwEntry {}
+    impl PartialOrd for BwEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for BwEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    best_bw[src] = f32::INFINITY;
+    heap.push(BwEntry(f32::INFINITY, src));
+    while let Some(BwEntry(bw, u)) = heap.pop() {
+        if bw < best_bw[u] {
+            continue;
+        }
+        for a in topo.neighbors(u) {
+            let cand = bw.min(a.props.bandwidth_mbps as f32);
+            if cand > best_bw[a.to] {
+                best_bw[a.to] = cand;
+                heap.push(BwEntry(cand, a.to));
+            }
+        }
+    }
+    best_bw[src] = f32::INFINITY;
+
+    // Shortest latency path: standard Dijkstra with a min-heap (negated keys in a max-heap).
+    #[derive(PartialEq)]
+    struct LatEntry(f32, NodeId);
+    impl Eq for LatEntry {}
+    impl PartialOrd for LatEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for LatEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse: smaller latency pops first.
+            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    best_lat[src] = 0.0;
+    heap.push(LatEntry(0.0, src));
+    while let Some(LatEntry(lat, u)) = heap.pop() {
+        if lat > best_lat[u] {
+            continue;
+        }
+        for a in topo.neighbors(u) {
+            let cand = lat + a.props.latency_ms as f32;
+            if cand < best_lat[a.to] {
+                best_lat[a.to] = cand;
+                heap.push(LatEntry(cand, a.to));
+            }
+        }
+    }
+
+    (best_bw, best_lat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeProps;
+    use crate::waxman::{WaxmanConfig, WaxmanGenerator};
+    use p2pgrid_sim::SimRng;
+    use proptest::prelude::*;
+
+    fn props(bw: f64, lat: f64) -> EdgeProps {
+        EdgeProps {
+            bandwidth_mbps: bw,
+            latency_ms: lat,
+        }
+    }
+
+    /// A 4-node line: 0 -10-> 1 -2-> 2 -8-> 3, plus a slow shortcut 0 -1-> 3.
+    fn line_with_shortcut() -> Topology {
+        let mut t = Topology::with_unplaced_nodes(4);
+        t.add_edge(0, 1, props(10.0, 1.0));
+        t.add_edge(1, 2, props(2.0, 1.0));
+        t.add_edge(2, 3, props(8.0, 1.0));
+        t.add_edge(0, 3, props(1.0, 10.0));
+        t
+    }
+
+    #[test]
+    fn widest_path_prefers_high_bottleneck_route() {
+        let t = line_with_shortcut();
+        let m = PairwiseMetrics::compute(&t);
+        // 0 -> 3 via the line has bottleneck 2.0 (edge 1-2); the direct shortcut is only 1.0.
+        assert!((m.bandwidth_mbps(0, 3) - 2.0).abs() < 1e-6);
+        // 0 -> 2 bottleneck is 2.0 as well.
+        assert!((m.bandwidth_mbps(0, 2) - 2.0).abs() < 1e-6);
+        // Direct neighbours use their own link.
+        assert!((m.bandwidth_mbps(0, 1) - 10.0).abs() < 1e-6);
+        // Symmetric.
+        assert!((m.bandwidth_mbps(3, 0) - m.bandwidth_mbps(0, 3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_uses_shortest_path() {
+        let t = line_with_shortcut();
+        let m = PairwiseMetrics::compute(&t);
+        // 0 -> 3: line costs 3 ms, shortcut costs 10 ms.
+        assert!((m.latency_ms(0, 3) - 3.0).abs() < 1e-5);
+        assert_eq!(m.latency_ms(2, 2), 0.0);
+    }
+
+    #[test]
+    fn self_pairs_are_free_and_disconnected_pairs_are_infinite() {
+        let mut t = Topology::with_unplaced_nodes(3);
+        t.add_edge(0, 1, props(4.0, 1.0));
+        let m = PairwiseMetrics::compute(&t);
+        assert_eq!(m.bandwidth_mbps(0, 0), f64::INFINITY);
+        assert_eq!(m.transfer_secs(0, 0, 1000.0), 0.0);
+        assert_eq!(m.bandwidth_mbps(0, 2), 0.0);
+        assert_eq!(m.transfer_secs(0, 2, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn transfer_time_matches_size_over_bandwidth() {
+        let mut t = Topology::with_unplaced_nodes(2);
+        t.add_edge(0, 1, props(5.0, 20.0));
+        let m = PairwiseMetrics::compute(&t);
+        // 100 Mb over 5 Mb/s = 20 s, plus 20 ms latency.
+        let secs = m.transfer_secs(0, 1, 100.0);
+        assert!((secs - 20.02).abs() < 1e-9);
+        assert_eq!(m.transfer_secs(0, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn average_bandwidth_is_positive_on_connected_graphs() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let topo = WaxmanGenerator::new(WaxmanConfig::with_nodes(60)).generate(&mut rng);
+        let m = PairwiseMetrics::compute(&topo);
+        assert!(m.average_bandwidth_mbps() > 0.0);
+        assert!(m.average_bandwidth_mbps() <= 10.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// On any connected Waxman topology: bandwidth is symmetric, bounded by the best link,
+        /// and every pair is reachable.
+        #[test]
+        fn prop_pairwise_invariants(seed in 0u64..500, n in 5usize..40) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let topo = WaxmanGenerator::new(WaxmanConfig::with_nodes(n)).generate(&mut rng);
+            let max_edge_bw = topo
+                .edges()
+                .map(|(_, _, p)| p.bandwidth_mbps)
+                .fold(0.0f64, f64::max);
+            let m = PairwiseMetrics::compute(&topo);
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v { continue; }
+                    let bw = m.bandwidth_mbps(u, v);
+                    prop_assert!(bw > 0.0, "pair ({u},{v}) unreachable on a connected graph");
+                    prop_assert!(bw <= max_edge_bw + 1e-6);
+                    prop_assert!((bw - m.bandwidth_mbps(v, u)).abs() < 1e-6);
+                    prop_assert!(m.latency_ms(u, v).is_finite());
+                }
+            }
+        }
+    }
+}

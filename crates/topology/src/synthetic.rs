@@ -1,0 +1,104 @@
+//! Hand-constructed topologies for tests, examples and the paper's worked example (Fig. 3).
+
+use crate::graph::{EdgeProps, Topology};
+
+/// A fully connected ("clique") topology in which every pair of nodes is joined by a direct
+/// link of identical bandwidth and latency.
+///
+/// With a uniform clique the network disappears as a variable, which is exactly what the
+/// paper's worked example (Fig. 3) assumes when it quotes a single estimated finish-time matrix;
+/// it is also the right substrate for unit-testing scheduling policies in isolation.
+pub fn uniform_clique(n: usize, bandwidth_mbps: f64, latency_ms: f64) -> Topology {
+    let mut topo = Topology::with_unplaced_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            topo.add_edge(
+                u,
+                v,
+                EdgeProps {
+                    bandwidth_mbps,
+                    latency_ms,
+                },
+            );
+        }
+    }
+    topo
+}
+
+/// A star topology: node 0 is the hub, all other nodes are leaves.
+pub fn star(n: usize, bandwidth_mbps: f64, latency_ms: f64) -> Topology {
+    assert!(n >= 1);
+    let mut topo = Topology::with_unplaced_nodes(n);
+    for leaf in 1..n {
+        topo.add_edge(
+            0,
+            leaf,
+            EdgeProps {
+                bandwidth_mbps,
+                latency_ms,
+            },
+        );
+    }
+    topo
+}
+
+/// A line (path) topology `0 - 1 - 2 - ... - (n-1)`.
+pub fn line(n: usize, bandwidth_mbps: f64, latency_ms: f64) -> Topology {
+    let mut topo = Topology::with_unplaced_nodes(n);
+    for u in 1..n {
+        topo.add_edge(
+            u - 1,
+            u,
+            EdgeProps {
+                bandwidth_mbps,
+                latency_ms,
+            },
+        );
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::PairwiseMetrics;
+
+    #[test]
+    fn clique_has_all_pairs_connected_directly() {
+        let t = uniform_clique(6, 5.0, 1.0);
+        assert_eq!(t.edge_count(), 6 * 5 / 2);
+        assert!(t.is_connected());
+        let m = PairwiseMetrics::compute(&t);
+        for u in 0..6 {
+            for v in 0..6 {
+                if u != v {
+                    assert!((m.bandwidth_mbps(u, v) - 5.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = star(5, 2.0, 3.0);
+        assert_eq!(t.edge_count(), 4);
+        let m = PairwiseMetrics::compute(&t);
+        // Leaf-to-leaf goes through the hub: two hops of latency.
+        assert!((m.latency_ms(1, 2) - 6.0).abs() < 1e-9);
+        assert!((m.bandwidth_mbps(1, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_latency_accumulates() {
+        let t = line(5, 1.0, 2.0);
+        let m = PairwiseMetrics::compute(&t);
+        assert!((m.latency_ms(0, 4) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(uniform_clique(1, 1.0, 1.0).edge_count(), 0);
+        assert_eq!(star(1, 1.0, 1.0).edge_count(), 0);
+        assert_eq!(line(1, 1.0, 1.0).edge_count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! DSMF under node churn (a miniature Fig. 12–14), plus the paper's future-work extension
+//! (re-scheduling tasks lost to departed nodes) as an ablation.
+//!
+//! Run with `cargo run --release --example churn_tolerance`.
+
+use p2pgrid::prelude::*;
+
+fn main() {
+    let dynamic_factors = [0.0, 0.1, 0.2, 0.3, 0.4];
+    println!("DSMF on a 96-node grid, 50% stable nodes, sweeping the dynamic factor");
+    println!();
+    println!("{:<6} {:>10} {:>8} {:>10} {:>8}   {:>12}", "df", "finished", "failed", "ACT(s)", "AE", "mode");
+
+    for &df in &dynamic_factors {
+        for (mode, reschedule) in [("paper", false), ("reschedule", true)] {
+            if df == 0.0 && reschedule {
+                continue; // identical to the paper mode without churn
+            }
+            let mut churn = ChurnConfig::with_dynamic_factor(df);
+            churn.reschedule_lost_tasks = reschedule;
+            let config = GridConfig::paper_default()
+                .with_nodes(96)
+                .with_load_factor(2)
+                .with_churn(churn)
+                .with_seed(4242);
+            let report = GridSimulation::with_algorithm(config, Algorithm::Dsmf).run();
+            println!(
+                "{:<6.1} {:>10} {:>8} {:>10.0} {:>8.3}   {:>12}",
+                df,
+                report.completed,
+                report.failed,
+                report.act_secs(),
+                report.average_efficiency(),
+                mode
+            );
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper §IV.B): throughput drops as df grows because workflows whose");
+    println!("tasks sat on departed nodes are lost, while the finish time and efficiency of the");
+    println!("workflows that do finish stay roughly stable for df <= 0.2.  The 'reschedule' rows");
+    println!("implement the paper's future-work fix and recover most of the lost throughput.");
+}

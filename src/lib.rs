@@ -1,0 +1,65 @@
+//! # p2pgrid — dual-phase just-in-time workflow scheduling in P2P grid systems
+//!
+//! A from-scratch Rust reproduction of
+//! *Di & Wang, "Dual-phase Just-in-time Workflow Scheduling in P2P Grid Systems", ICPP 2010*:
+//! the **DSMF** (dynamic shortest makespan first) heuristic, its seven comparison schedulers,
+//! and every substrate the evaluation depends on (a PeerSim-style simulation engine, a
+//! Brite/Waxman WAN model, a mixed gossip resource-discovery protocol, a DAG workflow model and
+//! the experiment harness regenerating every figure of the paper).
+//!
+//! This crate is a thin facade that re-exports the workspace crates under stable module names.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use p2pgrid::prelude::*;
+//!
+//! // A small grid (32 peers), two workflows per home node, scheduled with DSMF.
+//! let config = GridConfig::small(32).with_seed(42);
+//! let report = GridSimulation::with_algorithm(config, Algorithm::Dsmf).run();
+//! assert!(report.completed > 0);
+//! println!(
+//!     "finished {} workflows, ACT {:.0}s, AE {:.3}",
+//!     report.completed,
+//!     report.act_secs(),
+//!     report.average_efficiency()
+//! );
+//! ```
+//!
+//! See `examples/` for larger scenarios (the Fig. 3 worked example, an eight-algorithm
+//! comparison, churn tolerance and a Montage-style campaign) and the `repro` binary in
+//! `p2pgrid-experiments` for full figure regeneration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The scheduling core: DSMF, the seven baselines and the grid simulation.
+pub use p2pgrid_core as core;
+/// Experiment runners regenerating the paper's figures.
+pub use p2pgrid_experiments as experiments;
+/// The mixed gossip resource-discovery substrate.
+pub use p2pgrid_gossip as gossip;
+/// Metrics: throughput, ACT (Eq. 2) and AE (Eq. 3).
+pub use p2pgrid_metrics as metrics;
+/// The deterministic discrete-event simulation engine.
+pub use p2pgrid_sim as sim;
+/// The Waxman WAN topology substrate.
+pub use p2pgrid_topology as topology;
+/// The workflow (DAG) model.
+pub use p2pgrid_workflow as workflow;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use p2pgrid_core::{
+        Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, GridConfig, GridSimulation,
+        SecondPhase, SimulationReport,
+    };
+    pub use p2pgrid_experiments::ExperimentScale;
+    pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};
+    pub use p2pgrid_sim::{SimDuration, SimRng, SimTime};
+    pub use p2pgrid_topology::{Topology, WaxmanConfig, WaxmanGenerator};
+    pub use p2pgrid_workflow::{
+        shapes, ExpectedCosts, Task, TaskId, Workflow, WorkflowAnalysis, WorkflowBuilder,
+        WorkflowGenerator, WorkflowGeneratorConfig,
+    };
+}

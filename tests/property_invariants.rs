@@ -1,0 +1,71 @@
+//! Property-based integration tests: simulation invariants that must hold for any seed and any
+//! (small) configuration.
+
+use p2pgrid::prelude::*;
+use proptest::prelude::*;
+
+fn any_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Dsmf),
+        Just(Algorithm::Dheft),
+        Just(Algorithm::Dsdf),
+        Just(Algorithm::MinMin),
+        Just(Algorithm::MaxMin),
+        Just(Algorithm::Sufferage),
+        Just(Algorithm::Heft),
+        Just(Algorithm::Smf),
+    ]
+}
+
+proptest! {
+    // Full simulations are comparatively expensive, so keep the case count low; each case is
+    // still an end-to-end run through every crate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Accounting invariants hold for any seed/algorithm: nothing is double counted, no
+    /// workflow fails in a static grid, efficiencies stay in a sane band and the sampled
+    /// throughput series is consistent with the final count.
+    #[test]
+    fn prop_static_run_accounting(seed in 0u64..10_000, alg in any_algorithm(), nodes in 8usize..20) {
+        let mut cfg = GridConfig::small(nodes).with_seed(seed);
+        cfg.workflows_per_node = 1;
+        cfg.workflow.tasks = 2..=8;
+        cfg.horizon = SimDuration::from_hours(10);
+        let report = GridSimulation::with_algorithm(cfg, alg).run();
+
+        prop_assert_eq!(report.submitted, nodes as u64);
+        prop_assert!(report.completed <= report.submitted);
+        prop_assert_eq!(report.failed, 0);
+        prop_assert!(report.metrics.records().len() as u64 == report.completed);
+        if report.completed > 0 {
+            prop_assert!(report.act_secs() > 0.0);
+            prop_assert!(report.average_efficiency() > 0.0);
+            prop_assert!(report.average_efficiency() < 5.0);
+            for r in report.metrics.records() {
+                prop_assert!(r.completion_time_secs() >= 0.0);
+                prop_assert!(r.efficiency() >= 0.0);
+            }
+        }
+        let last = report.metrics.throughput_series().last_value().unwrap_or(0.0);
+        prop_assert_eq!(last as u64, report.completed);
+    }
+
+    /// Under churn, workflow accounting still balances: completed + failed never exceeds
+    /// submitted, and with rescheduling enabled nothing is ever recorded as failed.
+    #[test]
+    fn prop_churn_accounting(seed in 0u64..10_000, df in 0.05f64..0.4, reschedule in proptest::bool::ANY) {
+        let mut churn = ChurnConfig::with_dynamic_factor(df);
+        churn.reschedule_lost_tasks = reschedule;
+        let mut cfg = GridConfig::small(16).with_seed(seed).with_churn(churn);
+        cfg.workflows_per_node = 1;
+        cfg.workflow.tasks = 2..=6;
+        cfg.horizon = SimDuration::from_hours(8);
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+
+        prop_assert_eq!(report.submitted, 8); // 50% stable nodes host the workflows
+        prop_assert!(report.completed + report.failed <= report.submitted);
+        if reschedule {
+            prop_assert_eq!(report.failed, 0);
+        }
+    }
+}

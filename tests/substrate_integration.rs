@@ -1,0 +1,106 @@
+//! Integration tests exercising the substrate crates together (topology + gossip + workflow),
+//! independent of the scheduling core.
+
+use p2pgrid::gossip::{LocalNodeState, MixedGossip, MixedGossipConfig};
+use p2pgrid::prelude::*;
+use p2pgrid::topology::{LandmarkEstimator, PairwiseMetrics};
+
+#[test]
+fn gossip_estimates_converge_to_topology_ground_truth() {
+    let n = 150;
+    let mut rng = SimRng::seed_from_u64(31);
+    let topo = WaxmanGenerator::new(WaxmanConfig::with_nodes(n)).generate(&mut rng);
+    let metrics = PairwiseMetrics::compute(&topo);
+    let landmarks = LandmarkEstimator::build_default(&metrics, &mut rng);
+
+    // Each node's local bandwidth observation is its mean bandwidth to the landmarks, exactly
+    // as the grid simulation feeds the aggregation gossip.
+    let capacities: Vec<f64> = (0..n).map(|i| [1.0, 2.0, 4.0, 8.0, 16.0][i % 5]).collect();
+    let local: Vec<LocalNodeState> = (0..n)
+        .map(|i| {
+            let bws: Vec<f64> = landmarks
+                .landmarks()
+                .iter()
+                .filter(|&&l| l != i)
+                .map(|&l| metrics.bandwidth_mbps(i, l))
+                .collect();
+            LocalNodeState {
+                alive: true,
+                capacity_mips: capacities[i],
+                total_load_mi: 0.0,
+                local_avg_bandwidth_mbps: bws.iter().sum::<f64>() / bws.len() as f64,
+            }
+        })
+        .collect();
+
+    let mut gossip = MixedGossip::new(n, MixedGossipConfig::default(), &mut rng);
+    for cycle in 0..15 {
+        gossip.run_cycle(SimTime::from_secs(cycle * 300), &local, &mut rng);
+    }
+
+    let true_capacity = capacities.iter().sum::<f64>() / n as f64;
+    let (est_cap, est_bw) = gossip.expected_costs(0);
+    assert!(
+        (est_cap - true_capacity).abs() / true_capacity < 0.15,
+        "capacity estimate {est_cap} too far from {true_capacity}"
+    );
+    // The landmark-based bandwidth samples are biased towards well-connected pairs, so allow a
+    // generous band around the true pairwise average.
+    let true_bw = metrics.average_bandwidth_mbps();
+    assert!(est_bw > 0.2 * true_bw && est_bw < 5.0 * true_bw);
+
+    // RSS stays within the O(log n) band (Fig. 11a's property).
+    let avg_rss = gossip.average_rss_size(&local);
+    assert!(avg_rss >= 4.0 && avg_rss <= 40.0, "avg RSS {avg_rss}");
+}
+
+#[test]
+fn workflow_analysis_is_consistent_with_generated_dags() {
+    let gen = WorkflowGenerator::new(WorkflowGeneratorConfig::default());
+    let mut rng = SimRng::seed_from_u64(77);
+    let costs = ExpectedCosts::new(6.2, 5.0);
+    for _ in 0..50 {
+        let w = gen.generate(&mut rng);
+        let analysis = WorkflowAnalysis::new(&w, costs);
+        // eft equals the entry task's RPM and upper-bounds every task's RPM.
+        let eft = analysis.expected_finish_time_secs();
+        assert!((eft - analysis.rpm_secs(w.entry())).abs() < 1e-9);
+        for t in w.task_ids() {
+            assert!(analysis.rpm_secs(t) <= eft + 1e-9);
+            assert!(analysis.rpm_secs(t) >= 0.0);
+        }
+        // The critical path is a real path of the DAG from entry to exit.
+        let cp = analysis.critical_path();
+        assert_eq!(cp.first().copied(), Some(w.entry()));
+        assert_eq!(cp.last().copied(), Some(w.exit()));
+        for pair in cp.windows(2) {
+            assert!(
+                w.successors(pair[0]).iter().any(|e| e.task == pair[1]),
+                "critical path must follow DAG edges"
+            );
+        }
+    }
+}
+
+#[test]
+fn landmark_estimates_lower_bound_true_bandwidth_at_scale() {
+    let n = 200;
+    let mut rng = SimRng::seed_from_u64(5);
+    let topo = WaxmanGenerator::new(WaxmanConfig::with_nodes(n)).generate(&mut rng);
+    let metrics = PairwiseMetrics::compute(&topo);
+    let landmarks = LandmarkEstimator::build_default(&metrics, &mut rng);
+    assert_eq!(landmarks.landmarks().len(), 8); // ceil(log2(200))
+    let mut checked = 0;
+    for u in (0..n).step_by(17) {
+        for v in (0..n).step_by(13) {
+            if u == v {
+                continue;
+            }
+            assert!(
+                landmarks.estimate_bandwidth_mbps(u, v) <= metrics.bandwidth_mbps(u, v) + 1e-6
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100);
+}

@@ -1,0 +1,87 @@
+//! Integration test: the paper's Fig. 3 worked example exercised through the public facade.
+
+use p2pgrid::core::estimate::{CandidateNode, FinishTimeEstimator};
+use p2pgrid::core::policy::first_phase::{plan_dispatch, DispatchCandidateTask};
+use p2pgrid::core::worked_example;
+use p2pgrid::core::Algorithm;
+use p2pgrid::prelude::*;
+
+fn unit_analysis(w: &Workflow) -> WorkflowAnalysis {
+    WorkflowAnalysis::new(w, ExpectedCosts::new(1.0, 1.0))
+}
+
+#[test]
+fn fig3_rpm_values_and_makespans() {
+    let wa = worked_example::workflow_a();
+    let wb = worked_example::workflow_b();
+    let aa = unit_analysis(&wa);
+    let ab = unit_analysis(&wb);
+    let (a2, a3, b2, b3) = worked_example::schedule_points();
+    assert_eq!(aa.rpm_secs(a2), 80.0);
+    assert_eq!(aa.rpm_secs(a3), 115.0);
+    assert_eq!(ab.rpm_secs(b2), 65.0);
+    assert_eq!(ab.rpm_secs(b3), 60.0);
+    // ms(A) = 115, ms(B) = 65 once A1/B1 have finished.
+    assert_eq!(aa.rpm_secs(a3).max(aa.rpm_secs(a2)), 115.0);
+    assert_eq!(ab.rpm_secs(b2).max(ab.rpm_secs(b3)), 65.0);
+}
+
+#[test]
+fn fig3_dispatch_orders_for_dsmf_and_decreasing_rpm() {
+    let wa = worked_example::workflow_a();
+    let wb = worked_example::workflow_b();
+    let aa = unit_analysis(&wa);
+    let ab = unit_analysis(&wb);
+    let (a2, a3, b2, b3) = worked_example::schedule_points();
+    let mk = |wf: usize, w: &Workflow, an: &WorkflowAnalysis, t: TaskId, ms: f64| {
+        DispatchCandidateTask {
+            workflow: wf,
+            task: t,
+            load_mi: w.task(t).load_mi,
+            image_size_mb: w.task(t).image_size_mb,
+            rpm_secs: an.rpm_secs(t),
+            workflow_ms_secs: ms,
+            predecessors: vec![],
+        }
+    };
+    let tasks = vec![
+        mk(0, &wa, &aa, a2, 115.0),
+        mk(0, &wa, &aa, a3, 115.0),
+        mk(1, &wb, &ab, b2, 65.0),
+        mk(1, &wb, &ab, b3, 65.0),
+    ];
+    let bw = |a: usize, b: usize| if a == b { f64::INFINITY } else { 1.0 };
+    let est = FinishTimeEstimator::new(0, &bw);
+    let idle = || -> Vec<CandidateNode> {
+        (1..=3)
+            .map(|i| CandidateNode {
+                node: i,
+                capacity_mips: 1.0,
+                total_load_mi: 0.0,
+            })
+            .collect()
+    };
+
+    let order = |alg: Algorithm| -> Vec<(usize, u32)> {
+        let mut candidates = idle();
+        plan_dispatch(alg, &tasks, &mut candidates, &est)
+            .iter()
+            .map(|d| (d.workflow, d.task.0))
+            .collect()
+    };
+    // Paper: DSMF order B2, B3, A3, A2; decreasing-RPM order A3, A2, B2, B3.
+    assert_eq!(order(Algorithm::Dsmf), vec![(1, 1), (1, 2), (0, 2), (0, 1)]);
+    assert_eq!(order(Algorithm::Dheft), vec![(0, 2), (0, 1), (1, 1), (1, 2)]);
+}
+
+#[test]
+fn fig3_matrix_first_selections_for_min_min_and_max_min() {
+    use p2pgrid::core::policy::first_phase::{matrix_pick_next, MatrixHeuristic};
+    let ct = worked_example::finish_time_matrix();
+    let remaining = [0usize, 1, 2, 3];
+    // The paper: "the min-min and max-min algorithms will respectively select A2 and B2 first".
+    let (t, _, _) = matrix_pick_next(MatrixHeuristic::MinMin, &ct, &remaining).unwrap();
+    assert_eq!(t, 0, "min-min must pick A2 first");
+    let (t, _, _) = matrix_pick_next(MatrixHeuristic::MaxMin, &ct, &remaining).unwrap();
+    assert_eq!(t, 2, "max-min must pick B2 first");
+}
