@@ -20,8 +20,14 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fcfs_ablation");
     for (label, cfg) in [
-        ("min-min+phase2", AlgorithmConfig::paper_default(Algorithm::MinMin)),
-        ("min-min+FCFS", AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin)),
+        (
+            "min-min+phase2",
+            AlgorithmConfig::paper_default(Algorithm::MinMin),
+        ),
+        (
+            "min-min+FCFS",
+            AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin),
+        ),
     ] {
         group.bench_function(format!("simulate_36h/{label}"), |bencher| {
             bencher.iter(|| {

@@ -76,7 +76,12 @@ fn bench(c: &mut Criterion) {
                         total_load_mi: 0.0,
                     })
                     .collect();
-                black_box(plan_dispatch(alg, black_box(&tasks), &mut candidates, &estimator))
+                black_box(plan_dispatch(
+                    alg,
+                    black_box(&tasks),
+                    &mut candidates,
+                    &estimator,
+                ))
             })
         });
     }

@@ -28,7 +28,12 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig04_06_static_comparison");
-    for alg in [Algorithm::Dsmf, Algorithm::Heft, Algorithm::MinMin, Algorithm::Smf] {
+    for alg in [
+        Algorithm::Dsmf,
+        Algorithm::Heft,
+        Algorithm::MinMin,
+        Algorithm::Smf,
+    ] {
         group.bench_function(format!("simulate_36h/{alg}"), |bencher| {
             bencher.iter(|| {
                 let cfg = bench_grid_config(32, 2, 36);

@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_function(format!("dsmf_36h/{label}"), |bencher| {
             bencher.iter(|| {
-                let cfg = bench_grid_config(24, 2, 36).with_load_and_data(load.clone(), data.clone());
+                let cfg =
+                    bench_grid_config(24, 2, 36).with_load_and_data(load.clone(), data.clone());
                 black_box(
                     GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
                         .run()

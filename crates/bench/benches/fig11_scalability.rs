@@ -17,12 +17,20 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_scalability");
     for nodes in [16usize, 48, 96] {
-        group.bench_with_input(BenchmarkId::new("dsmf_36h", nodes), &nodes, |bencher, &n| {
-            bencher.iter(|| {
-                let cfg = bench_grid_config(n, 1, 36);
-                black_box(GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run().avg_rss_size)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dsmf_36h", nodes),
+            &nodes,
+            |bencher, &n| {
+                bencher.iter(|| {
+                    let cfg = bench_grid_config(n, 1, 36);
+                    black_box(
+                        GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                            .run()
+                            .avg_rss_size,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
     print_figure(&sweep.fig12_throughput());
     print_figure(&sweep.fig13_average_finish_time());
     print_figure(&sweep.fig14_average_efficiency());
-    let resched = churn::run_with_rescheduling(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED, true);
+    let resched =
+        churn::run_with_rescheduling(ExperimentScale::Smoke, p2pgrid_bench::BENCH_SEED, true);
     println!("# rescheduling ablation (future-work extension)");
     for (df, r) in resched.dynamic_factors.iter().zip(&resched.reports) {
         println!(
@@ -25,13 +26,21 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig12_14_churn");
     for df in [0.0f64, 0.2, 0.4] {
-        group.bench_with_input(BenchmarkId::new("dsmf_36h", format!("df_{df}")), &df, |bencher, &df| {
-            bencher.iter(|| {
-                let cfg = bench_grid_config(32, 2, 36)
-                    .with_churn(ChurnConfig::with_dynamic_factor(df));
-                black_box(GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run().completed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dsmf_36h", format!("df_{df}")),
+            &df,
+            |bencher, &df| {
+                bencher.iter(|| {
+                    let cfg = bench_grid_config(32, 2, 36)
+                        .with_churn(ChurnConfig::with_dynamic_factor(df));
+                    black_box(
+                        GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                            .run()
+                            .completed,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -64,7 +64,12 @@ fn bench_first_phase(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(alg), &alg, |bencher, &alg| {
             bencher.iter(|| {
                 let mut cands = candidates.clone();
-                black_box(plan_dispatch(alg, black_box(&tasks), &mut cands, &estimator))
+                black_box(plan_dispatch(
+                    alg,
+                    black_box(&tasks),
+                    &mut cands,
+                    &estimator,
+                ))
             })
         });
     }
@@ -89,9 +94,11 @@ fn bench_second_phase(c: &mut Criterion) {
         SecondPhase::ShortestTaskFirst,
         SecondPhase::Fcfs,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(rule), &rule, |bencher, &rule| {
-            bencher.iter(|| black_box(select_next(rule, black_box(&ready))))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rule),
+            &rule,
+            |bencher, &rule| bencher.iter(|| black_box(select_next(rule, black_box(&ready)))),
+        );
     }
     group.finish();
 }
@@ -120,7 +127,10 @@ fn bench_rpm_and_fullahead(c: &mut Criterion) {
         group.bench_function(format!("full_ahead_plan_50_workflows/{alg}"), |bencher| {
             let inputs: Vec<PlanInput<'_>> = workflows
                 .iter()
-                .map(|w| PlanInput { home: 0, workflow: w })
+                .map(|w| PlanInput {
+                    home: 0,
+                    workflow: w,
+                })
                 .collect();
             bencher.iter(|| black_box(plan_full_ahead(alg, black_box(&inputs), &nodes, costs, &bw)))
         });

@@ -3,10 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2pgrid_bench::bench_criterion_config;
+use p2pgrid_core::engine::node::{ReadyEntry, ReadySet};
+use p2pgrid_core::policy::second_phase::{ready_key, select_next, ReadyTaskView};
+use p2pgrid_core::SecondPhase;
 use p2pgrid_gossip::{LocalNodeState, MixedGossip, MixedGossipConfig};
 use p2pgrid_sim::{EventQueue, SimRng, SimTime};
 use p2pgrid_topology::{PairwiseMetrics, WaxmanConfig, WaxmanGenerator};
-use p2pgrid_workflow::{WorkflowGenerator, WorkflowGeneratorConfig};
+use p2pgrid_workflow::{TaskId, WorkflowGenerator, WorkflowGeneratorConfig};
 use std::hint::black_box;
 
 fn bench_topology(c: &mut Criterion) {
@@ -81,9 +84,73 @@ fn bench_workflow_and_events(c: &mut Criterion) {
     group.finish();
 }
 
+/// The second-phase hot path: selecting (and removing) the best data-complete ready task,
+/// repeated until a node's backlog drains — exactly what a resource node does every time its
+/// CPU frees up.  `naive_linear_scan` is the pre-refactor formulation (re-rank the whole `Vec`
+/// with `select_next`, then `Vec::remove`), `indexed_heap` is the engine's `ReadySet`.
+fn bench_ready_set(c: &mut Criterion) {
+    let rule = SecondPhase::ShortestWorkflowMakespan;
+    let make_views = |n: usize| -> Vec<ReadyTaskView> {
+        let mut rng = SimRng::seed_from_u64(17);
+        (0..n)
+            .map(|i| ReadyTaskView {
+                workflow_ms_secs: rng.gen_range(100.0..=5000.0),
+                rpm_secs: rng.gen_range(100.0..=5000.0),
+                exec_secs: rng.gen_range(1.0..=1000.0),
+                sufferage_secs: 0.0,
+                enqueued_seq: i as u64,
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("ready_set_drain");
+    for n in [64usize, 512] {
+        let views = make_views(n);
+        group.bench_with_input(
+            BenchmarkId::new("naive_linear_scan", n),
+            &views,
+            |bencher, views| {
+                bencher.iter(|| {
+                    let mut pending = views.clone();
+                    let mut picked = 0u64;
+                    while let Some(i) = select_next(rule, &pending) {
+                        pending.remove(i);
+                        picked += 1;
+                    }
+                    black_box(picked)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed_heap", n),
+            &views,
+            |bencher, views| {
+                bencher.iter(|| {
+                    let mut set = ReadySet::new();
+                    for (wf, view) in views.iter().enumerate() {
+                        set.insert(ReadyEntry {
+                            wf,
+                            task: TaskId(0),
+                            load_mi: 100.0,
+                            view: *view,
+                            key: ready_key(rule, view),
+                            data_ready: true,
+                        });
+                    }
+                    let mut picked = 0u64;
+                    while set.pop_next().is_some() {
+                        picked += 1;
+                    }
+                    black_box(picked)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = bench_criterion_config();
-    targets = bench_topology, bench_gossip, bench_workflow_and_events
+    targets = bench_topology, bench_gossip, bench_workflow_and_events, bench_ready_set
 }
 criterion_main!(benches);

@@ -9,7 +9,11 @@ pub const BENCH_SEED: u64 = 20100913;
 
 /// A grid configuration sized for Criterion iterations: the paper's parameter ranges, a reduced
 /// node count / load factor and the full scheduling machinery.
-pub fn bench_grid_config(nodes: usize, workflows_per_node: usize, horizon_hours: u64) -> GridConfig {
+pub fn bench_grid_config(
+    nodes: usize,
+    workflows_per_node: usize,
+    horizon_hours: u64,
+) -> GridConfig {
     let mut cfg = GridConfig::paper_default()
         .with_nodes(nodes)
         .with_seed(BENCH_SEED)

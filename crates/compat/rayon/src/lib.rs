@@ -1,0 +1,203 @@
+//! Offline stand-in for the real `rayon` crate.
+//!
+//! The workspace builds without network access, so this shim implements the small slice of the
+//! rayon API the codebase uses — `slice.par_iter().map(f).collect()` and
+//! `range.into_par_iter().map(f).collect()` — on top of `std::thread::scope`.  Work is split
+//! into one contiguous chunk per available core, each chunk is mapped on its own OS thread, and
+//! the per-chunk outputs are concatenated, so result order matches the input order exactly as
+//! with real rayon.  Swap the path dependency for the crates.io release to get work stealing,
+//! adaptive splitting and the full combinator set; call sites need no changes.
+
+use std::num::NonZeroUsize;
+
+/// The import surface (`use rayon::prelude::*`) mirroring rayon's prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for a job of `len` independent items.
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Map `f` over `items` in parallel, preserving input order in the output.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    if len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = worker_count(len);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks of near-equal size and map each on its own
+    // scoped thread; joining in spawn order restores the original ordering.
+    let chunk = len.div_ceil(workers);
+    let mut slots: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        slots.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A not-yet-mapped parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The subset of rayon's `ParallelIterator` used by this workspace.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Evaluate the pipeline in parallel and hand the results, in input order, to `C`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C;
+
+    /// Map every item through `f` (evaluated in parallel at `collect` time).
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Mapped<Self, F> {
+        Mapped { inner: self, f }
+    }
+}
+
+/// A `map` stage stacked on another parallel iterator.
+pub struct Mapped<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<I, U, F> ParallelIterator for Mapped<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn collect<C: FromIterator<U>>(self) -> C {
+        let items: Vec<I::Item> = self.inner.collect();
+        parallel_map(items, self.f).into_iter().collect()
+    }
+}
+
+/// Mirror of rayon's `IntoParallelIterator` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type of the produced iterator.
+    type Item: Send;
+    /// The produced parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Mirror of rayon's `IntoParallelRefIterator`: `.par_iter()` on slices and arrays.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the produced iterator (a shared reference).
+    type Item: Send;
+    /// The produced parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate the collection by reference, in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn par_iter_on_slices_and_arrays() {
+        let arr = [1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = arr.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let v = vec![10u32, 20, 30];
+        let s: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(s, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace builds without network access, so this shim supplies exactly the surface the
+//! codebase uses: the `Serialize` / `Deserialize` *derive macros* (which expand to nothing) and
+//! same-named marker traits for bounds.  No value is actually serialized anywhere in the
+//! workspace; when the environment gains crates.io access, point the workspace dependency at
+//! the real `serde` and nothing else needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this offline shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this offline shim).
+pub trait Deserialize<'de> {}

@@ -196,8 +196,14 @@ mod tests {
             Algorithm::Dsmf.paper_second_phase(),
             SecondPhase::ShortestWorkflowMakespan
         );
-        assert_eq!(Algorithm::MinMin.paper_second_phase(), SecondPhase::ShortestTaskFirst);
-        assert_eq!(Algorithm::MaxMin.paper_second_phase(), SecondPhase::LongestTaskFirst);
+        assert_eq!(
+            Algorithm::MinMin.paper_second_phase(),
+            SecondPhase::ShortestTaskFirst
+        );
+        assert_eq!(
+            Algorithm::MaxMin.paper_second_phase(),
+            SecondPhase::LongestTaskFirst
+        );
         assert_eq!(
             Algorithm::Sufferage.paper_second_phase(),
             SecondPhase::LargestSufferageFirst
@@ -207,7 +213,10 @@ mod tests {
 
     #[test]
     fn labels_distinguish_the_fcfs_ablation() {
-        assert_eq!(AlgorithmConfig::paper_default(Algorithm::Dsmf).label(), "DSMF");
+        assert_eq!(
+            AlgorithmConfig::paper_default(Algorithm::Dsmf).label(),
+            "DSMF"
+        );
         assert_eq!(
             AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin).label(),
             "min-min+FCFS"

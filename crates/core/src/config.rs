@@ -37,10 +37,43 @@ impl CapacityModel {
     /// the aggregation gossip instead).
     pub fn mean(&self) -> f64 {
         match self {
-            CapacityModel::Choices(choices) => {
-                choices.iter().sum::<f64>() / choices.len() as f64
-            }
+            CapacityModel::Choices(choices) => choices.iter().sum::<f64>() / choices.len() as f64,
             CapacityModel::Uniform(c) => *c,
+        }
+    }
+}
+
+/// The execution substrate of one resource node — how many tasks it can run at once.
+///
+/// The paper models every peer as a single, non-preemptive CPU; the default
+/// (`slots_per_node = 1`) reproduces that exactly.  Raising the slot count turns every peer
+/// into a symmetric multi-core node: it advertises its *aggregate* throughput
+/// (`capacity × slots`) through the gossip substrate and executes up to `slots_per_node`
+/// data-complete ready tasks concurrently, while each individual task still runs on one slot at
+/// the per-slot speed.  This opens the multi-core workloads the paper never measured (see
+/// `examples/multicore_grid.rs`) without touching the scheduling algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// Independent execution slots per node (paper default: 1).
+    pub slots_per_node: usize,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel { slots_per_node: 1 }
+    }
+}
+
+impl ResourceModel {
+    /// The paper's model: one single, non-preemptive CPU per node.
+    pub fn single_cpu() -> Self {
+        ResourceModel::default()
+    }
+
+    /// A symmetric multi-core node with `slots` execution slots.
+    pub fn multi_core(slots: usize) -> Self {
+        ResourceModel {
+            slots_per_node: slots,
         }
     }
 }
@@ -110,6 +143,8 @@ pub struct GridConfig {
     pub workflows_per_node: usize,
     /// Node capacity model.
     pub capacity: CapacityModel,
+    /// Per-node execution substrate (slot count; the paper's single CPU by default).
+    pub resource: ResourceModel,
     /// Workflow generator parameters.
     pub workflow: WorkflowGeneratorConfig,
     /// WAN topology parameters.
@@ -138,6 +173,7 @@ impl GridConfig {
             nodes: 1000,
             workflows_per_node: 3,
             capacity: CapacityModel::default(),
+            resource: ResourceModel::default(),
             workflow: WorkflowGeneratorConfig {
                 data_mb: 10.0..=1000.0,
                 ..WorkflowGeneratorConfig::default()
@@ -194,6 +230,12 @@ impl GridConfig {
         self
     }
 
+    /// Override the per-node slot count (the `ResourceModel` seam; 1 is the paper's model).
+    pub fn with_slots_per_node(mut self, slots: usize) -> Self {
+        self.resource = ResourceModel::multi_core(slots);
+        self
+    }
+
     /// Override the churn model, as swept in Fig. 12–14.
     pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
         self.churn = churn;
@@ -221,9 +263,22 @@ impl GridConfig {
             (0.0..=1.0).contains(&self.churn.stable_fraction),
             "stable fraction must be in [0, 1]"
         );
-        assert!(!self.scheduling_interval.is_zero(), "scheduling interval must be positive");
-        assert!(!self.gossip_interval.is_zero(), "gossip interval must be positive");
-        assert!(!self.metrics_interval.is_zero(), "metrics interval must be positive");
+        assert!(
+            self.resource.slots_per_node >= 1,
+            "every node needs at least one execution slot"
+        );
+        assert!(
+            !self.scheduling_interval.is_zero(),
+            "scheduling interval must be positive"
+        );
+        assert!(
+            !self.gossip_interval.is_zero(),
+            "gossip interval must be positive"
+        );
+        assert!(
+            !self.metrics_interval.is_zero(),
+            "metrics interval must be positive"
+        );
     }
 }
 
@@ -295,8 +350,7 @@ mod tests {
         cfg.workflows_per_node = 1;
         cfg.workflow.tasks = 2..=4;
         cfg.horizon = p2pgrid_sim::SimDuration::from_hours(6);
-        let all_homes =
-            GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
+        let all_homes = GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
         assert_eq!(all_homes.submitted, 12);
         let stable_homes = GridSimulation::with_algorithm(
             cfg.with_churn(ChurnConfig::with_dynamic_factor(0.0)),
@@ -304,6 +358,22 @@ mod tests {
         )
         .run();
         assert_eq!(stable_homes.submitted, 6);
+    }
+
+    #[test]
+    fn resource_model_defaults_to_the_papers_single_cpu() {
+        assert_eq!(ResourceModel::default().slots_per_node, 1);
+        assert_eq!(ResourceModel::single_cpu(), ResourceModel::default());
+        assert_eq!(GridConfig::paper_default().resource.slots_per_node, 1);
+        let cfg = GridConfig::small(8).with_slots_per_node(4);
+        cfg.validate();
+        assert_eq!(cfg.resource, ResourceModel::multi_core(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "execution slot")]
+    fn zero_slots_per_node_is_rejected() {
+        GridConfig::small(8).with_slots_per_node(0).validate();
     }
 
     #[test]

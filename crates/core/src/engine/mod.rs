@@ -1,0 +1,967 @@
+//! The grid engine: the event loop driving one end-to-end P2P-grid simulation.
+//!
+//! One engine run reproduces the paper's experimental procedure:
+//!
+//! 1. A Waxman WAN topology is generated and its pairwise bottleneck bandwidths computed
+//!    (the ground truth on which [`transfer::TransferModel`] times migrations).
+//! 2. Every node receives a capacity from Table I's {1, 2, 4, 8, 16} MIPS set — and, through
+//!    the [`ResourceModel`](crate::config::ResourceModel) seam, a number of execution slots —
+//!    and the home nodes receive their workflows at time zero.
+//! 3. The **mixed gossip protocol** runs every five minutes, giving every node a bounded `RSS`
+//!    of peer states and estimates of the average capacity / bandwidth.
+//! 4. The **first scheduling phase** runs every fifteen minutes on every home node: schedule
+//!    points are prioritised and dispatched per the configured [`Scheduler`] (Algorithm 1 for
+//!    DSMF), program images and dependent data start flowing to the chosen resource nodes.
+//! 5. The **second scheduling phase** runs on every resource node whenever an execution slot
+//!    frees up: the data-complete ready task with the smallest scheduler
+//!    [`ReadyKey`](crate::policy::second_phase::ReadyKey) is popped from the node's indexed
+//!    [`node::ReadySet`] and executed for `load / capacity` seconds.
+//! 6. Under churn, a `df` fraction of the churnable population leaves and (re-)joins every
+//!    scheduling interval; tasks resident on departed nodes are lost and their workflows fail
+//!    (or are re-scheduled if the future-work flag is enabled).
+//! 7. Throughput, ACT and AE are sampled hourly, exactly like the paper's figures.
+//!
+//! The public entry point is the thin [`GridSimulation`](crate::simulation::GridSimulation)
+//! facade.  The event loop itself (`EngineState`) stays crate-private, while [`node`] (the
+//! indexed ready set and slot runtime) and [`transfer`] are exported for benches and tooling.
+
+pub mod node;
+pub mod transfer;
+pub(crate) mod workflow;
+
+use crate::config::GridConfig;
+use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
+use crate::fullahead::PlanInput;
+use crate::policy::first_phase::DispatchCandidateTask;
+use crate::policy::second_phase::ReadyTaskView;
+use crate::report::SimulationReport;
+use crate::scheduler::Scheduler;
+use crate::NodeId;
+use node::{NodeRuntime, ReadyEntry, ReadySet};
+use p2pgrid_gossip::{LocalNodeState, MixedGossip};
+use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
+use p2pgrid_sim::{SimControl, SimDuration, SimRng, SimTime, Simulator};
+use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
+use p2pgrid_workflow::{ExpectedCosts, TaskId, WorkflowAnalysis, WorkflowGenerator};
+use transfer::TransferModel;
+use workflow::WorkflowRuntime;
+
+/// Events of the grid simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GridEvent {
+    /// Run one mixed-gossip cycle on every alive node.
+    GossipCycle,
+    /// Run the churn step and the first scheduling phase on every home node.
+    SchedulingCycle,
+    /// Sample throughput / ACT / AE.
+    MetricsSample,
+    /// All input data of a dispatched task has arrived at its resource node.
+    DataReady {
+        node: NodeId,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+    },
+    /// A running task finished on its resource node.
+    TaskCompleted {
+        node: NodeId,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+    },
+}
+
+pub(crate) struct EngineState {
+    config: GridConfig,
+    scheduler: Box<dyn Scheduler>,
+    transfer: TransferModel,
+    landmarks: LandmarkEstimator,
+    gossip: MixedGossip,
+    gossip_rng: SimRng,
+    churn_rng: SimRng,
+    nodes: Vec<NodeRuntime>,
+    workflows: Vec<WorkflowRuntime>,
+    home_of: Vec<Vec<usize>>,
+    metrics: WorkflowMetrics,
+    next_seq: u64,
+    dispatched_tasks: u64,
+    executed_tasks: u64,
+}
+
+impl EngineState {
+    pub(crate) fn new(config: GridConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        config.validate();
+        let root = SimRng::seed_from_u64(config.seed);
+
+        // Topology and ground-truth network metrics.
+        let mut topo_rng = root.derive("topology");
+        let topology = WaxmanGenerator::new(config.waxman).generate(&mut topo_rng);
+        let transfer = TransferModel::new(PairwiseMetrics::compute(&topology));
+        let mut landmark_rng = root.derive("landmarks");
+        let landmarks = LandmarkEstimator::build_default(transfer.metrics(), &mut landmark_rng);
+
+        // Node capacities, slots and roles.
+        let mut cap_rng = root.derive("capacity");
+        let n = config.nodes;
+        let slots = config.resource.slots_per_node;
+        let stable_count = if config.churn.splits_population() {
+            ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
+        } else {
+            n
+        };
+        let nodes: Vec<NodeRuntime> = (0..n)
+            .map(|i| {
+                let local_bw = if n > 1 {
+                    let others: Vec<f64> = landmarks
+                        .landmarks()
+                        .iter()
+                        .filter(|&&l| l != i)
+                        .map(|&l| transfer.bandwidth_mbps(i, l))
+                        .filter(|b| b.is_finite() && *b > 0.0)
+                        .collect();
+                    if others.is_empty() {
+                        transfer.average_bandwidth_mbps().max(1e-6)
+                    } else {
+                        others.iter().sum::<f64>() / others.len() as f64
+                    }
+                } else {
+                    1.0
+                };
+                NodeRuntime {
+                    alive: true,
+                    churnable: i >= stable_count,
+                    capacity_mips: config.capacity.sample(&mut cap_rng),
+                    slots,
+                    epoch: 0,
+                    ready: ReadySet::new(),
+                    running: Vec::with_capacity(slots),
+                    local_avg_bandwidth_mbps: local_bw,
+                }
+            })
+            .collect();
+
+        // True system-wide averages, used for the efficiency baseline eft(f).
+        let true_avg_capacity = nodes
+            .iter()
+            .map(|nd| nd.advertised_capacity_mips())
+            .sum::<f64>()
+            / n as f64;
+        let true_avg_bandwidth = if n > 1 {
+            transfer.average_bandwidth_mbps().max(1e-6)
+        } else {
+            1.0
+        };
+        let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
+
+        // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
+        // home nodes (the paper excludes home nodes from churning).
+        let mut wf_rng = root.derive("workflows");
+        let generator = WorkflowGenerator::new(config.workflow.clone());
+        let home_candidates: Vec<NodeId> = (0..n).filter(|&i| !nodes[i].churnable).collect();
+        let mut workflows = Vec::new();
+        let mut home_of = vec![Vec::new(); n];
+        let mut metrics = WorkflowMetrics::new(scheduler.label());
+        for &home in &home_candidates {
+            for _ in 0..config.workflows_per_node {
+                let workflow = generator.generate(&mut wf_rng);
+                let analysis = WorkflowAnalysis::new(&workflow, true_costs);
+                let static_rpm: Vec<f64> =
+                    workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
+                let wf = WorkflowRuntime {
+                    home,
+                    progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
+                    eft_secs: analysis.expected_finish_time_secs(),
+                    task_location: vec![None; workflow.task_count()],
+                    failed: false,
+                    completed: false,
+                    submitted_at: SimTime::ZERO,
+                    plan: None,
+                    static_ms_secs: analysis.expected_finish_time_secs(),
+                    static_rpm,
+                    workflow,
+                };
+                metrics.record_submission();
+                home_of[home].push(workflows.len());
+                workflows.push(wf);
+            }
+        }
+
+        // Full-ahead schedulers (HEFT / SMF) plan centrally before execution starts.
+        {
+            let inputs: Vec<PlanInput<'_>> = workflows
+                .iter()
+                .map(|w| PlanInput {
+                    home: w.home,
+                    workflow: &w.workflow,
+                })
+                .collect();
+            let candidates: Vec<CandidateNode> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, nd)| CandidateNode {
+                    node: i,
+                    capacity_mips: nd.advertised_capacity_mips(),
+                    total_load_mi: 0.0,
+                })
+                .collect();
+            let bw = |a: NodeId, b: NodeId| transfer.bandwidth_mbps(a, b);
+            if let Some(plans) = scheduler.plan_full_ahead(&inputs, &candidates, true_costs, &bw) {
+                assert_eq!(
+                    plans.len(),
+                    workflows.len(),
+                    "full-ahead scheduler must plan every workflow"
+                );
+                for (w, plan) in workflows.iter_mut().zip(plans) {
+                    assert_eq!(
+                        plan.len(),
+                        w.workflow.task_count(),
+                        "full-ahead plan must place every task"
+                    );
+                    w.plan = Some(plan);
+                }
+            }
+        }
+
+        let mut gossip_rng = root.derive("gossip");
+        let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
+        let churn_rng = root.derive("churn");
+
+        EngineState {
+            config,
+            scheduler,
+            transfer,
+            landmarks,
+            gossip,
+            gossip_rng,
+            churn_rng,
+            nodes,
+            workflows,
+            home_of,
+            metrics,
+            next_seq: 0,
+            dispatched_tasks: 0,
+            executed_tasks: 0,
+        }
+    }
+
+    // ----- helpers -------------------------------------------------------------------------
+
+    fn local_gossip_states(&self, now: SimTime) -> Vec<LocalNodeState> {
+        self.nodes
+            .iter()
+            .map(|nd| LocalNodeState {
+                alive: nd.alive,
+                capacity_mips: nd.advertised_capacity_mips(),
+                total_load_mi: nd.total_load_mi(now),
+                local_avg_bandwidth_mbps: nd.local_avg_bandwidth_mbps,
+            })
+            .collect()
+    }
+
+    fn fail_workflow(&mut self, wf: usize, now: SimTime) {
+        let w = &mut self.workflows[wf];
+        if !w.is_active() {
+            return;
+        }
+        w.failed = true;
+        self.metrics.record_failure(WorkflowRecord {
+            submitted_at: w.submitted_at,
+            completed_at: now,
+            expected_finish_secs: w.eft_secs,
+            outcome: WorkflowOutcome::Failed,
+        });
+    }
+
+    /// A node departs.  Tasks that were merely *waiting* in its ready set (or still receiving
+    /// their input data) have not executed anything yet, so their home nodes simply observe the
+    /// failed migration and turn them back into schedule points — no checkpointing is needed
+    /// for that.  A task that was *running* loses its computation; without the
+    /// checkpointing/rescheduling extension (the paper's future work) its workflow can no
+    /// longer finish and is recorded as failed.
+    fn handle_departure(&mut self, node: NodeId, now: SimTime) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let (waiting, running) = self.nodes[node].depart();
+        for (wf, task) in waiting {
+            if self.workflows[wf].is_active() {
+                self.workflows[wf].progress.unmark_dispatched(task);
+            }
+        }
+        for (wf, task) in running {
+            if self.workflows[wf].is_active() {
+                if self.config.churn.reschedule_lost_tasks {
+                    self.workflows[wf].progress.unmark_dispatched(task);
+                } else {
+                    self.fail_workflow(wf, now);
+                }
+            }
+        }
+        self.gossip.forget_node(node);
+    }
+
+    fn handle_join(&mut self, node: NodeId) {
+        if !self.nodes[node].alive {
+            self.nodes[node].join();
+        }
+    }
+
+    fn churn_step(&mut self, now: SimTime) {
+        let df = self.config.churn.dynamic_factor;
+        if df <= 0.0 {
+            return;
+        }
+        let churn_count = ((self.nodes.len() as f64) * df).round() as usize;
+        if churn_count == 0 {
+            return;
+        }
+        let alive_churnable: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].churnable && self.nodes[i].alive)
+            .collect();
+        let dead_churnable: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].churnable && !self.nodes[i].alive)
+            .collect();
+        let leaving: Vec<NodeId> = self
+            .churn_rng
+            .choose_multiple(&alive_churnable, churn_count)
+            .into_iter()
+            .copied()
+            .collect();
+        let joining: Vec<NodeId> = self
+            .churn_rng
+            .choose_multiple(&dead_churnable, churn_count)
+            .into_iter()
+            .copied()
+            .collect();
+        for node in leaving {
+            self.handle_departure(node, now);
+        }
+        for node in joining {
+            self.handle_join(node);
+        }
+    }
+
+    // ----- first phase ---------------------------------------------------------------------
+
+    fn scheduling_phase_one(&mut self, ctl: &mut SimControl<GridEvent>) {
+        let home_nodes: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive && !self.home_of[i].is_empty())
+            .collect();
+        for home in home_nodes {
+            if self.workflows[self.home_of[home][0]].plan.is_some() {
+                self.dispatch_full_ahead(home, ctl);
+            } else {
+                self.dispatch_just_in_time(home, ctl);
+            }
+        }
+    }
+
+    /// Dispatch every current schedule point of a full-ahead plan to its pre-planned node
+    /// (falling back to the home node if the planned node has churned away).
+    fn dispatch_full_ahead(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
+        let wf_indices = self.home_of[home].clone();
+        for wf in wf_indices {
+            if !self.workflows[wf].is_active() {
+                continue;
+            }
+            let sps = {
+                let w = &self.workflows[wf];
+                w.progress.schedule_points(&w.workflow)
+            };
+            for task in sps {
+                let planned =
+                    self.workflows[wf].plan.as_ref().expect("full-ahead plan")[task.index()];
+                let target = if self.nodes[planned].alive {
+                    planned
+                } else {
+                    home
+                };
+                let (rpm, ms, sufferage) = {
+                    let w = &self.workflows[wf];
+                    (w.static_rpm[task.index()], w.static_ms_secs, 0.0)
+                };
+                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, ctl);
+            }
+        }
+    }
+
+    /// Algorithm 1 (and its competitor orderings) at one home node.
+    fn dispatch_just_in_time(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
+        // The home node's estimates of the system-wide averages come from the aggregation
+        // gossip; its candidate set comes from the epidemic gossip's RSS.
+        let (avg_cap, avg_bw) = self.gossip.expected_costs(home);
+        let costs = ExpectedCosts::new(avg_cap, avg_bw);
+
+        let mut candidate_tasks: Vec<DispatchCandidateTask> = Vec::new();
+        let wf_indices = self.home_of[home].clone();
+        for &wf in &wf_indices {
+            let w = &self.workflows[wf];
+            if !w.is_active() {
+                continue;
+            }
+            let sps = w.progress.schedule_points(&w.workflow);
+            if sps.is_empty() {
+                continue;
+            }
+            let analysis = WorkflowAnalysis::new(&w.workflow, costs);
+            let ms = sps
+                .iter()
+                .map(|&t| analysis.rpm_secs(t))
+                .fold(0.0f64, f64::max);
+            for t in sps {
+                let predecessors: Vec<PredecessorData> = w
+                    .workflow
+                    .precedents(t)
+                    .iter()
+                    .map(|e| PredecessorData {
+                        location: w.output_location(e.task),
+                        data_mb: e.data_mb,
+                    })
+                    .collect();
+                candidate_tasks.push(DispatchCandidateTask {
+                    workflow: wf,
+                    task: t,
+                    load_mi: w.workflow.task(t).load_mi,
+                    image_size_mb: w.workflow.task(t).image_size_mb,
+                    rpm_secs: analysis.rpm_secs(t),
+                    workflow_ms_secs: ms,
+                    predecessors,
+                });
+            }
+        }
+        if candidate_tasks.is_empty() {
+            return;
+        }
+
+        // Candidate resource nodes: the home node's RSS (always contains itself once gossip has
+        // run; fall back to the home node before that), restricted to currently alive nodes.
+        let mut candidates: Vec<CandidateNode> = self
+            .gossip
+            .rss(home)
+            .records()
+            .filter(|r| self.nodes[r.node].alive)
+            .map(|r| CandidateNode {
+                node: r.node,
+                capacity_mips: r.capacity_mips,
+                total_load_mi: r.total_load_mi,
+            })
+            .collect();
+        if candidates.is_empty() {
+            candidates.push(CandidateNode {
+                node: home,
+                capacity_mips: self.nodes[home].advertised_capacity_mips(),
+                total_load_mi: self.nodes[home].total_load_mi(ctl.now()),
+            });
+        }
+
+        let landmarks = &self.landmarks;
+        let bw_estimate =
+            move |a: NodeId, b: NodeId| -> f64 { landmarks.estimate_bandwidth_mbps(a, b) };
+        let estimator = FinishTimeEstimator::new(home, &bw_estimate);
+        let decisions = self
+            .scheduler
+            .plan_dispatch(&candidate_tasks, &mut candidates, &estimator);
+        let lookup: std::collections::HashMap<(usize, TaskId), (f64, f64)> = candidate_tasks
+            .iter()
+            .map(|t| ((t.workflow, t.task), (t.rpm_secs, t.workflow_ms_secs)))
+            .collect();
+        for d in decisions {
+            let (rpm, ms) = lookup[&(d.workflow, d.task)];
+            self.dispatch_task(
+                home,
+                d.workflow,
+                d.task,
+                d.target,
+                rpm,
+                ms,
+                d.sufferage_secs,
+                ctl,
+            );
+        }
+    }
+
+    /// Migrate a task to its chosen resource node: mark it dispatched, enqueue it in the ready
+    /// set and schedule the completion of its (true) data transfers.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_task(
+        &mut self,
+        home: NodeId,
+        wf: usize,
+        task: TaskId,
+        target: NodeId,
+        rpm_secs: f64,
+        ms_secs: f64,
+        sufferage_secs: f64,
+        ctl: &mut SimControl<GridEvent>,
+    ) {
+        if !self.nodes[target].alive {
+            // A stale RSS record pointed at a node that just churned away; the migration fails
+            // before any computation happens, so the task simply stays a schedule point and is
+            // retried at the next scheduling cycle.
+            return;
+        }
+        let (load_mi, image_mb, inputs): (f64, f64, Vec<(NodeId, f64)>) = {
+            let w = &self.workflows[wf];
+            let t = w.workflow.task(task);
+            let inputs = w
+                .workflow
+                .precedents(task)
+                .iter()
+                .map(|e| (w.output_location(e.task), e.data_mb))
+                .collect();
+            (t.load_mi, t.image_size_mb, inputs)
+        };
+        self.workflows[wf].progress.mark_dispatched(task);
+        self.dispatched_tasks += 1;
+
+        // True transfer times on the ground-truth network: program image from the home node
+        // plus dependent data from every precedent's execution site, all in parallel.
+        let transfer_secs = self
+            .transfer
+            .arrival_delay_secs(home, target, image_mb, &inputs);
+        let view = ReadyTaskView {
+            workflow_ms_secs: ms_secs,
+            rpm_secs,
+            exec_secs: self.nodes[target].execution_secs(load_mi),
+            sufferage_secs,
+            enqueued_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.nodes[target].ready.insert(ReadyEntry {
+            wf,
+            task,
+            load_mi,
+            key: self.scheduler.ready_key(&view),
+            view,
+            data_ready: false,
+        });
+        ctl.schedule_in(
+            SimDuration::from_secs_f64(transfer_secs),
+            GridEvent::DataReady {
+                node: target,
+                epoch: self.nodes[target].epoch,
+                wf,
+                task,
+            },
+        );
+    }
+
+    // ----- second phase --------------------------------------------------------------------
+
+    /// Algorithm 2: while the node has free execution slots, pick the next data-complete ready
+    /// task (smallest scheduler key) and run it.
+    fn try_start_tasks(&mut self, node: NodeId, ctl: &mut SimControl<GridEvent>) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        while self.nodes[node].has_free_slot() {
+            let Some(chosen) = self.nodes[node].ready.pop_next() else {
+                return;
+            };
+            let finish_at = self.nodes[node].start(&chosen, ctl.now());
+            self.executed_tasks += 1;
+            ctl.schedule_at(
+                finish_at,
+                GridEvent::TaskCompleted {
+                    node,
+                    epoch: self.nodes[node].epoch,
+                    wf: chosen.wf,
+                    task: chosen.task,
+                },
+            );
+        }
+    }
+
+    fn on_data_ready(
+        &mut self,
+        node: NodeId,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+        ctl: &mut SimControl<GridEvent>,
+    ) {
+        if !self.nodes[node].alive || self.nodes[node].epoch != epoch {
+            return;
+        }
+        self.nodes[node].ready.mark_data_ready(wf, task);
+        self.try_start_tasks(node, ctl);
+    }
+
+    fn on_task_completed(
+        &mut self,
+        node: NodeId,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+        ctl: &mut SimControl<GridEvent>,
+    ) {
+        if self.nodes[node].epoch != epoch || !self.nodes[node].alive {
+            return;
+        }
+        if !self.nodes[node].complete(wf, task) {
+            return;
+        }
+        let now = ctl.now();
+        {
+            let w = &mut self.workflows[wf];
+            if w.is_active() {
+                w.task_location[task.index()] = Some(node);
+                w.progress.mark_finished(&w.workflow, task);
+                if task == w.workflow.exit() {
+                    w.completed = true;
+                    self.metrics.record_completion(WorkflowRecord {
+                        submitted_at: w.submitted_at,
+                        completed_at: now,
+                        expected_finish_secs: w.eft_secs,
+                        outcome: WorkflowOutcome::Completed,
+                    });
+                }
+            }
+        }
+        self.try_start_tasks(node, ctl);
+    }
+
+    pub(crate) fn finish(mut self, end_time: SimTime) -> SimulationReport {
+        self.metrics.sample(end_time);
+        let local = self.local_gossip_states(end_time);
+        let avg_rss_size = self.gossip.average_rss_size(&local);
+        SimulationReport {
+            algorithm: self.scheduler.label(),
+            gossip_stats: self.gossip.stats(),
+            avg_rss_size,
+            end_time,
+            nodes: self.config.nodes,
+            submitted: self.metrics.submitted(),
+            completed: self.metrics.throughput(),
+            failed: self.metrics.failed(),
+            metrics: self.metrics,
+        }
+    }
+
+    /// Drive the engine to `horizon` and return the report (the facade's `run`).
+    pub(crate) fn run_to_horizon(
+        config: GridConfig,
+        scheduler: Box<dyn Scheduler>,
+    ) -> SimulationReport {
+        let horizon = SimTime::ZERO + config.horizon;
+        let mut state = EngineState::new(config, scheduler);
+        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
+        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
+        sim.schedule_at(SimTime::ZERO, GridEvent::MetricsSample);
+        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
+        sim.run(&mut state);
+        state.finish(horizon)
+    }
+}
+
+impl p2pgrid_sim::EventHandler<GridEvent> for EngineState {
+    fn handle(&mut self, ctl: &mut SimControl<GridEvent>, event: GridEvent) {
+        match event {
+            GridEvent::GossipCycle => {
+                let local = self.local_gossip_states(ctl.now());
+                let mut rng = self.gossip_rng.clone();
+                self.gossip.run_cycle(ctl.now(), &local, &mut rng);
+                self.gossip_rng = rng;
+                ctl.schedule_in(self.config.gossip_interval, GridEvent::GossipCycle);
+            }
+            GridEvent::SchedulingCycle => {
+                self.churn_step(ctl.now());
+                self.scheduling_phase_one(ctl);
+                ctl.schedule_in(self.config.scheduling_interval, GridEvent::SchedulingCycle);
+            }
+            GridEvent::MetricsSample => {
+                self.metrics.sample(ctl.now());
+                ctl.schedule_in(self.config.metrics_interval, GridEvent::MetricsSample);
+            }
+            GridEvent::DataReady {
+                node,
+                epoch,
+                wf,
+                task,
+            } => {
+                self.on_data_ready(node, epoch, wf, task, ctl);
+            }
+            GridEvent::TaskCompleted {
+                node,
+                epoch,
+                wf,
+                task,
+            } => {
+                self.on_task_completed(node, epoch, wf, task, ctl);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
+    use crate::config::{CapacityModel, ChurnConfig};
+    use crate::simulation::GridSimulation;
+
+    fn tiny_config(seed: u64) -> GridConfig {
+        let mut cfg = GridConfig::small(12).with_seed(seed);
+        cfg.workflows_per_node = 1;
+        cfg.workflow.tasks = 2..=6;
+        cfg.horizon = SimDuration::from_hours(20);
+        cfg
+    }
+
+    #[test]
+    fn dsmf_run_completes_workflows_and_reports_metrics() {
+        let report = GridSimulation::with_algorithm(tiny_config(1), Algorithm::Dsmf).run();
+        assert_eq!(report.submitted, 12);
+        assert!(
+            report.completed > 0,
+            "no workflow completed within the horizon"
+        );
+        assert!(report.act_secs() > 0.0);
+        assert!(report.average_efficiency() > 0.0);
+        assert!(report.avg_rss_size >= 1.0);
+        assert!(report.gossip_stats.cycles > 0);
+        assert_eq!(report.algorithm, "DSMF");
+        // The throughput series is sampled hourly plus the final sample.
+        assert!(report.metrics.throughput_series().len() >= 20);
+    }
+
+    #[test]
+    fn every_algorithm_runs_on_the_same_tiny_grid() {
+        for alg in Algorithm::ALL {
+            let report = GridSimulation::with_algorithm(tiny_config(2), alg).run();
+            assert!(
+                report.completed > 0,
+                "{alg}: no workflow completed within the horizon"
+            );
+            assert!(report.completed <= report.submitted);
+            assert!(report.average_efficiency() > 0.0, "{alg}: zero efficiency");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
+        let b = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.act_secs(), b.act_secs());
+        assert_eq!(a.average_efficiency(), b.average_efficiency());
+        let c = GridSimulation::with_algorithm(tiny_config(4), Algorithm::Dsmf).run();
+        // A different seed gives a different workload, so at least one headline number differs.
+        assert!(
+            a.completed != c.completed || a.act_secs() != c.act_secs(),
+            "different seeds should produce different runs"
+        );
+    }
+
+    #[test]
+    fn fcfs_ablation_changes_only_the_second_phase() {
+        let paper = GridSimulation::new(
+            tiny_config(5),
+            AlgorithmConfig::paper_default(Algorithm::MinMin),
+        )
+        .run();
+        let fcfs = GridSimulation::new(
+            tiny_config(5),
+            AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin),
+        )
+        .run();
+        assert_eq!(paper.submitted, fcfs.submitted);
+        assert_eq!(fcfs.algorithm, "min-min+FCFS");
+        assert!(fcfs.completed > 0);
+    }
+
+    #[test]
+    fn churn_loses_workflows_but_keeps_the_rest_running() {
+        let mut cfg = tiny_config(6).with_churn(ChurnConfig::with_dynamic_factor(0.2));
+        cfg.nodes = 20;
+        cfg.waxman.nodes = 20;
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        // Only stable nodes are home nodes: 50% of 20 = 10 homes, 1 workflow each.
+        assert_eq!(report.submitted, 10);
+        assert!(report.completed + report.failed <= report.submitted);
+        assert!(
+            report.completed > 0,
+            "churn must not wipe out every workflow"
+        );
+    }
+
+    #[test]
+    fn rescheduling_extension_recovers_lost_tasks() {
+        let mut churned = ChurnConfig::with_dynamic_factor(0.3);
+        churned.reschedule_lost_tasks = true;
+        let mut cfg = tiny_config(7).with_churn(churned);
+        cfg.nodes = 20;
+        cfg.waxman.nodes = 20;
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        assert_eq!(
+            report.failed, 0,
+            "with rescheduling enabled no workflow should be recorded as failed"
+        );
+    }
+
+    #[test]
+    fn uniform_capacity_single_node_grid_still_finishes() {
+        let mut cfg = GridConfig::small(1).with_seed(8);
+        cfg.workflows_per_node = 2;
+        cfg.capacity = CapacityModel::Uniform(4.0);
+        cfg.workflow.tasks = 2..=4;
+        cfg.horizon = SimDuration::from_hours(30);
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        assert_eq!(report.submitted, 2);
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn all_tasks_execute_at_most_once() {
+        let mut cfg = tiny_config(9);
+        cfg.workflows_per_node = 2;
+        let algo = AlgorithmConfig::paper_default(Algorithm::Dsmf);
+        let horizon = SimTime::ZERO + cfg.horizon;
+        let mut state = EngineState::new(cfg, Box::new(algo));
+        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
+        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
+        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
+        sim.run(&mut state);
+        let total_tasks: usize = state
+            .workflows
+            .iter()
+            .map(|w| w.workflow.task_count())
+            .sum();
+        assert!(state.executed_tasks <= state.dispatched_tasks);
+        assert!(state.dispatched_tasks as usize <= total_tasks);
+        // Completed workflows really finished every one of their tasks.
+        for w in &state.workflows {
+            if w.completed {
+                assert!(w.progress.is_complete());
+                assert!(w.task_location.iter().all(|l| l.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn departures_only_fail_workflows_whose_task_was_running() {
+        // Under churn, the failure count can never exceed the number of running-task losses:
+        // each departure takes down at most one workflow per occupied slot, while queued tasks
+        // are silently re-dispatched.  With one workflow per home node and a modest dynamic
+        // factor, some workflows must still survive and complete.
+        let mut cfg = tiny_config(11).with_churn(ChurnConfig::with_dynamic_factor(0.2));
+        cfg.nodes = 30;
+        cfg.waxman.nodes = 30;
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        assert_eq!(report.submitted, 15);
+        assert!(report.completed > 0);
+        assert!(report.completed + report.failed <= report.submitted);
+    }
+
+    #[test]
+    fn churn_sweep_baseline_matches_restricted_home_population() {
+        // The df = 0 baseline of the churn experiments uses the same stable home population as
+        // the churned points, so throughput numbers are directly comparable.
+        // tiny_config builds a 12-node grid with one workflow per home node; restricting the
+        // home set to the stable half leaves 6 submissions.
+        let cfg = tiny_config(16).with_churn(ChurnConfig::with_dynamic_factor(0.0));
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        assert_eq!(report.submitted, 6);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn second_phase_rule_is_respected_in_reports_label() {
+        let cfg = tiny_config(10);
+        let report = GridSimulation::new(
+            cfg,
+            AlgorithmConfig {
+                algorithm: Algorithm::Dsmf,
+                second_phase: SecondPhase::Fcfs,
+            },
+        )
+        .run();
+        assert_eq!(report.algorithm, "DSMF+FCFS");
+    }
+
+    #[test]
+    fn multi_core_nodes_complete_no_less_than_single_core() {
+        // The ResourceModel seam: with the same workload, giving every node four slots (and
+        // four times the advertised throughput) must not finish fewer workflows.
+        let single = GridSimulation::with_algorithm(tiny_config(12), Algorithm::Dsmf).run();
+        let quad =
+            GridSimulation::with_algorithm(tiny_config(12).with_slots_per_node(4), Algorithm::Dsmf)
+                .run();
+        assert_eq!(single.submitted, quad.submitted);
+        assert!(
+            quad.completed >= single.completed,
+            "4 slots completed {} < 1 slot's {}",
+            quad.completed,
+            single.completed
+        );
+    }
+
+    #[test]
+    fn multi_core_nodes_run_tasks_concurrently() {
+        // On a single four-slot node, several ready tasks must occupy slots at once at some
+        // point: with 2 workflows of 2–4 tasks each on one node, the engine's executed count
+        // matches dispatches and the run finishes far faster than serially.
+        let mut cfg = GridConfig::small(1).with_seed(14).with_slots_per_node(4);
+        cfg.workflows_per_node = 3;
+        cfg.capacity = CapacityModel::Uniform(4.0);
+        cfg.workflow.tasks = 4..=6;
+        cfg.horizon = SimDuration::from_hours(30);
+        let quad = GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
+        let mut single_cfg = cfg;
+        single_cfg.resource = crate::config::ResourceModel::single_cpu();
+        let single = GridSimulation::with_algorithm(single_cfg, Algorithm::Dsmf).run();
+        assert!(quad.completed >= single.completed);
+        if quad.completed == single.completed && quad.completed > 0 {
+            assert!(
+                quad.act_secs() <= single.act_secs(),
+                "4 slots must not be slower: {} vs {}",
+                quad.act_secs(),
+                single.act_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_scheduler_plugs_into_the_engine() {
+        // The Scheduler seam: a greedy "random-ish but deterministic" policy that was never one
+        // of the paper's eight — round-robin dispatch over candidates, FCFS ready sets.
+        struct RoundRobin;
+        impl crate::scheduler::Scheduler for RoundRobin {
+            fn label(&self) -> String {
+                "round-robin".to_string()
+            }
+            fn plan_dispatch(
+                &self,
+                tasks: &[DispatchCandidateTask],
+                candidates: &mut [CandidateNode],
+                _estimator: &FinishTimeEstimator<'_>,
+            ) -> Vec<crate::policy::first_phase::DispatchDecision> {
+                tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let c = &mut candidates[i % candidates.len()];
+                        c.add_load(t.load_mi);
+                        crate::policy::first_phase::DispatchDecision {
+                            workflow: t.workflow,
+                            task: t.task,
+                            target: c.node,
+                            estimated_finish_secs: 0.0,
+                            sufferage_secs: 0.0,
+                        }
+                    })
+                    .collect()
+            }
+            fn ready_key(&self, task: &ReadyTaskView) -> crate::policy::second_phase::ReadyKey {
+                crate::policy::second_phase::ready_key(SecondPhase::Fcfs, task)
+            }
+        }
+        let report = GridSimulation::with_scheduler(tiny_config(13), Box::new(RoundRobin)).run();
+        assert_eq!(report.algorithm, "round-robin");
+        assert_eq!(report.submitted, 12);
+        assert!(
+            report.completed > 0,
+            "a custom scheduler must still make progress"
+        );
+    }
+}

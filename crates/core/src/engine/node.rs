@@ -1,0 +1,384 @@
+//! Per-node runtime state: the indexed ready set, the execution slots and churn bookkeeping.
+//!
+//! Two hot paths of the old monolithic simulation live here in indexed form:
+//!
+//! * **ready-set selection** — the monolith kept each node's ready tasks in a `Vec`, re-scanned
+//!   it for data-complete entries and re-ranked all of them on every CPU-idle event
+//!   (`O(ready²)` over a busy node's backlog).  [`ReadySet`] keeps data-complete tasks in a
+//!   priority heap ordered by the scheduler's static [`ReadyKey`], so selection is
+//!   `O(log ready)` and marking a transfer complete is `O(1)` instead of a linear scan;
+//! * **load accounting** — the queued load (`l_r` in the paper, gossiped every cycle) is
+//!   maintained incrementally instead of being re-summed over the ready `Vec`.
+//!
+//! The execution substrate is the [`ResourceModel`](crate::config::ResourceModel) seam: a node
+//! owns `slots` independent execution slots (the paper's single non-preemptive CPU is
+//! `slots == 1`) and runs up to that many data-complete tasks concurrently.
+
+use crate::policy::second_phase::{ReadyKey, ReadyTaskView};
+use p2pgrid_sim::SimTime;
+use p2pgrid_workflow::TaskId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A task waiting (or still receiving its input data) in a resource node's ready set.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyEntry {
+    /// Global workflow index of the task.
+    pub wf: usize,
+    /// Task id within its workflow.
+    pub task: TaskId,
+    /// Computational load in MI (counted into the node's gossiped total load).
+    pub load_mi: f64,
+    /// The second-phase attributes captured at dispatch time.
+    pub view: ReadyTaskView,
+    /// The scheduler's static priority key (smallest runs first).
+    pub key: ReadyKey,
+    /// True once every input transfer has arrived.
+    pub data_ready: bool,
+}
+
+/// One heap item: `(key, seq)` ascending, resolving to a map entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapItem {
+    key: ReadyKey,
+    seq: u64,
+    wf: usize,
+    task: TaskId,
+}
+
+/// A resource node's ready set, indexed two ways: by `(workflow, task)` for `O(1)`
+/// transfer-completion updates, and by scheduler priority for `O(log n)` selection of the next
+/// task to execute.
+#[derive(Debug, Clone, Default)]
+pub struct ReadySet {
+    entries: HashMap<(usize, TaskId), ReadyEntry>,
+    /// Data-complete tasks only, smallest `(key, seq)` first.
+    ready_heap: BinaryHeap<Reverse<HeapItem>>,
+    queued_load_mi: f64,
+}
+
+impl ReadySet {
+    /// Create an empty ready set.
+    pub fn new() -> Self {
+        ReadySet::default()
+    }
+
+    /// Number of queued tasks (transferring + data-complete).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total queued computational load in MI (the `l_r` component gossiped as part of the
+    /// node's state record), maintained incrementally.
+    pub fn queued_load_mi(&self) -> f64 {
+        self.queued_load_mi
+    }
+
+    /// Enqueue a migrated task.  Tasks arriving with `data_ready` already set (zero-transfer
+    /// dispatches) become immediately selectable.
+    ///
+    /// A `(workflow, task)` pair must be queued at most once: the engine guarantees this
+    /// through `ProgressTracker::mark_dispatched`, and external callers must uphold it too —
+    /// a duplicate insert would double-count the queued load and leave a stale heap item.
+    pub fn insert(&mut self, entry: ReadyEntry) {
+        debug_assert!(
+            !self.entries.contains_key(&(entry.wf, entry.task)),
+            "task ({}, {:?}) is already queued in this ready set",
+            entry.wf,
+            entry.task
+        );
+        self.queued_load_mi += entry.load_mi;
+        if entry.data_ready {
+            self.push_ready(&entry);
+        }
+        self.entries.insert((entry.wf, entry.task), entry);
+    }
+
+    /// Mark a task's input transfers complete, making it selectable.  Returns `false` when the
+    /// task is no longer queued here (e.g. the node churned away and rejoined in between).
+    pub fn mark_data_ready(&mut self, wf: usize, task: TaskId) -> bool {
+        let Some(entry) = self.entries.get_mut(&(wf, task)) else {
+            return false;
+        };
+        if entry.data_ready {
+            return true;
+        }
+        entry.data_ready = true;
+        let entry = *entry;
+        self.push_ready(&entry);
+        true
+    }
+
+    /// Remove and return the data-complete task with the smallest `(key, seq)` — the task the
+    /// second phase executes next — or `None` if nothing is selectable.
+    pub fn pop_next(&mut self) -> Option<ReadyEntry> {
+        while let Some(Reverse(item)) = self.ready_heap.pop() {
+            if let Some(entry) = self.entries.remove(&(item.wf, item.task)) {
+                self.queued_load_mi -= entry.load_mi;
+                if self.entries.is_empty() {
+                    // Clamp away accumulated f64 increment/decrement drift.
+                    self.queued_load_mi = 0.0;
+                }
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Drain every queued task (a node departure), in arrival order for determinism.
+    pub fn drain(&mut self) -> Vec<ReadyEntry> {
+        let mut all: Vec<ReadyEntry> = self.entries.drain().map(|(_, e)| e).collect();
+        all.sort_by_key(|e| e.view.enqueued_seq);
+        self.ready_heap.clear();
+        self.queued_load_mi = 0.0;
+        all
+    }
+
+    fn push_ready(&mut self, entry: &ReadyEntry) {
+        self.ready_heap.push(Reverse(HeapItem {
+            key: entry.key,
+            seq: entry.view.enqueued_seq,
+            wf: entry.wf,
+            task: entry.task,
+        }));
+    }
+}
+
+/// A `(workflow index, task id)` pair identifying one in-flight task.
+pub type TaskRef = (usize, TaskId);
+
+/// A task occupying one of a resource node's execution slots.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningTask {
+    /// Global workflow index.
+    pub wf: usize,
+    /// Task id within its workflow.
+    pub task: TaskId,
+    /// Virtual time at which execution completes.
+    pub finish_at: SimTime,
+}
+
+/// Runtime state of one peer node.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeRuntime {
+    /// False once the node has churned away.
+    pub alive: bool,
+    /// True for the non-stable population that may join/leave under churn.
+    pub churnable: bool,
+    /// Capacity of one execution slot in MIPS (Table I's value).
+    pub capacity_mips: f64,
+    /// Number of execution slots (the `ResourceModel` seam; paper: 1).
+    pub slots: usize,
+    /// Incremented every time the node departs; pending events carrying an older epoch are
+    /// ignored, which models the loss of everything in flight.
+    pub epoch: u64,
+    /// Queued tasks (transferring + data-complete).
+    pub ready: ReadySet,
+    /// Currently executing tasks, at most `slots` of them.
+    pub running: Vec<RunningTask>,
+    /// The node's locally measured average bandwidth towards its landmarks, Mb/s.
+    pub local_avg_bandwidth_mbps: f64,
+}
+
+impl NodeRuntime {
+    /// The throughput this node advertises through gossip: all slots combined.  With the
+    /// paper's single CPU this is exactly the Table I capacity.
+    pub fn advertised_capacity_mips(&self) -> f64 {
+        self.capacity_mips * self.slots as f64
+    }
+
+    /// True when at least one execution slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.running.len() < self.slots
+    }
+
+    /// Execution time of `load_mi` on one slot of this node, seconds.
+    pub fn execution_secs(&self, load_mi: f64) -> f64 {
+        load_mi / self.capacity_mips
+    }
+
+    /// The node's current total load in MI (queued work plus the remaining work of every
+    /// occupied slot) — `l_r` in the paper, gossiped every cycle.
+    pub fn total_load_mi(&self, now: SimTime) -> f64 {
+        let mut load = self.ready.queued_load_mi();
+        for run in &self.running {
+            let remaining_secs = run.finish_at.saturating_duration_since(now).as_secs_f64();
+            load += remaining_secs * self.capacity_mips;
+        }
+        load
+    }
+
+    /// Occupy a slot with `entry` starting at `now`; returns the completion instant.
+    /// Panics if no slot is free (the engine checks [`NodeRuntime::has_free_slot`] first).
+    pub fn start(&mut self, entry: &ReadyEntry, now: SimTime) -> SimTime {
+        assert!(self.has_free_slot(), "no free execution slot");
+        let finish_at = now + p2pgrid_sim::SimDuration::from_secs_f64(entry.view.exec_secs);
+        self.running.push(RunningTask {
+            wf: entry.wf,
+            task: entry.task,
+            finish_at,
+        });
+        finish_at
+    }
+
+    /// Release the slot occupied by `(wf, task)`.  Returns `false` when no slot holds that
+    /// task (a stale completion event from before a churn epoch).
+    pub fn complete(&mut self, wf: usize, task: TaskId) -> bool {
+        match self
+            .running
+            .iter()
+            .position(|r| r.wf == wf && r.task == task)
+        {
+            Some(i) => {
+                self.running.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The node departs: bump the epoch and surrender everything in flight.  Returns the
+    /// queued tasks (which never executed and simply become schedule points again) and the
+    /// running tasks (whose computation is lost).
+    pub fn depart(&mut self) -> (Vec<TaskRef>, Vec<TaskRef>) {
+        self.alive = false;
+        self.epoch += 1;
+        let waiting = self
+            .ready
+            .drain()
+            .into_iter()
+            .map(|e| (e.wf, e.task))
+            .collect();
+        let running = self.running.drain(..).map(|r| (r.wf, r.task)).collect();
+        (waiting, running)
+    }
+
+    /// The node (re-)joins with empty queues.
+    pub fn join(&mut self) {
+        self.alive = true;
+        self.ready = ReadySet::new();
+        self.running.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SecondPhase;
+    use crate::policy::second_phase::ready_key;
+
+    fn entry(wf: usize, ms: f64, rpm: f64, seq: u64, data_ready: bool) -> ReadyEntry {
+        let view = ReadyTaskView {
+            workflow_ms_secs: ms,
+            rpm_secs: rpm,
+            exec_secs: 10.0,
+            sufferage_secs: 0.0,
+            enqueued_seq: seq,
+        };
+        ReadyEntry {
+            wf,
+            task: TaskId(0),
+            load_mi: 100.0,
+            view,
+            key: ready_key(SecondPhase::ShortestWorkflowMakespan, &view),
+            data_ready,
+        }
+    }
+
+    #[test]
+    fn pop_follows_the_scheduler_key_and_ignores_transferring_tasks() {
+        let mut rs = ReadySet::new();
+        rs.insert(entry(0, 300.0, 10.0, 0, true));
+        rs.insert(entry(1, 100.0, 10.0, 1, true));
+        rs.insert(entry(2, 50.0, 10.0, 2, false)); // still transferring
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.queued_load_mi(), 300.0);
+        // Workflow 1 has the shortest makespan among data-complete tasks.
+        assert_eq!(rs.pop_next().unwrap().wf, 1);
+        // Workflow 2 becomes selectable once its data arrives, and wins.
+        assert!(rs.mark_data_ready(2, TaskId(0)));
+        assert_eq!(rs.pop_next().unwrap().wf, 2);
+        assert_eq!(rs.pop_next().unwrap().wf, 0);
+        assert!(rs.pop_next().is_none());
+        assert!(rs.is_empty());
+        assert_eq!(rs.queued_load_mi(), 0.0);
+    }
+
+    #[test]
+    fn ties_break_by_arrival_order() {
+        let mut rs = ReadySet::new();
+        rs.insert(entry(7, 100.0, 10.0, 5, true));
+        rs.insert(entry(8, 100.0, 10.0, 2, true));
+        assert_eq!(
+            rs.pop_next().unwrap().wf,
+            8,
+            "earlier arrival must win ties"
+        );
+    }
+
+    #[test]
+    fn drain_returns_everything_in_arrival_order() {
+        let mut rs = ReadySet::new();
+        rs.insert(entry(3, 10.0, 1.0, 9, true));
+        rs.insert(entry(4, 20.0, 1.0, 1, false));
+        let drained = rs.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].wf, 4);
+        assert_eq!(drained[1].wf, 3);
+        assert!(rs.pop_next().is_none());
+        assert_eq!(rs.queued_load_mi(), 0.0);
+    }
+
+    #[test]
+    fn mark_data_ready_on_unknown_task_reports_false() {
+        let mut rs = ReadySet::new();
+        assert!(!rs.mark_data_ready(0, TaskId(3)));
+    }
+
+    #[test]
+    fn node_runtime_slots_and_load_accounting() {
+        let mut node = NodeRuntime {
+            alive: true,
+            churnable: false,
+            capacity_mips: 2.0,
+            slots: 2,
+            epoch: 0,
+            ready: ReadySet::new(),
+            running: Vec::new(),
+            local_avg_bandwidth_mbps: 1.0,
+        };
+        assert_eq!(node.advertised_capacity_mips(), 4.0);
+        assert_eq!(node.execution_secs(100.0), 50.0);
+        assert!(node.has_free_slot());
+
+        let e0 = entry(0, 10.0, 1.0, 0, true);
+        let e1 = entry(1, 20.0, 1.0, 1, true);
+        let now = SimTime::ZERO;
+        let f0 = node.start(&e0, now);
+        assert!(node.has_free_slot(), "second slot still free");
+        node.start(&e1, now);
+        assert!(!node.has_free_slot());
+        assert_eq!(f0, SimTime::from_secs(10));
+        // Remaining work of both slots: 2 tasks × 10 s × 2 MIPS = 40 MI.
+        assert_eq!(node.total_load_mi(now), 40.0);
+
+        assert!(node.complete(0, TaskId(0)));
+        assert!(
+            !node.complete(0, TaskId(0)),
+            "double completion is rejected"
+        );
+        assert!(node.has_free_slot());
+
+        let (waiting, running) = node.depart();
+        assert!(waiting.is_empty());
+        assert_eq!(running, vec![(1, TaskId(0))]);
+        assert_eq!(node.epoch, 1);
+        node.join();
+        assert!(node.alive && node.running.is_empty());
+    }
+}

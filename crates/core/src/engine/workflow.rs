@@ -1,0 +1,46 @@
+//! Per-workflow runtime state: progress, task locations and (for full-ahead baselines) plans.
+
+use crate::NodeId;
+use p2pgrid_sim::SimTime;
+use p2pgrid_workflow::{ProgressTracker, TaskId, Workflow};
+
+/// Runtime state of one submitted workflow instance.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkflowRuntime {
+    /// The home (submission) node.
+    pub home: NodeId,
+    /// The workflow DAG.
+    pub workflow: Workflow,
+    /// Dispatch / completion state of every task.
+    pub progress: ProgressTracker,
+    /// Expected finish time under the true system-wide averages (Eq. 1) — the efficiency
+    /// baseline `eft(f)`.
+    pub eft_secs: f64,
+    /// Execution site of every finished task (`None` until it completes).
+    pub task_location: Vec<Option<NodeId>>,
+    /// True once a churn loss made the workflow unfinishable.
+    pub failed: bool,
+    /// True once the exit task finished.
+    pub completed: bool,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Full-ahead plan (task index → node id), present only for HEFT / SMF.
+    pub plan: Option<Vec<NodeId>>,
+    /// RPM under the true averages, used by the full-ahead baselines' ready-set metadata.
+    pub static_rpm: Vec<f64>,
+    /// Expected makespan under the true averages, ditto.
+    pub static_ms_secs: f64,
+}
+
+impl WorkflowRuntime {
+    /// True while the workflow can still make progress (neither finished nor failed).
+    pub fn is_active(&self) -> bool {
+        !self.completed && !self.failed
+    }
+
+    /// Where a finished task's output lives: its execution site, or the home node for data
+    /// that never left (e.g. the entry task's inputs).
+    pub fn output_location(&self, task: TaskId) -> NodeId {
+        self.task_location[task.index()].unwrap_or(self.home)
+    }
+}

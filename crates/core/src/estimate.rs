@@ -119,11 +119,9 @@ impl<'a> FinishTimeEstimator<'a> {
         image_size_mb: f64,
         predecessors: &[PredecessorData],
     ) -> f64 {
-        candidate.queuing_delay_secs().max(self.longest_transmission_delay_secs(
-            candidate.node,
-            image_size_mb,
-            predecessors,
-        ))
+        candidate
+            .queuing_delay_secs()
+            .max(self.longest_transmission_delay_secs(candidate.node, image_size_mb, predecessors))
     }
 
     /// The finish time FT (Eq. 6/7), in seconds from "now".
@@ -154,8 +152,7 @@ impl<'a> FinishTimeEstimator<'a> {
             let better = match best {
                 None => true,
                 Some((bi, bft)) => {
-                    ft < bft - 1e-12
-                        || ((ft - bft).abs() <= 1e-12 && c.node < candidates[bi].node)
+                    ft < bft - 1e-12 || ((ft - bft).abs() <= 1e-12 && c.node < candidates[bi].node)
                 }
             };
             if better {
@@ -218,17 +215,32 @@ mod tests {
     fn ltd_takes_the_slowest_concurrent_transfer() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let preds = [
-            PredecessorData { location: 1, data_mb: 30.0 },
-            PredecessorData { location: 2, data_mb: 80.0 },
+            PredecessorData {
+                location: 1,
+                data_mb: 30.0,
+            },
+            PredecessorData {
+                location: 2,
+                data_mb: 80.0,
+            },
         ];
         // Image from home (0 -> 5): 10 s; preds: 30 s and 80 s; the slowest (80) wins.
         assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &preds), 80.0);
         // If the target holds the big predecessor's data locally, only 30 s and 10 s remain.
         let preds_local = [
-            PredecessorData { location: 1, data_mb: 30.0 },
-            PredecessorData { location: 5, data_mb: 80.0 },
+            PredecessorData {
+                location: 1,
+                data_mb: 30.0,
+            },
+            PredecessorData {
+                location: 5,
+                data_mb: 80.0,
+            },
         ];
-        assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &preds_local), 30.0);
+        assert_eq!(
+            est.longest_transmission_delay_secs(5, 10.0, &preds_local),
+            30.0
+        );
         // No predecessors: only the image matters; on the home node itself even that is free.
         assert_eq!(est.longest_transmission_delay_secs(5, 10.0, &[]), 10.0);
         assert_eq!(est.longest_transmission_delay_secs(0, 10.0, &[]), 0.0);
@@ -247,7 +259,10 @@ mod tests {
             capacity_mips: 1.0,
             total_load_mi: 0.0,
         };
-        let preds = [PredecessorData { location: 1, data_mb: 100.0 }];
+        let preds = [PredecessorData {
+            location: 1,
+            data_mb: 100.0,
+        }];
         assert_eq!(est.start_time_secs(&busy, 10.0, &preds), 500.0);
         assert_eq!(est.start_time_secs(&idle, 10.0, &preds), 100.0);
     }
@@ -268,9 +283,21 @@ mod tests {
     fn best_candidate_implements_formula_9() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 }, // exec 100
-            CandidateNode { node: 2, capacity_mips: 4.0, total_load_mi: 0.0 }, // exec 25
-            CandidateNode { node: 3, capacity_mips: 16.0, total_load_mi: 8000.0 }, // queue 500
+            CandidateNode {
+                node: 1,
+                capacity_mips: 1.0,
+                total_load_mi: 0.0,
+            }, // exec 100
+            CandidateNode {
+                node: 2,
+                capacity_mips: 4.0,
+                total_load_mi: 0.0,
+            }, // exec 25
+            CandidateNode {
+                node: 3,
+                capacity_mips: 16.0,
+                total_load_mi: 8000.0,
+            }, // queue 500
         ];
         let (idx, ft) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
         assert_eq!(candidates[idx].node, 2);
@@ -285,10 +312,21 @@ mod tests {
         // "node locality issue" in §III.D).
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode { node: 2, capacity_mips: 16.0, total_load_mi: 0.0 },
-            CandidateNode { node: 9, capacity_mips: 2.0, total_load_mi: 0.0 },
+            CandidateNode {
+                node: 2,
+                capacity_mips: 16.0,
+                total_load_mi: 0.0,
+            },
+            CandidateNode {
+                node: 9,
+                capacity_mips: 2.0,
+                total_load_mi: 0.0,
+            },
         ];
-        let preds = [PredecessorData { location: 9, data_mb: 1000.0 }];
+        let preds = [PredecessorData {
+            location: 9,
+            data_mb: 1000.0,
+        }];
         let (idx, _) = est.best_candidate(&candidates, 160.0, 0.0, &preds).unwrap();
         assert_eq!(candidates[idx].node, 9);
     }
@@ -297,8 +335,16 @@ mod tests {
     fn ties_break_towards_lower_node_id() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode { node: 7, capacity_mips: 2.0, total_load_mi: 0.0 },
-            CandidateNode { node: 3, capacity_mips: 2.0, total_load_mi: 0.0 },
+            CandidateNode {
+                node: 7,
+                capacity_mips: 2.0,
+                total_load_mi: 0.0,
+            },
+            CandidateNode {
+                node: 3,
+                capacity_mips: 2.0,
+                total_load_mi: 0.0,
+            },
         ];
         let (idx, _) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
         assert_eq!(candidates[idx].node, 3);
@@ -321,17 +367,35 @@ mod tests {
     fn completion_matrix_matches_individual_estimates() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 },
-            CandidateNode { node: 2, capacity_mips: 2.0, total_load_mi: 100.0 },
+            CandidateNode {
+                node: 1,
+                capacity_mips: 1.0,
+                total_load_mi: 0.0,
+            },
+            CandidateNode {
+                node: 2,
+                capacity_mips: 2.0,
+                total_load_mi: 100.0,
+            },
         ];
         let tasks = vec![
             (100.0, 0.0, vec![]),
-            (400.0, 0.0, vec![PredecessorData { location: 1, data_mb: 50.0 }]),
+            (
+                400.0,
+                0.0,
+                vec![PredecessorData {
+                    location: 1,
+                    data_mb: 50.0,
+                }],
+            ),
         ];
         let m = est.completion_matrix(&tasks, &candidates);
         assert_eq!(m.len(), 2);
         assert_eq!(m[0].len(), 2);
-        assert_eq!(m[0][0], est.finish_time_secs(&candidates[0], 100.0, 0.0, &[]));
+        assert_eq!(
+            m[0][0],
+            est.finish_time_secs(&candidates[0], 100.0, 0.0, &[])
+        );
         assert_eq!(
             m[1][1],
             est.finish_time_secs(&candidates[1], 400.0, 0.0, &tasks[1].2)
@@ -343,6 +407,10 @@ mod tests {
         let no_bw = |_a: NodeId, _b: NodeId| 0.0;
         let est = FinishTimeEstimator::new(0, &no_bw);
         assert_eq!(est.transfer_secs(0, 1, 10.0), f64::INFINITY);
-        assert_eq!(est.transfer_secs(1, 1, 10.0), 0.0, "local transfers never hit the network");
+        assert_eq!(
+            est.transfer_secs(1, 1, 10.0),
+            0.0,
+            "local transfers never hit the network"
+        );
     }
 }

@@ -190,7 +190,10 @@ mod tests {
     #[should_panic(expected = "only supports")]
     fn rejects_just_in_time_algorithms() {
         let w = shapes::chain(3, 100.0, 10.0);
-        let inputs = [PlanInput { home: 0, workflow: &w }];
+        let inputs = [PlanInput {
+            home: 0,
+            workflow: &w,
+        }];
         plan_full_ahead(
             Algorithm::Dsmf,
             &inputs,
@@ -205,13 +208,24 @@ mod tests {
         let w1 = worked_example::workflow_a();
         let w2 = worked_example::workflow_b();
         let inputs = [
-            PlanInput { home: 0, workflow: &w1 },
-            PlanInput { home: 1, workflow: &w2 },
+            PlanInput {
+                home: 0,
+                workflow: &w1,
+            },
+            PlanInput {
+                home: 1,
+                workflow: &w2,
+            },
         ];
         let nodes = idle_nodes(&[1.0, 2.0, 4.0]);
         for alg in [Algorithm::Heft, Algorithm::Smf] {
-            let plans =
-                plan_full_ahead(alg, &inputs, &nodes, ExpectedCosts::new(1.0, 1.0), &uniform_bw);
+            let plans = plan_full_ahead(
+                alg,
+                &inputs,
+                &nodes,
+                ExpectedCosts::new(1.0, 1.0),
+                &uniform_bw,
+            );
             assert_eq!(plans.len(), 2);
             assert_eq!(plans[0].len(), w1.task_count());
             assert_eq!(plans[1].len(), w2.task_count());
@@ -228,7 +242,10 @@ mod tests {
         // With cheap communication and a single dominant node, every task of a chain should be
         // planned on the fastest node (no benefit from spreading a purely sequential DAG).
         let w = shapes::chain(6, 1000.0, 1.0);
-        let inputs = [PlanInput { home: 0, workflow: &w }];
+        let inputs = [PlanInput {
+            home: 0,
+            workflow: &w,
+        }];
         let nodes = idle_nodes(&[1.0, 2.0, 16.0]);
         let plans = plan_full_ahead(
             Algorithm::Heft,
@@ -245,7 +262,10 @@ mod tests {
         // A wide fork-join with heavy tasks and negligible data: parallel branches should not
         // all be serialised onto one node.
         let w = shapes::fork_join(6, 5000.0, 1.0);
-        let inputs = [PlanInput { home: 0, workflow: &w }];
+        let inputs = [PlanInput {
+            home: 0,
+            workflow: &w,
+        }];
         let nodes = idle_nodes(&[8.0, 8.0, 8.0, 8.0]);
         let plans = plan_full_ahead(
             Algorithm::Heft,
@@ -265,10 +285,21 @@ mod tests {
     #[test]
     fn busy_nodes_are_avoided() {
         let w = shapes::chain(2, 1000.0, 1.0);
-        let inputs = [PlanInput { home: 0, workflow: &w }];
+        let inputs = [PlanInput {
+            home: 0,
+            workflow: &w,
+        }];
         let nodes = vec![
-            CandidateNode { node: 0, capacity_mips: 8.0, total_load_mi: 1_000_000.0 },
-            CandidateNode { node: 1, capacity_mips: 8.0, total_load_mi: 0.0 },
+            CandidateNode {
+                node: 0,
+                capacity_mips: 8.0,
+                total_load_mi: 1_000_000.0,
+            },
+            CandidateNode {
+                node: 1,
+                capacity_mips: 8.0,
+                total_load_mi: 0.0,
+            },
         ];
         let plans = plan_full_ahead(
             Algorithm::Smf,

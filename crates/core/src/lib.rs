@@ -28,8 +28,10 @@
 //! | [`estimate`]  | the finish-time model of Eq. 4–7 evaluated against (possibly stale) gossip state |
 //! | [`policy`]    | first-phase dispatch planning and second-phase ready-set selection |
 //! | [`fullahead`] | the centralized full-ahead planner used by the HEFT and SMF baselines |
-//! | [`config`]    | experiment configuration (Table I defaults, churn, load factor, CCR) |
-//! | [`simulation`]| the event-driven grid simulation tying everything together |
+//! | [`scheduler`] | the pluggable [`Scheduler`] seam unifying both phases (implemented by [`AlgorithmConfig`]) |
+//! | [`config`]    | experiment configuration (Table I defaults, [`config::ResourceModel`] slots, churn, load factor, CCR) |
+//! | [`engine`]    | the grid engine: per-node / per-workflow runtime, transfer model, event loop |
+//! | [`simulation`]| the thin [`GridSimulation`] facade over the engine |
 //! | [`worked_example`] | the two-workflow scenario of Fig. 3 used by tests and `examples/paper_example.rs` |
 
 #![warn(missing_docs)]
@@ -37,17 +39,20 @@
 
 pub mod algorithm;
 pub mod config;
+pub mod engine;
 pub mod estimate;
 pub mod fullahead;
 pub mod policy;
 pub mod report;
+pub mod scheduler;
 pub mod simulation;
 pub mod worked_example;
 
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
-pub use config::{CapacityModel, ChurnConfig, GridConfig};
+pub use config::{CapacityModel, ChurnConfig, GridConfig, ResourceModel};
 pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
 pub use report::SimulationReport;
+pub use scheduler::Scheduler;
 pub use simulation::GridSimulation;
 
 /// Identifier of a peer node (shared dense index with `p2pgrid-topology` and `p2pgrid-gossip`).

@@ -192,8 +192,7 @@ pub fn plan_dispatch(
                     .map(|t| (t.load_mi, t.image_size_mb, t.predecessors.clone()))
                     .collect();
                 let ct = estimator.completion_matrix(&rows, candidates);
-                let Some((t_idx, h_idx, sufferage)) =
-                    matrix_pick_next(heuristic, &ct, &remaining)
+                let Some((t_idx, h_idx, sufferage)) = matrix_pick_next(heuristic, &ct, &remaining)
                 else {
                     break;
                 };
@@ -292,7 +291,10 @@ mod tests {
         let est = FinishTimeEstimator::new(0, &uniform_bw);
         let decisions = plan_dispatch(Algorithm::Dsmf, &tasks, &mut candidates, &est);
         // The paper: "According to DSMF, the scheduling order is thus B2, B3, A3, A2."
-        assert_eq!(dispatch_order(&decisions), vec![(1, 1), (1, 2), (0, 2), (0, 1)]);
+        assert_eq!(
+            dispatch_order(&decisions),
+            vec![(1, 1), (1, 2), (0, 2), (0, 1)]
+        );
     }
 
     #[test]
@@ -302,7 +304,10 @@ mod tests {
         let est = FinishTimeEstimator::new(0, &uniform_bw);
         let decisions = plan_dispatch(Algorithm::Dheft, &tasks, &mut candidates, &est);
         // The paper: "The HEFT algorithm will choose A3, A2, B2, and B3 one by one."
-        assert_eq!(dispatch_order(&decisions), vec![(0, 2), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(
+            dispatch_order(&decisions),
+            vec![(0, 2), (0, 1), (1, 1), (1, 2)]
+        );
     }
 
     #[test]
@@ -429,8 +434,16 @@ mod tests {
             predecessors: vec![],
         }];
         let mut candidates = vec![
-            CandidateNode { node: 1, capacity_mips: 1.0, total_load_mi: 0.0 },
-            CandidateNode { node: 2, capacity_mips: 16.0, total_load_mi: 0.0 },
+            CandidateNode {
+                node: 1,
+                capacity_mips: 1.0,
+                total_load_mi: 0.0,
+            },
+            CandidateNode {
+                node: 2,
+                capacity_mips: 16.0,
+                total_load_mi: 0.0,
+            },
         ];
         let est = FinishTimeEstimator::new(0, &uniform_bw);
         for alg in [
@@ -444,7 +457,10 @@ mod tests {
             let mut cands = candidates.clone();
             let d = plan_dispatch(alg, &tasks, &mut cands, &est);
             assert_eq!(d.len(), 1, "{alg}: task not dispatched");
-            assert_eq!(d[0].target, 2, "{alg}: long task should go to the fast node");
+            assert_eq!(
+                d[0].target, 2,
+                "{alg}: long task should go to the fast node"
+            );
         }
         let _ = &mut candidates;
     }

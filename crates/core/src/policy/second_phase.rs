@@ -21,49 +21,90 @@ pub struct ReadyTaskView {
     pub enqueued_seq: u64,
 }
 
+/// The priority key a second-phase rule assigns to one ready task.
+///
+/// Every built-in rule is a *static* ordering over values captured at dispatch time, so it can
+/// be expressed as a two-component lexicographic key: the task with the **smallest** key runs
+/// first, with the arrival sequence number as the final tie-break.  This is what lets the
+/// engine keep each node's data-ready tasks in a priority heap (`engine::node::ReadySet`)
+/// instead of re-scanning and re-ranking the whole ready set on every CPU-idle event.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyKey {
+    k0: f64,
+    k1: f64,
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Defined via the total order so equality always agrees with `Ord` (IEEE `==` would
+        // disagree on NaN components, which can arise from infinite finish-time estimates).
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl ReadyKey {
+    /// Build a key from its lexicographic components (smaller runs first).
+    ///
+    /// Negative zero is normalised to positive zero so that keys derived through negation
+    /// (e.g. "longest RPM first" = `-rpm`) compare exactly like the underlying values.
+    pub fn new(k0: f64, k1: f64) -> Self {
+        let norm = |v: f64| if v == 0.0 { 0.0 } else { v };
+        ReadyKey {
+            k0: norm(k0),
+            k1: norm(k1),
+        }
+    }
+}
+
+impl Eq for ReadyKey {}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.k0
+            .total_cmp(&other.k0)
+            .then(self.k1.total_cmp(&other.k1))
+    }
+}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The priority key `rule` assigns to `task` (smallest key runs first).
+pub fn ready_key(rule: SecondPhase, task: &ReadyTaskView) -> ReadyKey {
+    match rule {
+        // Formula 10 with Algorithm 2's tie-break: shortest workflow makespan first, then
+        // longest RPM.
+        SecondPhase::ShortestWorkflowMakespan => {
+            ReadyKey::new(task.workflow_ms_secs, -task.rpm_secs)
+        }
+        SecondPhase::LongestRpmFirst => ReadyKey::new(-task.rpm_secs, 0.0),
+        SecondPhase::ShortestDeadlineFirst => {
+            ReadyKey::new(task.workflow_ms_secs - task.rpm_secs, 0.0)
+        }
+        SecondPhase::ShortestTaskFirst => ReadyKey::new(task.exec_secs, 0.0),
+        SecondPhase::LongestTaskFirst => ReadyKey::new(-task.exec_secs, 0.0),
+        SecondPhase::LargestSufferageFirst => ReadyKey::new(-task.sufferage_secs, 0.0),
+        SecondPhase::Fcfs => ReadyKey::new(0.0, 0.0),
+    }
+}
+
 /// Select the index of the task to execute next from `tasks` (the data-complete subset of a
 /// resource node's ready set) according to `rule`.  Returns `None` when the slice is empty.
+///
+/// This is the naive linear-scan formulation (every call ranks the whole slice); the engine's
+/// hot path keeps a [`ReadyKey`]-ordered heap instead, and the `micro_substrates` bench
+/// compares the two.
 pub fn select_next(rule: SecondPhase, tasks: &[ReadyTaskView]) -> Option<usize> {
     if tasks.is_empty() {
         return None;
     }
     let cmp = |a: &ReadyTaskView, b: &ReadyTaskView| -> Ordering {
-        let primary = match rule {
-            // Formula 10 with Algorithm 2's tie-break: shortest workflow makespan first, then
-            // longest RPM.
-            SecondPhase::ShortestWorkflowMakespan => a
-                .workflow_ms_secs
-                .partial_cmp(&b.workflow_ms_secs)
-                .unwrap_or(Ordering::Equal)
-                .then(
-                    b.rpm_secs
-                        .partial_cmp(&a.rpm_secs)
-                        .unwrap_or(Ordering::Equal),
-                ),
-            SecondPhase::LongestRpmFirst => b
-                .rpm_secs
-                .partial_cmp(&a.rpm_secs)
-                .unwrap_or(Ordering::Equal),
-            SecondPhase::ShortestDeadlineFirst => {
-                let slack_a = a.workflow_ms_secs - a.rpm_secs;
-                let slack_b = b.workflow_ms_secs - b.rpm_secs;
-                slack_a.partial_cmp(&slack_b).unwrap_or(Ordering::Equal)
-            }
-            SecondPhase::ShortestTaskFirst => a
-                .exec_secs
-                .partial_cmp(&b.exec_secs)
-                .unwrap_or(Ordering::Equal),
-            SecondPhase::LongestTaskFirst => b
-                .exec_secs
-                .partial_cmp(&a.exec_secs)
-                .unwrap_or(Ordering::Equal),
-            SecondPhase::LargestSufferageFirst => b
-                .sufferage_secs
-                .partial_cmp(&a.sufferage_secs)
-                .unwrap_or(Ordering::Equal),
-            SecondPhase::Fcfs => Ordering::Equal,
-        };
-        primary.then(a.enqueued_seq.cmp(&b.enqueued_seq))
+        ready_key(rule, a)
+            .cmp(&ready_key(rule, b))
+            .then(a.enqueued_seq.cmp(&b.enqueued_seq))
     };
     let mut best = 0usize;
     for i in 1..tasks.len() {
@@ -100,7 +141,10 @@ mod tests {
             task(100.0, 50.0, 10.0, 0.0, 1),
             task(200.0, 80.0, 10.0, 0.0, 2),
         ];
-        assert_eq!(select_next(SecondPhase::ShortestWorkflowMakespan, &tasks), Some(1));
+        assert_eq!(
+            select_next(SecondPhase::ShortestWorkflowMakespan, &tasks),
+            Some(1)
+        );
     }
 
     #[test]
@@ -111,7 +155,10 @@ mod tests {
             task(100.0, 30.0, 10.0, 0.0, 0),
             task(100.0, 90.0, 10.0, 0.0, 1),
         ];
-        assert_eq!(select_next(SecondPhase::ShortestWorkflowMakespan, &tasks), Some(1));
+        assert_eq!(
+            select_next(SecondPhase::ShortestWorkflowMakespan, &tasks),
+            Some(1)
+        );
     }
 
     #[test]
@@ -122,7 +169,10 @@ mod tests {
             task(500.0, 180.0, 10.0, 0.0, 2), // slack 320
         ];
         assert_eq!(select_next(SecondPhase::LongestRpmFirst, &tasks), Some(1));
-        assert_eq!(select_next(SecondPhase::ShortestDeadlineFirst, &tasks), Some(1));
+        assert_eq!(
+            select_next(SecondPhase::ShortestDeadlineFirst, &tasks),
+            Some(1)
+        );
     }
 
     #[test]
@@ -138,11 +188,11 @@ mod tests {
 
     #[test]
     fn sufferage_rule_uses_captured_value() {
-        let tasks = [
-            task(0.0, 0.0, 10.0, 3.0, 0),
-            task(0.0, 0.0, 10.0, 42.0, 1),
-        ];
-        assert_eq!(select_next(SecondPhase::LargestSufferageFirst, &tasks), Some(1));
+        let tasks = [task(0.0, 0.0, 10.0, 3.0, 0), task(0.0, 0.0, 10.0, 42.0, 1)];
+        assert_eq!(
+            select_next(SecondPhase::LargestSufferageFirst, &tasks),
+            Some(1)
+        );
     }
 
     #[test]
@@ -166,6 +216,52 @@ mod tests {
         ] {
             assert_eq!(select_next(rule, &same), Some(1), "rule {rule}");
         }
+    }
+
+    #[test]
+    fn ready_key_ordering_agrees_with_the_linear_scan_for_every_rule() {
+        // The engine's heap executes tasks in ascending (ReadyKey, seq) order; that must pick
+        // exactly what the reference linear scan picks, for every rule and any ready set.
+        let mut tasks = Vec::new();
+        for i in 0u64..24 {
+            let f = i as f64;
+            tasks.push(task(
+                (f * 37.0) % 11.0,
+                (f * 13.0) % 7.0,
+                (f * 5.0) % 9.0,
+                (f * 3.0) % 4.0,
+                (i * 31) % 24, // distinct seqs in scrambled order
+            ));
+        }
+        for rule in [
+            SecondPhase::ShortestWorkflowMakespan,
+            SecondPhase::LongestRpmFirst,
+            SecondPhase::ShortestDeadlineFirst,
+            SecondPhase::ShortestTaskFirst,
+            SecondPhase::LongestTaskFirst,
+            SecondPhase::LargestSufferageFirst,
+            SecondPhase::Fcfs,
+        ] {
+            let scan = select_next(rule, &tasks).unwrap();
+            let heap_order = tasks
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    ready_key(rule, a)
+                        .cmp(&ready_key(rule, b))
+                        .then(a.enqueued_seq.cmp(&b.enqueued_seq))
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(scan, heap_order, "rule {rule}");
+        }
+    }
+
+    #[test]
+    fn ready_key_normalises_negative_zero() {
+        let a = ReadyKey::new(-0.0, -0.0);
+        let b = ReadyKey::new(0.0, 0.0);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
     }
 
     #[test]

@@ -1,772 +1,33 @@
-//! The end-to-end P2P-grid simulation.
+//! The public facade over the grid engine.
 //!
-//! One [`GridSimulation`] run reproduces the paper's experimental procedure:
+//! [`GridSimulation`] configures and runs one end-to-end P2P-grid simulation.  The actual
+//! runtime — per-node state, per-workflow state, the transfer model and the event loop — lives
+//! in the [`engine`](crate::engine) module family behind two seams:
 //!
-//! 1. A Waxman WAN topology is generated and its pairwise bottleneck bandwidths computed
-//!    (the ground truth on which transfers are timed).
-//! 2. Every node receives a capacity from Table I's {1, 2, 4, 8, 16} MIPS set and the home
-//!    nodes receive their workflows at time zero.
-//! 3. The **mixed gossip protocol** runs every five minutes, giving every node a bounded `RSS`
-//!    of peer states and estimates of the average capacity / bandwidth.
-//! 4. The **first scheduling phase** runs every fifteen minutes on every home node: schedule
-//!    points are prioritised and dispatched per the configured algorithm (Algorithm 1 for
-//!    DSMF), program images and dependent data start flowing to the chosen resource nodes.
-//! 5. The **second scheduling phase** runs on every resource node whenever its single,
-//!    non-preemptive CPU frees up: the next data-complete ready task is chosen per the
-//!    configured ready-set rule (Algorithm 2 for DSMF) and executed for `load / capacity`
-//!    seconds.
-//! 6. Under churn, a `df` fraction of the churnable population leaves and (re-)joins every
-//!    scheduling interval; tasks resident on departed nodes are lost and their workflows fail
-//!    (or are re-scheduled if the future-work flag is enabled).
-//! 7. Throughput, ACT and AE are sampled hourly, exactly like the paper's figures.
+//! * the [`Scheduler`] trait, so scheduling policies beyond the paper's built-in eight can be
+//!   plugged in through [`GridSimulation::with_scheduler`] without touching the engine, and
+//! * the [`ResourceModel`](crate::config::ResourceModel) in [`GridConfig`], which generalises
+//!   the paper's single non-preemptive CPU per node to N execution slots.
+//!
+//! The constructors taking an [`Algorithm`] / [`AlgorithmConfig`] — the paper's eight
+//! algorithms with their phase pairings — are unchanged from the pre-split API.
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
 use crate::config::GridConfig;
-use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
-use crate::fullahead::{plan_full_ahead, PlanInput};
-use crate::policy::first_phase::{plan_dispatch, DispatchCandidateTask};
-use crate::policy::second_phase::{select_next, ReadyTaskView};
+use crate::engine::EngineState;
 use crate::report::SimulationReport;
-use crate::NodeId;
-use p2pgrid_gossip::{LocalNodeState, MixedGossip};
-use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
-use p2pgrid_sim::{SimControl, SimDuration, SimRng, SimTime, Simulator};
-use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
-use p2pgrid_workflow::{
-    ExpectedCosts, ProgressTracker, TaskId, Workflow, WorkflowAnalysis, WorkflowGenerator,
-};
-
-/// Events of the grid simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum GridEvent {
-    /// Run one mixed-gossip cycle on every alive node.
-    GossipCycle,
-    /// Run the churn step and the first scheduling phase on every home node.
-    SchedulingCycle,
-    /// Sample throughput / ACT / AE.
-    MetricsSample,
-    /// All input data of a dispatched task has arrived at its resource node.
-    DataReady {
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-    },
-    /// A running task finished on its resource node.
-    TaskCompleted {
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-    },
-}
-
-/// A task waiting (or transferring data) in a resource node's ready set.
-#[derive(Debug, Clone)]
-struct ReadyRt {
-    wf: usize,
-    task: TaskId,
-    load_mi: f64,
-    rpm_secs: f64,
-    ms_secs: f64,
-    exec_secs: f64,
-    sufferage_secs: f64,
-    seq: u64,
-    data_ready: bool,
-}
-
-/// The task currently occupying a resource node's CPU.
-#[derive(Debug, Clone, Copy)]
-struct RunningRt {
-    wf: usize,
-    task: TaskId,
-    finish_at: SimTime,
-}
-
-/// Runtime state of one peer node.
-#[derive(Debug, Clone)]
-struct NodeRt {
-    alive: bool,
-    churnable: bool,
-    capacity_mips: f64,
-    /// Incremented every time the node departs; pending events carrying an older epoch are
-    /// ignored, which models the loss of everything in flight.
-    epoch: u64,
-    ready: Vec<ReadyRt>,
-    running: Option<RunningRt>,
-    local_avg_bandwidth_mbps: f64,
-}
-
-/// Runtime state of one submitted workflow instance.
-#[derive(Debug, Clone)]
-struct WorkflowRt {
-    home: NodeId,
-    workflow: Workflow,
-    progress: ProgressTracker,
-    /// Expected finish time under the true system-wide averages (Eq. 1).
-    eft_secs: f64,
-    task_location: Vec<Option<NodeId>>,
-    failed: bool,
-    completed: bool,
-    submitted_at: SimTime,
-    /// Full-ahead plan (task index → node id), present only for HEFT / SMF.
-    plan: Option<Vec<NodeId>>,
-    /// RPM under the true averages, used by the full-ahead baselines' ready-set metadata.
-    static_rpm: Vec<f64>,
-    static_ms_secs: f64,
-}
-
-struct GridState {
-    config: GridConfig,
-    algo: AlgorithmConfig,
-    metrics_net: PairwiseMetrics,
-    landmarks: LandmarkEstimator,
-    gossip: MixedGossip,
-    gossip_rng: SimRng,
-    churn_rng: SimRng,
-    nodes: Vec<NodeRt>,
-    workflows: Vec<WorkflowRt>,
-    home_of: Vec<Vec<usize>>,
-    metrics: WorkflowMetrics,
-    next_seq: u64,
-    dispatched_tasks: u64,
-    executed_tasks: u64,
-}
-
-impl GridState {
-    fn new(config: GridConfig, algo: AlgorithmConfig) -> Self {
-        config.validate();
-        let root = SimRng::seed_from_u64(config.seed);
-
-        // Topology and ground-truth network metrics.
-        let mut topo_rng = root.derive("topology");
-        let topology = WaxmanGenerator::new(config.waxman.clone()).generate(&mut topo_rng);
-        let metrics_net = PairwiseMetrics::compute(&topology);
-        let mut landmark_rng = root.derive("landmarks");
-        let landmarks = LandmarkEstimator::build_default(&metrics_net, &mut landmark_rng);
-
-        // Node capacities and roles.
-        let mut cap_rng = root.derive("capacity");
-        let n = config.nodes;
-        let stable_count = if config.churn.splits_population() {
-            ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
-        } else {
-            n
-        };
-        let nodes: Vec<NodeRt> = (0..n)
-            .map(|i| {
-                let local_bw = if n > 1 {
-                    let others: Vec<f64> = landmarks
-                        .landmarks()
-                        .iter()
-                        .filter(|&&l| l != i)
-                        .map(|&l| metrics_net.bandwidth_mbps(i, l))
-                        .filter(|b| b.is_finite() && *b > 0.0)
-                        .collect();
-                    if others.is_empty() {
-                        metrics_net.average_bandwidth_mbps().max(1e-6)
-                    } else {
-                        others.iter().sum::<f64>() / others.len() as f64
-                    }
-                } else {
-                    1.0
-                };
-                NodeRt {
-                    alive: true,
-                    churnable: i >= stable_count,
-                    capacity_mips: config.capacity.sample(&mut cap_rng),
-                    epoch: 0,
-                    ready: Vec::new(),
-                    running: None,
-                    local_avg_bandwidth_mbps: local_bw,
-                }
-            })
-            .collect();
-
-        // True system-wide averages, used for the efficiency baseline eft(f).
-        let true_avg_capacity =
-            nodes.iter().map(|nd| nd.capacity_mips).sum::<f64>() / n as f64;
-        let true_avg_bandwidth = if n > 1 {
-            metrics_net.average_bandwidth_mbps().max(1e-6)
-        } else {
-            1.0
-        };
-        let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
-
-        // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
-        // home nodes (the paper excludes home nodes from churning).
-        let mut wf_rng = root.derive("workflows");
-        let generator = WorkflowGenerator::new(config.workflow.clone());
-        let home_candidates: Vec<NodeId> = (0..n).filter(|&i| !nodes[i].churnable).collect();
-        let mut workflows = Vec::new();
-        let mut home_of = vec![Vec::new(); n];
-        let mut metrics = WorkflowMetrics::new(algo.label());
-        for &home in &home_candidates {
-            for _ in 0..config.workflows_per_node {
-                let workflow = generator.generate(&mut wf_rng);
-                let analysis = WorkflowAnalysis::new(&workflow, true_costs);
-                let static_rpm: Vec<f64> =
-                    workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
-                let wf = WorkflowRt {
-                    home,
-                    progress: ProgressTracker::new(&workflow),
-                    eft_secs: analysis.expected_finish_time_secs(),
-                    task_location: vec![None; workflow.task_count()],
-                    failed: false,
-                    completed: false,
-                    submitted_at: SimTime::ZERO,
-                    plan: None,
-                    static_ms_secs: analysis.expected_finish_time_secs(),
-                    static_rpm,
-                    workflow,
-                };
-                metrics.record_submission();
-                home_of[home].push(workflows.len());
-                workflows.push(wf);
-            }
-        }
-
-        // Full-ahead plans (HEFT / SMF) are computed centrally before execution starts.
-        if algo.algorithm.is_full_ahead() {
-            let inputs: Vec<PlanInput<'_>> = workflows
-                .iter()
-                .map(|w| PlanInput {
-                    home: w.home,
-                    workflow: &w.workflow,
-                })
-                .collect();
-            let candidates: Vec<CandidateNode> = nodes
-                .iter()
-                .enumerate()
-                .map(|(i, nd)| CandidateNode {
-                    node: i,
-                    capacity_mips: nd.capacity_mips,
-                    total_load_mi: 0.0,
-                })
-                .collect();
-            let bw = |a: NodeId, b: NodeId| metrics_net.bandwidth_mbps(a, b);
-            let plans = plan_full_ahead(algo.algorithm, &inputs, &candidates, true_costs, &bw);
-            for (w, plan) in workflows.iter_mut().zip(plans) {
-                w.plan = Some(plan);
-            }
-        }
-
-        let mut gossip_rng = root.derive("gossip");
-        let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
-        let churn_rng = root.derive("churn");
-
-        GridState {
-            config,
-            algo,
-            metrics_net,
-            landmarks,
-            gossip,
-            gossip_rng,
-            churn_rng,
-            nodes,
-            workflows,
-            home_of,
-            metrics,
-            next_seq: 0,
-            dispatched_tasks: 0,
-            executed_tasks: 0,
-        }
-    }
-
-    // ----- helpers -------------------------------------------------------------------------
-
-    fn total_load_mi(&self, node: NodeId, now: SimTime) -> f64 {
-        let nd = &self.nodes[node];
-        let mut load: f64 = nd.ready.iter().map(|r| r.load_mi).sum();
-        if let Some(run) = &nd.running {
-            let remaining_secs = run.finish_at.saturating_duration_since(now).as_secs_f64();
-            load += remaining_secs * nd.capacity_mips;
-        }
-        load
-    }
-
-    fn local_gossip_states(&self, now: SimTime) -> Vec<LocalNodeState> {
-        (0..self.nodes.len())
-            .map(|i| LocalNodeState {
-                alive: self.nodes[i].alive,
-                capacity_mips: self.nodes[i].capacity_mips,
-                total_load_mi: self.total_load_mi(i, now),
-                local_avg_bandwidth_mbps: self.nodes[i].local_avg_bandwidth_mbps,
-            })
-            .collect()
-    }
-
-    fn fail_workflow(&mut self, wf: usize, now: SimTime) {
-        let w = &mut self.workflows[wf];
-        if w.failed || w.completed {
-            return;
-        }
-        w.failed = true;
-        self.metrics.record_failure(WorkflowRecord {
-            submitted_at: w.submitted_at,
-            completed_at: now,
-            expected_finish_secs: w.eft_secs,
-            outcome: WorkflowOutcome::Failed,
-        });
-    }
-
-    /// A node departs.  Tasks that were merely *waiting* in its ready set (or still receiving
-    /// their input data) have not executed anything yet, so their home nodes simply observe the
-    /// failed migration and turn them back into schedule points — no checkpointing is needed
-    /// for that.  The task that was *running* loses its computation; without the
-    /// checkpointing/rescheduling extension (the paper's future work) its workflow can no
-    /// longer finish and is recorded as failed.
-    fn handle_departure(&mut self, node: NodeId, now: SimTime) {
-        let (waiting, running): (Vec<(usize, TaskId)>, Option<(usize, TaskId)>) = {
-            let nd = &mut self.nodes[node];
-            if !nd.alive {
-                return;
-            }
-            nd.alive = false;
-            nd.epoch += 1;
-            let waiting: Vec<(usize, TaskId)> =
-                nd.ready.iter().map(|r| (r.wf, r.task)).collect();
-            let running = nd.running.take().map(|run| (run.wf, run.task));
-            nd.ready.clear();
-            (waiting, running)
-        };
-        for (wf, task) in waiting {
-            if self.workflows[wf].completed || self.workflows[wf].failed {
-                continue;
-            }
-            self.workflows[wf].progress.unmark_dispatched(task);
-        }
-        if let Some((wf, task)) = running {
-            if !self.workflows[wf].completed && !self.workflows[wf].failed {
-                if self.config.churn.reschedule_lost_tasks {
-                    self.workflows[wf].progress.unmark_dispatched(task);
-                } else {
-                    self.fail_workflow(wf, now);
-                }
-            }
-        }
-        self.gossip.forget_node(node);
-    }
-
-    fn handle_join(&mut self, node: NodeId) {
-        let nd = &mut self.nodes[node];
-        if nd.alive {
-            return;
-        }
-        nd.alive = true;
-        nd.ready.clear();
-        nd.running = None;
-    }
-
-    fn churn_step(&mut self, now: SimTime) {
-        let df = self.config.churn.dynamic_factor;
-        if df <= 0.0 {
-            return;
-        }
-        let churn_count = ((self.nodes.len() as f64) * df).round() as usize;
-        if churn_count == 0 {
-            return;
-        }
-        let alive_churnable: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].churnable && self.nodes[i].alive)
-            .collect();
-        let dead_churnable: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].churnable && !self.nodes[i].alive)
-            .collect();
-        let leaving: Vec<NodeId> = self
-            .churn_rng
-            .choose_multiple(&alive_churnable, churn_count)
-            .into_iter()
-            .copied()
-            .collect();
-        let joining: Vec<NodeId> = self
-            .churn_rng
-            .choose_multiple(&dead_churnable, churn_count)
-            .into_iter()
-            .copied()
-            .collect();
-        for node in leaving {
-            self.handle_departure(node, now);
-        }
-        for node in joining {
-            self.handle_join(node);
-        }
-    }
-
-    // ----- first phase ---------------------------------------------------------------------
-
-    fn scheduling_phase_one(&mut self, ctl: &mut SimControl<GridEvent>) {
-        let now = ctl.now();
-        let home_nodes: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].alive && !self.home_of[i].is_empty())
-            .collect();
-        for home in home_nodes {
-            if self.algo.algorithm.is_full_ahead() {
-                self.dispatch_full_ahead(home, ctl);
-            } else {
-                self.dispatch_just_in_time(home, ctl);
-            }
-            let _ = now;
-        }
-    }
-
-    /// Dispatch every current schedule point of the full-ahead baselines to its pre-planned
-    /// node (falling back to the home node if the planned node has churned away).
-    fn dispatch_full_ahead(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
-        let wf_indices = self.home_of[home].clone();
-        for wf in wf_indices {
-            if self.workflows[wf].completed || self.workflows[wf].failed {
-                continue;
-            }
-            let sps = {
-                let w = &self.workflows[wf];
-                w.progress.schedule_points(&w.workflow)
-            };
-            for task in sps {
-                let planned = self.workflows[wf].plan.as_ref().expect("full-ahead plan")
-                    [task.index()];
-                let target = if self.nodes[planned].alive { planned } else { home };
-                let (rpm, ms, sufferage) = {
-                    let w = &self.workflows[wf];
-                    (w.static_rpm[task.index()], w.static_ms_secs, 0.0)
-                };
-                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, ctl);
-            }
-        }
-    }
-
-    /// Algorithm 1 (and its competitor orderings) at one home node.
-    fn dispatch_just_in_time(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
-        // The home node's estimates of the system-wide averages come from the aggregation
-        // gossip; its candidate set comes from the epidemic gossip's RSS.
-        let (avg_cap, avg_bw) = self.gossip.expected_costs(home);
-        let costs = ExpectedCosts::new(avg_cap, avg_bw);
-
-        let mut candidate_tasks: Vec<DispatchCandidateTask> = Vec::new();
-        let wf_indices = self.home_of[home].clone();
-        for &wf in &wf_indices {
-            let w = &self.workflows[wf];
-            if w.completed || w.failed {
-                continue;
-            }
-            let sps = w.progress.schedule_points(&w.workflow);
-            if sps.is_empty() {
-                continue;
-            }
-            let analysis = WorkflowAnalysis::new(&w.workflow, costs);
-            let ms = sps
-                .iter()
-                .map(|&t| analysis.rpm_secs(t))
-                .fold(0.0f64, f64::max);
-            for t in sps {
-                let predecessors: Vec<PredecessorData> = w
-                    .workflow
-                    .precedents(t)
-                    .iter()
-                    .map(|e| PredecessorData {
-                        location: w.task_location[e.task.index()].unwrap_or(w.home),
-                        data_mb: e.data_mb,
-                    })
-                    .collect();
-                candidate_tasks.push(DispatchCandidateTask {
-                    workflow: wf,
-                    task: t,
-                    load_mi: w.workflow.task(t).load_mi,
-                    image_size_mb: w.workflow.task(t).image_size_mb,
-                    rpm_secs: analysis.rpm_secs(t),
-                    workflow_ms_secs: ms,
-                    predecessors,
-                });
-            }
-        }
-        if candidate_tasks.is_empty() {
-            return;
-        }
-
-        // Candidate resource nodes: the home node's RSS (always contains itself once gossip has
-        // run; fall back to the home node before that), restricted to currently alive nodes.
-        let mut candidates: Vec<CandidateNode> = self
-            .gossip
-            .rss(home)
-            .records_sorted()
-            .into_iter()
-            .filter(|r| self.nodes[r.node].alive)
-            .map(|r| CandidateNode {
-                node: r.node,
-                capacity_mips: r.capacity_mips,
-                total_load_mi: r.total_load_mi,
-            })
-            .collect();
-        if candidates.is_empty() {
-            candidates.push(CandidateNode {
-                node: home,
-                capacity_mips: self.nodes[home].capacity_mips,
-                total_load_mi: self.total_load_mi(home, ctl.now()),
-            });
-        }
-
-        let landmarks = &self.landmarks;
-        let bw_estimate =
-            move |a: NodeId, b: NodeId| -> f64 { landmarks.estimate_bandwidth_mbps(a, b) };
-        let estimator = FinishTimeEstimator::new(home, &bw_estimate);
-        let decisions = plan_dispatch(
-            self.algo.algorithm,
-            &candidate_tasks,
-            &mut candidates,
-            &estimator,
-        );
-        let lookup: std::collections::HashMap<(usize, TaskId), (f64, f64)> = candidate_tasks
-            .iter()
-            .map(|t| ((t.workflow, t.task), (t.rpm_secs, t.workflow_ms_secs)))
-            .collect();
-        for d in decisions {
-            let (rpm, ms) = lookup[&(d.workflow, d.task)];
-            self.dispatch_task(
-                home,
-                d.workflow,
-                d.task,
-                d.target,
-                rpm,
-                ms,
-                d.sufferage_secs,
-                ctl,
-            );
-        }
-    }
-
-    /// Migrate a task to its chosen resource node: mark it dispatched, enqueue it in the ready
-    /// set and schedule the completion of its (true) data transfers.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_task(
-        &mut self,
-        home: NodeId,
-        wf: usize,
-        task: TaskId,
-        target: NodeId,
-        rpm_secs: f64,
-        ms_secs: f64,
-        sufferage_secs: f64,
-        ctl: &mut SimControl<GridEvent>,
-    ) {
-        if !self.nodes[target].alive {
-            // A stale RSS record pointed at a node that just churned away; the migration fails
-            // before any computation happens, so the task simply stays a schedule point and is
-            // retried at the next scheduling cycle.
-            return;
-        }
-        let (load_mi, image_mb, transfers): (f64, f64, Vec<(NodeId, f64)>) = {
-            let w = &self.workflows[wf];
-            let t = w.workflow.task(task);
-            let transfers = w
-                .workflow
-                .precedents(task)
-                .iter()
-                .map(|e| {
-                    (
-                        w.task_location[e.task.index()].unwrap_or(w.home),
-                        e.data_mb,
-                    )
-                })
-                .collect();
-            (t.load_mi, t.image_size_mb, transfers)
-        };
-        self.workflows[wf].progress.mark_dispatched(task);
-        self.dispatched_tasks += 1;
-
-        // True transfer times on the ground-truth network: program image from the home node
-        // plus dependent data from every precedent's execution site, all in parallel.
-        let mut transfer_secs = self.metrics_net.transfer_secs(home, target, image_mb);
-        for (from, data_mb) in transfers {
-            transfer_secs = transfer_secs.max(self.metrics_net.transfer_secs(from, target, data_mb));
-        }
-        let exec_secs = load_mi / self.nodes[target].capacity_mips;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.nodes[target].ready.push(ReadyRt {
-            wf,
-            task,
-            load_mi,
-            rpm_secs,
-            ms_secs,
-            exec_secs,
-            sufferage_secs,
-            seq,
-            data_ready: false,
-        });
-        ctl.schedule_in(
-            SimDuration::from_secs_f64(transfer_secs),
-            GridEvent::DataReady {
-                node: target,
-                epoch: self.nodes[target].epoch,
-                wf,
-                task,
-            },
-        );
-    }
-
-    // ----- second phase --------------------------------------------------------------------
-
-    /// Algorithm 2: if the CPU is idle, pick the next data-complete ready task and run it.
-    fn try_start_task(&mut self, node: NodeId, ctl: &mut SimControl<GridEvent>) {
-        let nd = &self.nodes[node];
-        if !nd.alive || nd.running.is_some() {
-            return;
-        }
-        let eligible: Vec<usize> = nd
-            .ready
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.data_ready)
-            .map(|(i, _)| i)
-            .collect();
-        if eligible.is_empty() {
-            return;
-        }
-        let views: Vec<ReadyTaskView> = eligible
-            .iter()
-            .map(|&i| {
-                let r = &nd.ready[i];
-                ReadyTaskView {
-                    workflow_ms_secs: r.ms_secs,
-                    rpm_secs: r.rpm_secs,
-                    exec_secs: r.exec_secs,
-                    sufferage_secs: r.sufferage_secs,
-                    enqueued_seq: r.seq,
-                }
-            })
-            .collect();
-        let Some(pick) = select_next(self.algo.second_phase, &views) else {
-            return;
-        };
-        let chosen_idx = eligible[pick];
-        let chosen = self.nodes[node].ready.remove(chosen_idx);
-        let finish_at = ctl.now() + SimDuration::from_secs_f64(chosen.exec_secs);
-        self.nodes[node].running = Some(RunningRt {
-            wf: chosen.wf,
-            task: chosen.task,
-            finish_at,
-        });
-        self.executed_tasks += 1;
-        ctl.schedule_at(
-            finish_at,
-            GridEvent::TaskCompleted {
-                node,
-                epoch: self.nodes[node].epoch,
-                wf: chosen.wf,
-                task: chosen.task,
-            },
-        );
-    }
-
-    fn on_data_ready(&mut self, node: NodeId, epoch: u64, wf: usize, task: TaskId, ctl: &mut SimControl<GridEvent>) {
-        if !self.nodes[node].alive || self.nodes[node].epoch != epoch {
-            return;
-        }
-        if let Some(entry) = self.nodes[node]
-            .ready
-            .iter_mut()
-            .find(|r| r.wf == wf && r.task == task)
-        {
-            entry.data_ready = true;
-        }
-        self.try_start_task(node, ctl);
-    }
-
-    fn on_task_completed(
-        &mut self,
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-        ctl: &mut SimControl<GridEvent>,
-    ) {
-        if self.nodes[node].epoch != epoch || !self.nodes[node].alive {
-            return;
-        }
-        match self.nodes[node].running {
-            Some(run) if run.wf == wf && run.task == task => {
-                self.nodes[node].running = None;
-            }
-            _ => return,
-        }
-        let now = ctl.now();
-        {
-            let w = &mut self.workflows[wf];
-            if !w.failed && !w.completed {
-                w.task_location[task.index()] = Some(node);
-                w.progress.mark_finished(&w.workflow, task);
-                if task == w.workflow.exit() {
-                    w.completed = true;
-                    self.metrics.record_completion(WorkflowRecord {
-                        submitted_at: w.submitted_at,
-                        completed_at: now,
-                        expected_finish_secs: w.eft_secs,
-                        outcome: WorkflowOutcome::Completed,
-                    });
-                }
-            }
-        }
-        self.try_start_task(node, ctl);
-    }
-
-    fn finish(mut self, end_time: SimTime) -> SimulationReport {
-        self.metrics.sample(end_time);
-        let local = self.local_gossip_states(end_time);
-        let avg_rss_size = self.gossip.average_rss_size(&local);
-        SimulationReport {
-            algorithm: self.algo.label(),
-            gossip_stats: self.gossip.stats(),
-            avg_rss_size,
-            end_time,
-            nodes: self.config.nodes,
-            submitted: self.metrics.submitted(),
-            completed: self.metrics.throughput(),
-            failed: self.metrics.failed(),
-            metrics: self.metrics,
-        }
-    }
-}
-
-impl p2pgrid_sim::EventHandler<GridEvent> for GridState {
-    fn handle(&mut self, ctl: &mut SimControl<GridEvent>, event: GridEvent) {
-        match event {
-            GridEvent::GossipCycle => {
-                let local = self.local_gossip_states(ctl.now());
-                let mut rng = self.gossip_rng.clone();
-                self.gossip.run_cycle(ctl.now(), &local, &mut rng);
-                self.gossip_rng = rng;
-                ctl.schedule_in(self.config.gossip_interval, GridEvent::GossipCycle);
-            }
-            GridEvent::SchedulingCycle => {
-                self.churn_step(ctl.now());
-                self.scheduling_phase_one(ctl);
-                // Newly dispatched zero-transfer tasks may already be startable.
-                ctl.schedule_in(self.config.scheduling_interval, GridEvent::SchedulingCycle);
-            }
-            GridEvent::MetricsSample => {
-                self.metrics.sample(ctl.now());
-                ctl.schedule_in(self.config.metrics_interval, GridEvent::MetricsSample);
-            }
-            GridEvent::DataReady { node, epoch, wf, task } => {
-                self.on_data_ready(node, epoch, wf, task, ctl);
-            }
-            GridEvent::TaskCompleted { node, epoch, wf, task } => {
-                self.on_task_completed(node, epoch, wf, task, ctl);
-            }
-        }
-    }
-}
+use crate::scheduler::Scheduler;
 
 /// One configured simulation run.
 pub struct GridSimulation {
     config: GridConfig,
-    algo: AlgorithmConfig,
+    scheduler: Box<dyn Scheduler>,
 }
 
 impl GridSimulation {
-    /// Create a run for the given grid configuration and scheduler.
+    /// Create a run for the given grid configuration and algorithm pairing.
     pub fn new(config: GridConfig, algo: AlgorithmConfig) -> Self {
-        GridSimulation { config, algo }
+        GridSimulation::with_scheduler(config, Box::new(algo))
     }
 
     /// Convenience constructor using the algorithm's paper-default phase pairing.
@@ -774,193 +35,14 @@ impl GridSimulation {
         GridSimulation::new(config, AlgorithmConfig::paper_default(algorithm))
     }
 
+    /// Create a run driven by any [`Scheduler`] implementation — the seam for scheduling
+    /// policies beyond the paper's built-in eight.
+    pub fn with_scheduler(config: GridConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        GridSimulation { config, scheduler }
+    }
+
     /// Run the simulation to its horizon and return the report.
     pub fn run(self) -> SimulationReport {
-        let horizon = SimTime::ZERO + self.config.horizon;
-        let mut state = GridState::new(self.config, self.algo);
-        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
-        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
-        sim.schedule_at(SimTime::ZERO, GridEvent::MetricsSample);
-        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-        sim.run(&mut state);
-        state.finish(horizon)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::algorithm::SecondPhase;
-    use crate::config::{CapacityModel, ChurnConfig};
-
-    fn tiny_config(seed: u64) -> GridConfig {
-        let mut cfg = GridConfig::small(12).with_seed(seed);
-        cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=6;
-        cfg.horizon = SimDuration::from_hours(20);
-        cfg
-    }
-
-    #[test]
-    fn dsmf_run_completes_workflows_and_reports_metrics() {
-        let report = GridSimulation::with_algorithm(tiny_config(1), Algorithm::Dsmf).run();
-        assert_eq!(report.submitted, 12);
-        assert!(report.completed > 0, "no workflow completed within the horizon");
-        assert!(report.act_secs() > 0.0);
-        assert!(report.average_efficiency() > 0.0);
-        assert!(report.avg_rss_size >= 1.0);
-        assert!(report.gossip_stats.cycles > 0);
-        assert_eq!(report.algorithm, "DSMF");
-        // The throughput series is sampled hourly plus the final sample.
-        assert!(report.metrics.throughput_series().len() >= 20);
-    }
-
-    #[test]
-    fn every_algorithm_runs_on_the_same_tiny_grid() {
-        for alg in Algorithm::ALL {
-            let report = GridSimulation::with_algorithm(tiny_config(2), alg).run();
-            assert!(
-                report.completed > 0,
-                "{alg}: no workflow completed within the horizon"
-            );
-            assert!(report.completed <= report.submitted);
-            assert!(report.average_efficiency() > 0.0, "{alg}: zero efficiency");
-        }
-    }
-
-    #[test]
-    fn runs_are_deterministic_per_seed() {
-        let a = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
-        let b = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.act_secs(), b.act_secs());
-        assert_eq!(a.average_efficiency(), b.average_efficiency());
-        let c = GridSimulation::with_algorithm(tiny_config(4), Algorithm::Dsmf).run();
-        // A different seed gives a different workload, so at least one headline number differs.
-        assert!(
-            a.completed != c.completed || a.act_secs() != c.act_secs(),
-            "different seeds should produce different runs"
-        );
-    }
-
-    #[test]
-    fn fcfs_ablation_changes_only_the_second_phase() {
-        let paper = GridSimulation::new(
-            tiny_config(5),
-            AlgorithmConfig::paper_default(Algorithm::MinMin),
-        )
-        .run();
-        let fcfs = GridSimulation::new(
-            tiny_config(5),
-            AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin),
-        )
-        .run();
-        assert_eq!(paper.submitted, fcfs.submitted);
-        assert_eq!(fcfs.algorithm, "min-min+FCFS");
-        assert!(fcfs.completed > 0);
-    }
-
-    #[test]
-    fn churn_loses_workflows_but_keeps_the_rest_running() {
-        let mut cfg = tiny_config(6).with_churn(ChurnConfig::with_dynamic_factor(0.2));
-        cfg.nodes = 20;
-        cfg.waxman.nodes = 20;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
-        // Only stable nodes are home nodes: 50% of 20 = 10 homes, 1 workflow each.
-        assert_eq!(report.submitted, 10);
-        assert!(report.completed + report.failed <= report.submitted);
-        assert!(report.completed > 0, "churn must not wipe out every workflow");
-    }
-
-    #[test]
-    fn rescheduling_extension_recovers_lost_tasks() {
-        let mut churned = ChurnConfig::with_dynamic_factor(0.3);
-        churned.reschedule_lost_tasks = true;
-        let mut cfg = tiny_config(7).with_churn(churned);
-        cfg.nodes = 20;
-        cfg.waxman.nodes = 20;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
-        assert_eq!(
-            report.failed, 0,
-            "with rescheduling enabled no workflow should be recorded as failed"
-        );
-    }
-
-    #[test]
-    fn uniform_capacity_single_node_grid_still_finishes() {
-        let mut cfg = GridConfig::small(1).with_seed(8);
-        cfg.workflows_per_node = 2;
-        cfg.capacity = CapacityModel::Uniform(4.0);
-        cfg.workflow.tasks = 2..=4;
-        cfg.horizon = SimDuration::from_hours(30);
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
-        assert_eq!(report.submitted, 2);
-        assert!(report.completed > 0);
-    }
-
-    #[test]
-    fn all_tasks_execute_at_most_once() {
-        let mut cfg = tiny_config(9);
-        cfg.workflows_per_node = 2;
-        let config_clone = cfg.clone();
-        let algo = AlgorithmConfig::paper_default(Algorithm::Dsmf);
-        let horizon = SimTime::ZERO + config_clone.horizon;
-        let mut state = GridState::new(config_clone, algo);
-        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
-        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
-        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-        sim.run(&mut state);
-        let total_tasks: usize = state.workflows.iter().map(|w| w.workflow.task_count()).sum();
-        assert!(state.executed_tasks <= state.dispatched_tasks);
-        assert!(state.dispatched_tasks as usize <= total_tasks);
-        // Completed workflows really finished every one of their tasks.
-        for w in &state.workflows {
-            if w.completed {
-                assert!(w.progress.is_complete());
-                assert!(w.task_location.iter().all(|l| l.is_some()));
-            }
-        }
-        let _ = cfg;
-    }
-
-    #[test]
-    fn departures_only_fail_workflows_whose_task_was_running() {
-        // Under churn, the failure count can never exceed the number of running-task losses:
-        // each departure takes down at most one workflow (the one whose task occupied the CPU),
-        // while queued tasks are silently re-dispatched.  With one workflow per home node and a
-        // modest dynamic factor, some workflows must still survive and complete.
-        let mut cfg = tiny_config(11).with_churn(ChurnConfig::with_dynamic_factor(0.2));
-        cfg.nodes = 30;
-        cfg.waxman.nodes = 30;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
-        assert_eq!(report.submitted, 15);
-        assert!(report.completed > 0);
-        assert!(report.completed + report.failed <= report.submitted);
-    }
-
-    #[test]
-    fn churn_sweep_baseline_matches_restricted_home_population() {
-        // The df = 0 baseline of the churn experiments uses the same stable home population as
-        // the churned points, so throughput numbers are directly comparable.
-        // tiny_config builds a 12-node grid with one workflow per home node; restricting the
-        // home set to the stable half leaves 6 submissions.
-        let cfg = tiny_config(16).with_churn(ChurnConfig::with_dynamic_factor(0.0));
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
-        assert_eq!(report.submitted, 6);
-        assert_eq!(report.failed, 0);
-    }
-
-    #[test]
-    fn second_phase_rule_is_respected_in_reports_label() {
-        let cfg = tiny_config(10);
-        let report = GridSimulation::new(
-            cfg,
-            AlgorithmConfig {
-                algorithm: Algorithm::Dsmf,
-                second_phase: SecondPhase::Fcfs,
-            },
-        )
-        .run();
-        assert_eq!(report.algorithm, "DSMF+FCFS");
+        EngineState::run_to_horizon(self.config, self.scheduler)
     }
 }

@@ -10,8 +10,8 @@
 //! takes correspondingly longer.
 
 use p2pgrid_core::worked_example;
-use p2pgrid_experiments::{ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison};
 use p2pgrid_experiments::ExperimentScale;
+use p2pgrid_experiments::{ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison};
 use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +82,11 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    Ok(Args { scale, seed, figure })
+    Ok(Args {
+        scale,
+        seed,
+        figure,
+    })
 }
 
 fn print_worked_example() {

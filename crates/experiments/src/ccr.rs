@@ -88,7 +88,13 @@ pub fn run(scale: ExperimentScale, seed: u64) -> CcrSweep {
 }
 
 impl CcrSweep {
-    fn figure(&self, id: &str, title: &str, y_label: &str, f: impl Fn(&SimulationReport) -> f64) -> FigureData {
+    fn figure(
+        &self,
+        id: &str,
+        title: &str,
+        y_label: &str,
+        f: impl Fn(&SimulationReport) -> f64,
+    ) -> FigureData {
         let mut fig = FigureData::new(id, title, "case index", y_label);
         for (alg, row) in Algorithm::ALL.iter().zip(&self.reports) {
             let points = row

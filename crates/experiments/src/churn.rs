@@ -79,7 +79,10 @@ impl ChurnSweep {
             "ACT (s)",
         );
         for (df, r) in self.dynamic_factors.iter().zip(&self.reports) {
-            fig.push_series(Series::new(self.label(*df), series_points(r.metrics.act_series())));
+            fig.push_series(Series::new(
+                self.label(*df),
+                series_points(r.metrics.act_series()),
+            ));
         }
         fig
     }
@@ -93,7 +96,10 @@ impl ChurnSweep {
             "AE",
         );
         for (df, r) in self.dynamic_factors.iter().zip(&self.reports) {
-            fig.push_series(Series::new(self.label(*df), series_points(r.metrics.ae_series())));
+            fig.push_series(Series::new(
+                self.label(*df),
+                series_points(r.metrics.ae_series()),
+            ));
         }
         fig
     }
@@ -123,9 +129,18 @@ mod tests {
             "churn should not increase throughput"
         );
         // Figures carry one curve per dynamic factor.
-        assert_eq!(sweep.fig12_throughput().series.len(), sweep.dynamic_factors.len());
-        assert_eq!(sweep.fig13_average_finish_time().series.len(), sweep.dynamic_factors.len());
-        assert_eq!(sweep.fig14_average_efficiency().series.len(), sweep.dynamic_factors.len());
+        assert_eq!(
+            sweep.fig12_throughput().series.len(),
+            sweep.dynamic_factors.len()
+        );
+        assert_eq!(
+            sweep.fig13_average_finish_time().series.len(),
+            sweep.dynamic_factors.len()
+        );
+        assert_eq!(
+            sweep.fig14_average_efficiency().series.len(),
+            sweep.dynamic_factors.len()
+        );
     }
 
     #[test]

@@ -111,7 +111,13 @@ impl FcfsAblation {
             })
             .collect();
         format_table(
-            &["algorithm", "ACT (phase 2)", "ACT (FCFS)", "AE (phase 2)", "AE (FCFS)"],
+            &[
+                "algorithm",
+                "ACT (phase 2)",
+                "ACT (FCFS)",
+                "AE (phase 2)",
+                "AE (FCFS)",
+            ],
             &rows,
         )
     }

@@ -25,9 +25,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> LoadFactorSweep {
         .par_iter()
         .map(|&(a, l)| {
             let alg = Algorithm::ALL[a];
-            let cfg = scale
-                .base_config(seed)
-                .with_load_factor(load_factors[l]);
+            let cfg = scale.base_config(seed).with_load_factor(load_factors[l]);
             let report = GridSimulation::new(cfg, AlgorithmConfig::paper_default(alg)).run();
             ((a, l), report)
         })
@@ -47,7 +45,13 @@ pub fn run(scale: ExperimentScale, seed: u64) -> LoadFactorSweep {
 }
 
 impl LoadFactorSweep {
-    fn figure(&self, id: &str, title: &str, y_label: &str, f: impl Fn(&SimulationReport) -> f64) -> FigureData {
+    fn figure(
+        &self,
+        id: &str,
+        title: &str,
+        y_label: &str,
+        f: impl Fn(&SimulationReport) -> f64,
+    ) -> FigureData {
         let mut fig = FigureData::new(id, title, "load factor", y_label);
         for (alg, row) in Algorithm::ALL.iter().zip(&self.reports) {
             let points = self

@@ -33,16 +33,12 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => GridConfig::paper_default().with_seed(seed),
             ExperimentScale::Reduced => {
-                let mut cfg = GridConfig::paper_default()
-                    .with_nodes(120)
-                    .with_seed(seed);
+                let mut cfg = GridConfig::paper_default().with_nodes(120).with_seed(seed);
                 cfg.workflows_per_node = 3;
                 cfg
             }
             ExperimentScale::Smoke => {
-                let mut cfg = GridConfig::paper_default()
-                    .with_nodes(24)
-                    .with_seed(seed);
+                let mut cfg = GridConfig::paper_default().with_nodes(24).with_seed(seed);
                 cfg.workflows_per_node = 1;
                 cfg.workflow.tasks = 2..=8;
                 cfg.horizon = SimDuration::from_hours(12);
@@ -63,7 +59,9 @@ impl ExperimentScale {
     /// The node-count sweep used by the Fig. 11 scalability experiment at this scale.
     pub fn scalability_sweep(self) -> Vec<usize> {
         match self {
-            ExperimentScale::Full => vec![100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000],
+            ExperimentScale::Full => {
+                vec![100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000]
+            }
             ExperimentScale::Reduced => vec![50, 100, 150, 200, 300, 400],
             ExperimentScale::Smoke => vec![16, 24, 32],
         }
@@ -93,8 +91,14 @@ mod tests {
     #[test]
     fn parse_accepts_known_names_only() {
         assert_eq!(ExperimentScale::parse("full"), Some(ExperimentScale::Full));
-        assert_eq!(ExperimentScale::parse("Reduced"), Some(ExperimentScale::Reduced));
-        assert_eq!(ExperimentScale::parse("SMOKE"), Some(ExperimentScale::Smoke));
+        assert_eq!(
+            ExperimentScale::parse("Reduced"),
+            Some(ExperimentScale::Reduced)
+        );
+        assert_eq!(
+            ExperimentScale::parse("SMOKE"),
+            Some(ExperimentScale::Smoke)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 
@@ -114,7 +118,10 @@ mod tests {
 
     #[test]
     fn sweeps_match_the_paper_at_full_scale() {
-        assert_eq!(ExperimentScale::Full.load_factor_sweep(), (1..=8).collect::<Vec<_>>());
+        assert_eq!(
+            ExperimentScale::Full.load_factor_sweep(),
+            (1..=8).collect::<Vec<_>>()
+        );
         assert_eq!(
             ExperimentScale::Full.dynamic_factor_sweep(),
             vec![0.0, 0.1, 0.2, 0.3, 0.4]

@@ -8,7 +8,11 @@
 //!
 //! To track values that drift over time (node churn changes the true averages) the protocol is
 //! restarted in epochs: every `restart_every` cycles each node re-seeds its estimate from its
-//! current local value, as in the original paper's periodic restart mechanism.
+//! current local value, as in the original paper's periodic restart mechanism.  Consumers never
+//! see the freshly re-seeded values, though: at each restart the converged estimates of the
+//! finished epoch are snapshotted, and [`AggregationGossip::estimate`] reports that snapshot
+//! while the new epoch converges in the background — so scheduling decisions taken right after
+//! a restart are as well informed as ones taken at the end of an epoch.
 
 use crate::state::PeerId;
 use crate::view::NewscastView;
@@ -34,6 +38,9 @@ pub struct AggregationGossip {
     config: AggregationConfig,
     estimates: Vec<f64>,
     initialized: Vec<bool>,
+    /// Converged estimates snapshotted at the last epoch restart (reported to consumers).
+    reported: Vec<f64>,
+    has_report: Vec<bool>,
     cycle: u32,
     exchanges: u64,
 }
@@ -45,16 +52,23 @@ impl AggregationGossip {
             config,
             estimates: vec![0.0; n],
             initialized: vec![false; n],
+            reported: vec![0.0; n],
+            has_report: vec![false; n],
             cycle: 0,
             exchanges: 0,
         }
     }
 
-    /// The current estimate held by `node`.
+    /// The estimate `node` currently reports: the converged value of the last finished epoch,
+    /// or the in-progress estimate while the first epoch is still running.
     ///
     /// Before the first cycle (or right after a node joins) this is the node's own local value.
     pub fn estimate(&self, node: PeerId) -> f64 {
-        self.estimates[node]
+        if self.has_report[node] {
+            self.reported[node]
+        } else {
+            self.estimates[node]
+        }
     }
 
     /// Number of pairwise exchanges performed so far.
@@ -83,7 +97,7 @@ impl AggregationGossip {
         let mut cnt = 0u32;
         for (i, v) in local.iter().enumerate() {
             if v.is_some() {
-                sum += (self.estimates[i] - truth).abs() / truth.abs();
+                sum += (self.estimate(i) - truth).abs() / truth.abs();
                 cnt += 1;
             }
         }
@@ -99,12 +113,7 @@ impl AggregationGossip {
     /// `local[i]` is the node's current local value (`None` for departed nodes) and `views[i]`
     /// supplies peer candidates; nodes with empty views fall back to a uniformly random alive
     /// peer so that bootstrap and churn cannot stall convergence.
-    pub fn run_cycle(
-        &mut self,
-        local: &[Option<f64>],
-        views: &[NewscastView],
-        rng: &mut SimRng,
-    ) {
+    pub fn run_cycle(&mut self, local: &[Option<f64>], views: &[NewscastView], rng: &mut SimRng) {
         let n = self.estimates.len();
         assert_eq!(local.len(), n);
         assert_eq!(views.len(), n);
@@ -115,17 +124,27 @@ impl AggregationGossip {
             return;
         }
 
-        // Epoch restart / (re-)initialisation from local values.
-        let restart = self.cycle % self.config.restart_every == 0;
+        // Epoch restart / (re-)initialisation from local values.  The finished epoch's
+        // converged estimates become the reported snapshot before they are re-seeded.
+        let restart = self.cycle.is_multiple_of(self.config.restart_every);
+        if restart && self.cycle > 0 {
+            for &i in &alive {
+                if self.initialized[i] {
+                    self.reported[i] = self.estimates[i];
+                    self.has_report[i] = true;
+                }
+            }
+        }
         for &i in &alive {
             if restart || !self.initialized[i] {
                 self.estimates[i] = local[i].expect("alive");
                 self.initialized[i] = true;
             }
         }
-        for i in 0..n {
-            if local[i].is_none() {
+        for (i, v) in local.iter().enumerate() {
+            if v.is_none() {
                 self.initialized[i] = false;
+                self.has_report[i] = false;
             }
         }
 
@@ -181,7 +200,12 @@ mod tests {
         let n = 100;
         let local: Vec<Option<f64>> = (0..n).map(|i| Some((i % 16 + 1) as f64)).collect();
         let views = full_views(n);
-        let mut agg = AggregationGossip::new(n, AggregationConfig { restart_every: 1000 });
+        let mut agg = AggregationGossip::new(
+            n,
+            AggregationConfig {
+                restart_every: 1000,
+            },
+        );
         let mut rng = SimRng::seed_from_u64(1);
         agg.run_cycle(&local, &views, &mut rng);
         let err_after_1 = agg.mean_relative_error(&local);
@@ -193,7 +217,10 @@ mod tests {
             err_after_15 < err_after_1 / 10.0,
             "convergence too slow: {err_after_1} -> {err_after_15}"
         );
-        assert!(err_after_15 < 0.02, "estimates should be within 2% after 15 cycles");
+        assert!(
+            err_after_15 < 0.02,
+            "estimates should be within 2% after 15 cycles"
+        );
     }
 
     #[test]
@@ -203,7 +230,12 @@ mod tests {
         let n = 32;
         let local: Vec<Option<f64>> = (0..n).map(|i| Some(i as f64)).collect();
         let views = full_views(n);
-        let mut agg = AggregationGossip::new(n, AggregationConfig { restart_every: 1000 });
+        let mut agg = AggregationGossip::new(
+            n,
+            AggregationConfig {
+                restart_every: 1000,
+            },
+        );
         let mut rng = SimRng::seed_from_u64(2);
         agg.run_cycle(&local, &views, &mut rng);
         let sum_after_first: f64 = (0..n).map(|i| agg.estimate(i)).sum();
@@ -238,6 +270,26 @@ mod tests {
     }
 
     #[test]
+    fn restart_reports_the_finished_epochs_converged_estimate() {
+        let n = 64;
+        let views = full_views(n);
+        let mut agg = AggregationGossip::new(n, AggregationConfig { restart_every: 8 });
+        let mut rng = SimRng::seed_from_u64(9);
+        let local: Vec<Option<f64>> = (0..n).map(|i| Some((i % 16 + 1) as f64)).collect();
+        // Run exactly one cycle past a restart: the raw estimates were just re-seeded from
+        // wildly spread local values, but the *reported* estimates must still be the previous
+        // epoch's converged values.
+        for _ in 0..9 {
+            agg.run_cycle(&local, &views, &mut rng);
+        }
+        let err = agg.mean_relative_error(&local);
+        assert!(
+            err < 0.05,
+            "reported estimates right after a restart should stay converged, error {err}"
+        );
+    }
+
+    #[test]
     fn churned_nodes_are_excluded_from_the_average() {
         let n = 40;
         let views = full_views(n);
@@ -251,16 +303,19 @@ mod tests {
             agg.run_cycle(&local, &views, &mut rng);
         }
         // All the capacity-8 nodes leave; the mean of the survivors is 2.
-        for i in 0..n {
+        for (i, v) in local.iter_mut().enumerate() {
             if i % 2 == 1 {
-                local[i] = None;
+                *v = None;
             }
         }
         for _ in 0..24 {
             agg.run_cycle(&local, &views, &mut rng);
         }
         let err = agg.mean_relative_error(&local);
-        assert!(err < 0.05, "survivor estimates should re-converge, error {err}");
+        assert!(
+            err < 0.05,
+            "survivor estimates should re-converge, error {err}"
+        );
     }
 
     #[test]
@@ -275,7 +330,10 @@ mod tests {
         // Node 7 joins with a very different local value.
         local[7] = Some(400.0);
         agg.run_cycle(&local, &views, &mut rng);
-        assert!(agg.estimate(7) > 4.0, "joining node must start from its local value");
-        assert_eq!(agg.exchanges() > 0, true);
+        assert!(
+            agg.estimate(7) > 4.0,
+            "joining node must start from its local value"
+        );
+        assert!(agg.exchanges() > 0);
     }
 }

@@ -214,8 +214,7 @@ mod tests {
             gossip.run_cycle(SimTime::from_secs(cycle * 300), &local, &views, &mut rng);
         }
         // After ~log2(n) cycles most nodes should know a healthy number of peers.
-        let avg_known: f64 =
-            (0..n).map(|i| gossip.rss(i).len() as f64).sum::<f64>() / n as f64;
+        let avg_known: f64 = (0..n).map(|i| gossip.rss(i).len() as f64).sum::<f64>() / n as f64;
         assert!(
             avg_known >= 16.0,
             "epidemic spread too slow: average RSS size {avg_known}"

@@ -102,7 +102,8 @@ impl MixedGossip {
         let rss_capacity = config
             .rss_capacity
             .unwrap_or_else(|| (4 * crate::default_fanout(n)).max(8));
-        let mut views: Vec<NewscastView> = (0..n).map(|i| NewscastView::new(i, view_size)).collect();
+        let mut views: Vec<NewscastView> =
+            (0..n).map(|i| NewscastView::new(i, view_size)).collect();
         let all: Vec<PeerId> = (0..n).collect();
         for (i, view) in views.iter_mut().enumerate() {
             for &p in rng.choose_multiple(&all, view_size.min(n.saturating_sub(1)) + 1) {
@@ -225,9 +226,17 @@ impl MixedGossip {
                 })
             })
             .collect();
+        // Derived streams depend only on (key, label), never on the parent's position, so a
+        // constant label would replay the identical random sequence every cycle; indexing the
+        // derivation by the cycle counter keeps each cycle's peer sampling fresh.
+        let cycle = self.stats.cycles;
         let epidemic_before = self.epidemic.messages_sent();
-        self.epidemic
-            .run_cycle(now, &adverts, &self.views, &mut rng.derive("epidemic"));
+        self.epidemic.run_cycle(
+            now,
+            &adverts,
+            &self.views,
+            &mut rng.derive_indexed("epidemic", cycle),
+        );
         let epidemic_delta = self.epidemic.messages_sent() - epidemic_before;
 
         // 3. Aggregation of the two global statistics.
@@ -240,10 +249,16 @@ impl MixedGossip {
             .map(|s| s.alive.then_some(s.local_avg_bandwidth_mbps))
             .collect();
         let agg_before = self.agg_capacity.exchanges() + self.agg_bandwidth.exchanges();
-        self.agg_capacity
-            .run_cycle(&caps, &self.views, &mut rng.derive("agg-capacity"));
-        self.agg_bandwidth
-            .run_cycle(&bws, &self.views, &mut rng.derive("agg-bandwidth"));
+        self.agg_capacity.run_cycle(
+            &caps,
+            &self.views,
+            &mut rng.derive_indexed("agg-capacity", cycle),
+        );
+        self.agg_bandwidth.run_cycle(
+            &bws,
+            &self.views,
+            &mut rng.derive_indexed("agg-bandwidth", cycle),
+        );
         let agg_delta = self.agg_capacity.exchanges() + self.agg_bandwidth.exchanges() - agg_before;
 
         // 4. Traffic accounting (~100 bytes per message / exchange, as argued in §IV.A).
@@ -289,8 +304,14 @@ mod tests {
         }
         // Average capacity of the population: (1+2+4+8+16)/5 = 6.2 MIPS.
         let (cap, bw) = gossip.expected_costs(0);
-        assert!((cap - 6.2).abs() < 0.6, "capacity estimate {cap} too far from 6.2");
-        assert!((bw - 5.0).abs() < 0.5, "bandwidth estimate {bw} too far from 5.0");
+        assert!(
+            (cap - 6.2).abs() < 0.6,
+            "capacity estimate {cap} too far from 6.2"
+        );
+        assert!(
+            (bw - 5.0).abs() < 0.5,
+            "bandwidth estimate {bw} too far from 5.0"
+        );
         // RSS populated but bounded.
         let avg = gossip.average_rss_size(&local);
         assert!(avg > 3.0, "RSS too small: {avg}");
@@ -315,7 +336,10 @@ mod tests {
                 gossip.run_cycle(SimTime::from_secs(c * 300), &local, &mut rng);
             }
             let avg = gossip.average_rss_size(&local);
-            assert!(avg <= 40.0, "n={n}: average RSS {avg} exceeds the O(log n) band");
+            assert!(
+                avg <= 40.0,
+                "n={n}: average RSS {avg} exceeds the O(log n) band"
+            );
             assert!(avg >= 3.0, "n={n}: average RSS {avg} suspiciously small");
         }
     }
@@ -330,9 +354,9 @@ mod tests {
             gossip.run_cycle(SimTime::from_secs(c * 300), &local, &mut rng);
         }
         // A third of the nodes churn away.
-        for i in 0..n {
+        for (i, s) in local.iter_mut().enumerate() {
             if i % 3 == 0 {
-                local[i].alive = false;
+                s.alive = false;
                 gossip.forget_node(i);
             }
         }
@@ -344,7 +368,11 @@ mod tests {
                 continue;
             }
             for r in gossip.rss(i).records() {
-                assert!(local[r.node].alive, "node {i} still lists departed node {}", r.node);
+                assert!(
+                    local[r.node].alive,
+                    "node {i} still lists departed node {}",
+                    r.node
+                );
             }
         }
         // The capacity estimate now reflects only the survivors.
@@ -354,7 +382,10 @@ mod tests {
             .collect();
         let truth = AggregationGossip::true_mean(&survivors);
         let est = gossip.avg_capacity_estimate(1);
-        assert!((est - truth).abs() / truth < 0.25, "estimate {est} vs truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -390,7 +421,10 @@ mod tests {
         for c in 6..12 {
             gossip.run_cycle(SimTime::from_secs(c * 300), &local, &mut rng);
         }
-        assert!(gossip.rss(29).len() >= 2, "joined node never learned about peers");
+        assert!(
+            gossip.rss(29).len() >= 2,
+            "joined node never learned about peers"
+        );
         assert!(gossip.avg_capacity_estimate(29) > 0.0);
     }
 

@@ -2,7 +2,7 @@
 
 use p2pgrid_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a peer node (dense index, shared with `p2pgrid-topology`).
 pub type PeerId = usize;
@@ -38,9 +38,14 @@ impl NodeStateRecord {
 /// The set keeps at most `capacity` records (the freshest ones win) and purges records older
 /// than the configured staleness limit, which together keep the per-node space complexity at
 /// `O(log n)` as claimed in Section III and measured in Fig. 11(a).
+///
+/// Records are stored in a `BTreeMap`, so iteration is *always* in ascending node-id order —
+/// the deterministic order scheduling decisions need.  The schedulers read the set every
+/// scheduling cycle, so keeping it sorted incrementally (`O(log n)` per merge over the ~log n
+/// records) beats the old clone-and-sort on every read.
 #[derive(Debug, Clone)]
 pub struct ResourceStateSet {
-    records: HashMap<PeerId, NodeStateRecord>,
+    records: BTreeMap<PeerId, NodeStateRecord>,
     capacity: usize,
 }
 
@@ -48,7 +53,7 @@ impl ResourceStateSet {
     /// Create an empty set bounded to `capacity` records.
     pub fn new(capacity: usize) -> Self {
         ResourceStateSet {
-            records: HashMap::with_capacity(capacity.min(1024)),
+            records: BTreeMap::new(),
             capacity: capacity.max(1),
         }
     }
@@ -73,16 +78,17 @@ impl ResourceStateSet {
         self.records.get(&node)
     }
 
-    /// Iterate over all known records (arbitrary order).
+    /// Iterate over all known records, always in ascending node-id order.
     pub fn records(&self) -> impl Iterator<Item = &NodeStateRecord> {
         self.records.values()
     }
 
     /// Known records sorted by node id (deterministic order for scheduling decisions).
+    ///
+    /// The map maintains this order incrementally, so this is a plain copy — no per-call
+    /// re-sort.  Prefer [`ResourceStateSet::records`] when borrowing suffices.
     pub fn records_sorted(&self) -> Vec<NodeStateRecord> {
-        let mut v: Vec<NodeStateRecord> = self.records.values().copied().collect();
-        v.sort_by_key(|r| r.node);
-        v
+        self.records.values().copied().collect()
     }
 
     /// Insert or refresh a record.  A record only replaces an existing one for the same node if
@@ -154,7 +160,10 @@ mod tests {
         let mut rss = ResourceStateSet::new(10);
         assert!(rss.merge(rec(1, 10)));
         assert!(!rss.merge(rec(1, 5)), "stale record must not overwrite");
-        assert!(!rss.merge(rec(1, 10)), "equal freshness must not count as a change");
+        assert!(
+            !rss.merge(rec(1, 10)),
+            "equal freshness must not count as a change"
+        );
         assert!(rss.merge(rec(1, 20)));
         assert_eq!(rss.get(1).unwrap().updated_at, SimTime::from_secs(20));
         assert_eq!(rss.len(), 1);
@@ -196,6 +205,41 @@ mod tests {
         rss.merge(rec(9, 3));
         let order: Vec<PeerId> = rss.records_sorted().iter().map(|r| r.node).collect();
         assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn iteration_order_stays_sorted_under_merges_evictions_and_purges() {
+        // The sorted order is maintained incrementally, so *every* read path — records(),
+        // records_sorted(), after merges, capacity evictions and purges — must observe
+        // ascending node ids.
+        let mut rss = ResourceStateSet::new(4);
+        for (node, t) in [(7, 10), (1, 20), (9, 30), (4, 40), (3, 50), (8, 60)] {
+            rss.merge(rec(node, t));
+            let via_iter: Vec<PeerId> = rss.records().map(|r| r.node).collect();
+            let mut expected = via_iter.clone();
+            expected.sort_unstable();
+            assert_eq!(
+                via_iter, expected,
+                "records() out of order after merging {node}"
+            );
+            assert_eq!(
+                rss.records_sorted()
+                    .iter()
+                    .map(|r| r.node)
+                    .collect::<Vec<_>>(),
+                via_iter,
+                "records_sorted() disagrees with records()"
+            );
+        }
+        assert_eq!(rss.len(), 4, "capacity bound respected");
+        rss.purge(SimTime::from_secs(100), SimDuration::from_secs(55), &|n| {
+            n == 9
+        });
+        let after: Vec<PeerId> = rss.records().map(|r| r.node).collect();
+        let mut expected = after.clone();
+        expected.sort_unstable();
+        assert_eq!(after, expected);
+        assert!(!after.contains(&9));
     }
 
     #[test]

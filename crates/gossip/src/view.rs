@@ -145,7 +145,10 @@ mod tests {
         b.insert(3, SimTime::from_secs(2));
         NewscastView::exchange(&mut a, &mut b, SimTime::from_secs(10));
         assert!(a.peers().contains(&3));
-        assert!(a.peers().contains(&1), "a learns a fresh descriptor of b itself");
+        assert!(
+            a.peers().contains(&1),
+            "a learns a fresh descriptor of b itself"
+        );
         assert!(b.peers().contains(&2));
         assert!(b.peers().contains(&0));
     }

@@ -8,7 +8,12 @@ use crate::timeseries::TimeSeries;
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     for row in rows {
-        assert_eq!(row.len(), cols, "row has {} cells, expected {cols}", row.len());
+        assert_eq!(
+            row.len(),
+            cols,
+            "row has {} cells, expected {cols}",
+            row.len()
+        );
     }
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -110,7 +115,10 @@ mod tests {
         assert!(out.contains("hour"));
         assert!(out.contains("DSMF"));
         assert!(out.contains("1.0"));
-        assert!(out.contains('-'), "missing early HEFT sample should print as a dash");
+        assert!(
+            out.contains('-'),
+            "missing early HEFT sample should print as a dash"
+        );
         assert_eq!(format_series(&[]), "");
     }
 

@@ -105,7 +105,8 @@ impl WorkflowMetrics {
     /// Take a periodic sample of the three figures-of-merit at virtual time `now`.
     pub fn sample(&mut self, now: SimTime) {
         self.throughput_series.push(now, self.throughput() as f64);
-        self.act_series.push(now, self.average_completion_time_secs());
+        self.act_series
+            .push(now, self.average_completion_time_secs());
         self.ae_series.push(now, self.average_efficiency());
     }
 
@@ -231,7 +232,12 @@ mod tests {
         m.record_completion(completed(0, 20, 5.0));
         m.record_completion(completed(0, 30, 5.0));
         m.sample(SimTime::from_secs(7200));
-        let tp: Vec<f64> = m.throughput_series().points().iter().map(|&(_, v)| v).collect();
+        let tp: Vec<f64> = m
+            .throughput_series()
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
         assert_eq!(tp, vec![0.0, 1.0, 3.0]);
         assert_eq!(m.act_series().len(), 3);
         assert_eq!(m.ae_series().len(), 3);

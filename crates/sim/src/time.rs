@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A point in virtual time, measured in milliseconds since the start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -291,6 +295,9 @@ mod tests {
     fn scalar_ops() {
         assert_eq!(SimDuration::from_secs(3) * 4, SimDuration::from_secs(12));
         assert_eq!(SimDuration::from_secs(12) / 4, SimDuration::from_secs(3));
-        assert_eq!(SimDuration::from_secs(3).mul_u64(2), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_secs(3).mul_u64(2),
+            SimDuration::from_secs(6)
+        );
     }
 }

@@ -82,7 +82,10 @@ impl Topology {
     /// strictly positive.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, props: EdgeProps) {
         assert!(u != v, "self-loops are not allowed");
-        assert!(u < self.node_count() && v < self.node_count(), "endpoint out of range");
+        assert!(
+            u < self.node_count() && v < self.node_count(),
+            "endpoint out of range"
+        );
         assert!(props.bandwidth_mbps > 0.0, "bandwidth must be positive");
         assert!(props.latency_ms >= 0.0, "latency must be non-negative");
         self.adjacency[u].push(Adjacency { to: v, props });

@@ -68,8 +68,14 @@ impl WaxmanConfig {
     }
 
     fn validate(&self) {
-        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha must be in (0, 1]");
-        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta must be in (0, 1]");
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(
+            self.beta > 0.0 && self.beta <= 1.0,
+            "beta must be in (0, 1]"
+        );
         assert!(self.plane_size > 0.0, "plane size must be positive");
         assert!(
             self.min_bandwidth_mbps > 0.0 && self.max_bandwidth_mbps >= self.min_bandwidth_mbps,
@@ -156,8 +162,9 @@ impl WaxmanGenerator {
                 .map(|(i, _)| i)
                 .expect("at least one component");
             // For every other component, attach its closest node to the closest giant node.
-            let giant_nodes: Vec<NodeId> =
-                (0..topo.node_count()).filter(|&u| comp[u] == giant).collect();
+            let giant_nodes: Vec<NodeId> = (0..topo.node_count())
+                .filter(|&u| comp[u] == giant)
+                .collect();
             for c in 0..k {
                 if c == giant {
                     continue;
@@ -168,7 +175,7 @@ impl WaxmanGenerator {
                 for &u in &members {
                     for &v in &giant_nodes {
                         let d = topo.distance(u, v);
-                        if best.map_or(true, |(bd, _, _)| d < bd) {
+                        if best.is_none_or(|(bd, _, _)| d < bd) {
                             best = Some((d, u, v));
                         }
                     }
@@ -201,7 +208,10 @@ mod tests {
     fn generated_topology_is_connected() {
         for seed in 0..5 {
             let t = gen(100, seed);
-            assert!(t.is_connected(), "seed {seed} produced a disconnected graph");
+            assert!(
+                t.is_connected(),
+                "seed {seed} produced a disconnected graph"
+            );
         }
     }
 
@@ -223,11 +233,20 @@ mod tests {
         let a = gen(80, 42);
         let b = gen(80, 42);
         assert_eq!(a.edge_count(), b.edge_count());
-        let ea: Vec<_> = a.edges().map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits())).collect();
-        let eb: Vec<_> = b.edges().map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits())).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits()))
+            .collect();
         assert_eq!(ea, eb);
         let c = gen(80, 43);
-        let ec: Vec<_> = c.edges().map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits())).collect();
+        let ec: Vec<_> = c
+            .edges()
+            .map(|(u, v, p)| (u, v, p.bandwidth_mbps.to_bits()))
+            .collect();
         assert_ne!(ea, ec);
     }
 

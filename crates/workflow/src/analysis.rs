@@ -29,7 +29,10 @@ impl ExpectedCosts {
     /// Create a cost model, validating that both averages are positive.
     pub fn new(avg_capacity_mips: f64, avg_bandwidth_mbps: f64) -> Self {
         assert!(avg_capacity_mips > 0.0, "average capacity must be positive");
-        assert!(avg_bandwidth_mbps > 0.0, "average bandwidth must be positive");
+        assert!(
+            avg_bandwidth_mbps > 0.0,
+            "average bandwidth must be positive"
+        );
         ExpectedCosts {
             avg_capacity_mips,
             avg_bandwidth_mbps,
@@ -137,7 +140,10 @@ impl WorkflowAnalysis {
     /// Expected finish time of the whole workflow, `eft(f)` of Eq. (1): the critical-path
     /// length under average costs, in seconds.
     pub fn expected_finish_time_secs(&self) -> f64 {
-        self.rpm.first().map(|_| self.rpm[self.critical_path[0].index()]).unwrap_or(0.0)
+        self.rpm
+            .first()
+            .map(|_| self.rpm[self.critical_path[0].index()])
+            .unwrap_or(0.0)
     }
 
     /// One critical path from the entry to the exit task.

@@ -174,7 +174,11 @@ impl Workflow {
             return Err(WorkflowError::Empty);
         }
         for t in &tasks {
-            if !(t.load_mi >= 0.0) || !(t.image_size_mb >= 0.0) {
+            if t.load_mi < 0.0
+                || t.load_mi.is_nan()
+                || t.image_size_mb < 0.0
+                || t.image_size_mb.is_nan()
+            {
                 return Err(WorkflowError::InvalidParameter(format!(
                     "task load/image must be non-negative, got load={} image={}",
                     t.load_mi, t.image_size_mb
@@ -193,7 +197,7 @@ impl Workflow {
             if a == b {
                 return Err(WorkflowError::SelfDependency(a));
             }
-            if !(d >= 0.0) {
+            if d < 0.0 || d.is_nan() {
                 return Err(WorkflowError::InvalidParameter(format!(
                     "edge data size must be non-negative, got {d}"
                 )));
@@ -250,8 +254,14 @@ impl Workflow {
         let mut succs = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
         for &(a, b, d) in &edges {
-            succs[a.index()].push(DataEdge { task: b, data_mb: d });
-            preds[b.index()].push(DataEdge { task: a, data_mb: d });
+            succs[a.index()].push(DataEdge {
+                task: b,
+                data_mb: d,
+            });
+            preds[b.index()].push(DataEdge {
+                task: a,
+                data_mb: d,
+            });
         }
 
         // Kahn topological sort; detects residual cycles.
@@ -457,7 +467,10 @@ mod tests {
         let mut b = WorkflowBuilder::new();
         let a = b.add_simple_task(1.0, 1.0);
         b.add_dependency(a, TaskId(99), 0.0);
-        assert_eq!(b.build().unwrap_err(), WorkflowError::UnknownTask(TaskId(99)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::UnknownTask(TaskId(99))
+        );
 
         let mut b = WorkflowBuilder::new();
         let a = b.add_simple_task(1.0, 1.0);

@@ -44,7 +44,10 @@ impl WorkflowGeneratorConfig {
     }
 
     fn validate(&self) {
-        assert!(*self.tasks.start() >= 1, "a workflow needs at least one task");
+        assert!(
+            *self.tasks.start() >= 1,
+            "a workflow needs at least one task"
+        );
         assert!(self.tasks.start() <= self.tasks.end(), "empty task range");
         assert!(*self.fanout.start() >= 1, "fan-out must be at least one");
         assert!(*self.load_mi.start() > 0.0 && self.load_mi.start() <= self.load_mi.end());
@@ -259,14 +262,14 @@ mod tests {
             1000.0..=10_000.0,
         ));
         let avg_ccr = |g: &WorkflowGenerator, rng: &mut SimRng| {
-            (0..30)
-                .map(|_| g.generate(rng).ccr(6.2, 5.0))
-                .sum::<f64>()
-                / 30.0
+            (0..30).map(|_| g.generate(rng).ccr(6.2, 5.0)).sum::<f64>() / 30.0
         };
         let low = avg_ccr(&compute_heavy, &mut rng);
         let high = avg_ccr(&data_heavy, &mut rng);
-        assert!(high > low * 10.0, "CCR should rise sharply with data size: {low} vs {high}");
+        assert!(
+            high > low * 10.0,
+            "CCR should rise sharply with data size: {low} vs {high}"
+        );
     }
 
     #[test]

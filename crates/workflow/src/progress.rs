@@ -64,7 +64,9 @@ impl ProgressTracker {
     /// True if `t` is currently a schedule point: not dispatched, not finished, and all of its
     /// precedents are finished.
     pub fn is_schedule_point(&self, t: TaskId) -> bool {
-        !self.dispatched[t.index()] && !self.finished[t.index()] && self.remaining_preds[t.index()] == 0
+        !self.dispatched[t.index()]
+            && !self.finished[t.index()]
+            && self.remaining_preds[t.index()] == 0
     }
 
     /// The current schedule-point set `spset(f)`, in task-id order.
@@ -158,7 +160,10 @@ mod tests {
         let (w, [a, b, c, d]) = diamond();
         let mut p = ProgressTracker::new(&w);
         p.mark_dispatched(a);
-        assert!(!p.is_schedule_point(a), "dispatched tasks are no longer schedule points");
+        assert!(
+            !p.is_schedule_point(a),
+            "dispatched tasks are no longer schedule points"
+        );
         let newly = p.mark_finished(&w, a);
         assert_eq!(newly, vec![b, c]);
         assert_eq!(p.schedule_points(&w), vec![b, c]);

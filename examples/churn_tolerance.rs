@@ -9,7 +9,10 @@ fn main() {
     let dynamic_factors = [0.0, 0.1, 0.2, 0.3, 0.4];
     println!("DSMF on a 96-node grid, 50% stable nodes, sweeping the dynamic factor");
     println!();
-    println!("{:<6} {:>10} {:>8} {:>10} {:>8}   {:>12}", "df", "finished", "failed", "ACT(s)", "AE", "mode");
+    println!(
+        "{:<6} {:>10} {:>8} {:>10} {:>8}   {:>12}",
+        "df", "finished", "failed", "ACT(s)", "AE", "mode"
+    );
 
     for &df in &dynamic_factors {
         for (mode, reschedule) in [("paper", false), ("reschedule", true)] {

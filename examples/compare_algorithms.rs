@@ -22,7 +22,9 @@ fn main() {
             let reports = Algorithm::ALL
                 .iter()
                 .map(|&alg| {
-                    let cfg = GridConfig::paper_default().with_nodes(n).with_seed(20100913);
+                    let cfg = GridConfig::paper_default()
+                        .with_nodes(n)
+                        .with_seed(20100913);
                     GridSimulation::with_algorithm(cfg, alg).run()
                 })
                 .collect();

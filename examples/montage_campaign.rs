@@ -38,9 +38,21 @@ fn main() {
     let bw = |a: usize, b: usize| if a == b { f64::INFINITY } else { 2.0 };
     let estimator = FinishTimeEstimator::new(0, &bw);
     let mut candidates = vec![
-        CandidateNode { node: 10, capacity_mips: 16.0, total_load_mi: 4000.0 },
-        CandidateNode { node: 11, capacity_mips: 8.0, total_load_mi: 0.0 },
-        CandidateNode { node: 12, capacity_mips: 2.0, total_load_mi: 0.0 },
+        CandidateNode {
+            node: 10,
+            capacity_mips: 16.0,
+            total_load_mi: 4000.0,
+        },
+        CandidateNode {
+            node: 11,
+            capacity_mips: 8.0,
+            total_load_mi: 0.0,
+        },
+        CandidateNode {
+            node: 12,
+            capacity_mips: 2.0,
+            total_load_mi: 0.0,
+        },
     ];
     let entry = mosaic.entry();
     let ready: Vec<DispatchCandidateTask> = mosaic
@@ -57,7 +69,10 @@ fn main() {
         })
         .collect();
     println!();
-    println!("first-wave dispatch of the {} re-projection tasks (DSMF):", ready.len());
+    println!(
+        "first-wave dispatch of the {} re-projection tasks (DSMF):",
+        ready.len()
+    );
     for d in plan_dispatch(Algorithm::Dsmf, &ready, &mut candidates, &estimator) {
         let name = mosaic.task(d.task).name.clone().unwrap_or_default();
         println!(

@@ -1,0 +1,45 @@
+//! Multi-core peers: a workload the paper never measured.
+//!
+//! The paper models every peer as a single, non-preemptive CPU.  The engine's `ResourceModel`
+//! seam generalises that to N execution slots per node, so this example sweeps
+//! slots-per-node ∈ {1, 2, 4} under DSMF on an otherwise identical contended grid and prints
+//! how throughput, ACT and AE respond.  With more slots each node advertises proportionally
+//! more aggregate capacity and drains its ready set concurrently, so queueing delay — the
+//! dominant cost in the contended regime — collapses.
+//!
+//! ```text
+//! cargo run --example multicore_grid
+//! ```
+
+use p2pgrid::prelude::*;
+
+fn main() {
+    let seed = 20100913;
+    println!("DSMF on a contended 48-node grid, sweeping execution slots per node\n");
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>10}  {:>7}",
+        "slots", "submitted", "finished", "ACT(s)", "AE"
+    );
+    for slots in [1usize, 2, 4] {
+        let cfg = GridConfig::paper_default()
+            .with_nodes(48)
+            .with_load_factor(3)
+            .with_slots_per_node(slots)
+            .with_seed(seed);
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        println!(
+            "{:>5}  {:>9}  {:>9}  {:>10.0}  {:>7.3}",
+            slots,
+            report.submitted,
+            report.completed,
+            report.act_secs(),
+            report.average_efficiency()
+        );
+    }
+    println!(
+        "\nslots = 1 is exactly the paper's model; the seam only adds behaviour, never\n\
+         changes the baseline.  ACT collapses as slots absorb the queueing delay.  AE\n\
+         (eft/ct) is not directly comparable across slot counts: its eft baseline uses\n\
+         the aggregate advertised capacity, which a single task can never exploit."
+    );
+}

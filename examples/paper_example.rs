@@ -22,7 +22,11 @@ fn main() {
     let ab = WorkflowAnalysis::new(&wb, costs);
     let (a2, a3, b2, b3) = worked_example::schedule_points();
 
-    println!("Workflow A ({} tasks), workflow B ({} tasks)", wa.task_count(), wb.task_count());
+    println!(
+        "Workflow A ({} tasks), workflow B ({} tasks)",
+        wa.task_count(),
+        wb.task_count()
+    );
     println!();
     println!("rest path makespans (paper values in parentheses):");
     println!("  RPM(A2) = {:>5.0}  (80)", aa.rpm_secs(a2));
@@ -61,7 +65,10 @@ fn main() {
         w.task(t).name.clone().unwrap_or_else(|| t.to_string())
     };
 
-    for (label, algorithm) in [("DSMF", Algorithm::Dsmf), ("decreasing-RPM (HEFT-like)", Algorithm::Dheft)] {
+    for (label, algorithm) in [
+        ("DSMF", Algorithm::Dsmf),
+        ("decreasing-RPM (HEFT-like)", Algorithm::Dheft),
+    ] {
         let mut candidates: Vec<CandidateNode> = (1..=3)
             .map(|i| CandidateNode {
                 node: i,

@@ -20,8 +20,14 @@ fn main() {
     println!("submitted workflows : {}", report.submitted);
     println!("finished workflows  : {}", report.completed);
     println!("average completion  : {:.0} s (Eq. 2)", report.act_secs());
-    println!("average efficiency  : {:.3} (Eq. 3)", report.average_efficiency());
-    println!("avg RSS size        : {:.1} peers known per node", report.avg_rss_size);
+    println!(
+        "average efficiency  : {:.3} (Eq. 3)",
+        report.average_efficiency()
+    );
+    println!(
+        "avg RSS size        : {:.1} peers known per node",
+        report.avg_rss_size
+    );
     println!(
         "gossip traffic      : {} messages, {} bytes",
         report.gossip_stats.epidemic_messages + report.gossip_stats.aggregation_exchanges,
@@ -31,7 +37,7 @@ fn main() {
     println!();
     println!("hour  finished");
     for &(t, v) in report.metrics.throughput_series().points() {
-        if (t.as_hours_f64().fract()).abs() < 1e-9 && (t.as_hours_f64() as u64) % 4 == 0 {
+        if (t.as_hours_f64().fract()).abs() < 1e-9 && (t.as_hours_f64() as u64).is_multiple_of(4) {
             println!("{:>4.0}  {:>8.0}", t.as_hours_f64(), v);
         }
     }

@@ -1,0 +1,95 @@
+//! Determinism regression tests: the same `GridConfig` seed must reproduce a byte-identical
+//! `SimulationReport` — submitted / completed / failed counts, ACT, AE and the full sampled
+//! series — run after run.  This is what makes the engine refactor provably
+//! behaviour-preserving: any accidental nondeterminism (hash-map iteration order leaking into
+//! scheduling, float accumulation order changing between runs, heap tie-breaks depending on
+//! allocation addresses) breaks these assertions immediately.
+
+use p2pgrid::prelude::*;
+
+fn config(seed: u64) -> GridConfig {
+    let mut cfg = GridConfig::small(20).with_seed(seed);
+    cfg.workflows_per_node = 2;
+    cfg.workflow.tasks = 2..=10;
+    cfg
+}
+
+/// One sampled series as exact bits: `(time in ms, f64 bit pattern)` per point.
+type SeriesBits = Vec<(u64, u64)>;
+
+/// Every externally observable field of a report, flattened for exact comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    act_bits: u64,
+    ae_bits: u64,
+    throughput: SeriesBits,
+    act_series: SeriesBits,
+    ae_series: SeriesBits,
+}
+
+fn fingerprint(report: &SimulationReport) -> Fingerprint {
+    let exact = |series: &p2pgrid::metrics::TimeSeries| -> SeriesBits {
+        series
+            .points()
+            .iter()
+            .map(|&(t, v)| (t.as_millis(), v.to_bits()))
+            .collect()
+    };
+    Fingerprint {
+        submitted: report.submitted,
+        completed: report.completed,
+        failed: report.failed,
+        act_bits: report.act_secs().to_bits(),
+        ae_bits: report.average_efficiency().to_bits(),
+        throughput: exact(report.metrics.throughput_series()),
+        act_series: exact(report.metrics.act_series()),
+        ae_series: exact(report.metrics.ae_series()),
+    }
+}
+
+#[test]
+fn dsmf_reports_are_byte_identical_across_runs() {
+    let a = GridSimulation::with_algorithm(config(71), Algorithm::Dsmf).run();
+    let b = GridSimulation::with_algorithm(config(71), Algorithm::Dsmf).run();
+    assert!(
+        a.completed > 0,
+        "run must make progress for the check to mean anything"
+    );
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn heft_full_ahead_reports_are_byte_identical_across_runs() {
+    let a = GridSimulation::with_algorithm(config(72), Algorithm::Heft).run();
+    let b = GridSimulation::with_algorithm(config(72), Algorithm::Heft).run();
+    assert!(a.completed > 0);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn churned_runs_are_byte_identical_across_runs() {
+    let cfg = || config(73).with_churn(ChurnConfig::with_dynamic_factor(0.2));
+    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn multicore_runs_are_byte_identical_across_runs() {
+    let cfg = || config(74).with_slots_per_node(4);
+    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    assert!(a.completed > 0);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seeds_change_the_fingerprint() {
+    // Guards against the fingerprint being trivially constant.
+    let a = GridSimulation::with_algorithm(config(75), Algorithm::Dsmf).run();
+    let b = GridSimulation::with_algorithm(config(76), Algorithm::Dsmf).run();
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}

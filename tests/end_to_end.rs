@@ -48,7 +48,10 @@ fn all_eight_algorithms_complete_the_same_workload() {
         let report = GridSimulation::with_algorithm(small_config(16, 5), alg).run();
         assert!(report.completed > 0, "{alg} finished nothing");
         assert_eq!(report.submitted, 32, "{alg} saw the wrong workload");
-        assert!(report.average_efficiency() > 0.0, "{alg} reported zero efficiency");
+        assert!(
+            report.average_efficiency() > 0.0,
+            "{alg} reported zero efficiency"
+        );
     }
 }
 
@@ -58,7 +61,10 @@ fn churned_grid_still_makes_progress_and_reports_failures() {
     let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
     // Half the nodes are stable home nodes, so 12 * 2 workflows are submitted.
     assert_eq!(report.submitted, 24);
-    assert!(report.completed > 0, "heavy churn must not stall the grid completely");
+    assert!(
+        report.completed > 0,
+        "heavy churn must not stall the grid completely"
+    );
     assert!(report.completed + report.failed <= report.submitted);
 }
 

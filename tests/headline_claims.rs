@@ -49,8 +49,9 @@ fn dsmf_beats_the_other_decentralized_schedulers_under_contention() {
         act_reduction_vs_dheft > 5.0,
         "expected a clear ACT reduction vs DHEFT, got {act_reduction_vs_dheft:.1}%"
     );
-    let ae_improvement_vs_dheft =
-        (dsmf.average_efficiency() - dheft.average_efficiency()) / dheft.average_efficiency() * 100.0;
+    let ae_improvement_vs_dheft = (dsmf.average_efficiency() - dheft.average_efficiency())
+        / dheft.average_efficiency()
+        * 100.0;
     assert!(
         ae_improvement_vs_dheft > 10.0,
         "expected a clear AE improvement vs DHEFT, got {ae_improvement_vs_dheft:.1}%"

@@ -51,7 +51,7 @@ fn gossip_estimates_converge_to_topology_ground_truth() {
 
     // RSS stays within the O(log n) band (Fig. 11a's property).
     let avg_rss = gossip.average_rss_size(&local);
-    assert!(avg_rss >= 4.0 && avg_rss <= 40.0, "avg RSS {avg_rss}");
+    assert!((4.0..=40.0).contains(&avg_rss), "avg RSS {avg_rss}");
 }
 
 #[test]
@@ -96,9 +96,7 @@ fn landmark_estimates_lower_bound_true_bandwidth_at_scale() {
             if u == v {
                 continue;
             }
-            assert!(
-                landmarks.estimate_bandwidth_mbps(u, v) <= metrics.bandwidth_mbps(u, v) + 1e-6
-            );
+            assert!(landmarks.estimate_bandwidth_mbps(u, v) <= metrics.bandwidth_mbps(u, v) + 1e-6);
             checked += 1;
         }
     }

@@ -71,7 +71,10 @@ fn fig3_dispatch_orders_for_dsmf_and_decreasing_rpm() {
     };
     // Paper: DSMF order B2, B3, A3, A2; decreasing-RPM order A3, A2, B2, B3.
     assert_eq!(order(Algorithm::Dsmf), vec![(1, 1), (1, 2), (0, 2), (0, 1)]);
-    assert_eq!(order(Algorithm::Dheft), vec![(0, 2), (0, 1), (1, 1), (1, 2)]);
+    assert_eq!(
+        order(Algorithm::Dheft),
+        vec![(0, 2), (0, 1), (1, 1), (1, 2)]
+    );
 }
 
 #[test]
