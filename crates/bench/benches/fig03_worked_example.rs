@@ -70,11 +70,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("plan_dispatch/{alg}"), |bencher| {
             bencher.iter(|| {
                 let mut candidates: Vec<CandidateNode> = (1..=3)
-                    .map(|i| CandidateNode {
-                        node: i,
-                        capacity_mips: 1.0,
-                        total_load_mi: 0.0,
-                    })
+                    .map(|i| CandidateNode::single_slot(i, 1.0, 0.0))
                     .collect();
                 black_box(plan_dispatch(
                     alg,

@@ -38,6 +38,7 @@ fn synthetic_candidates(count: usize, rng: &mut SimRng) -> Vec<CandidateNode> {
         .map(|i| CandidateNode {
             node: i,
             capacity_mips: *rng.choose(&[1.0, 2.0, 4.0, 8.0, 16.0]).unwrap(),
+            slots: 1,
             total_load_mi: rng.gen_range(0.0..=50_000.0),
         })
         .collect()

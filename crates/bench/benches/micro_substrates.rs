@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2pgrid_bench::bench_criterion_config;
 use p2pgrid_core::engine::node::{ReadyEntry, ReadySet};
 use p2pgrid_core::policy::second_phase::{ready_key, select_next, ReadyTaskView};
-use p2pgrid_core::SecondPhase;
+use p2pgrid_core::{Algorithm, GridConfig, GridSimulation, ResourceModel, SecondPhase, SlotClass};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip, MixedGossipConfig};
 use p2pgrid_sim::{EventQueue, SimRng, SimTime};
 use p2pgrid_topology::{PairwiseMetrics, WaxmanConfig, WaxmanGenerator};
@@ -37,6 +37,7 @@ fn bench_gossip(c: &mut Criterion) {
         .map(|i| LocalNodeState {
             alive: true,
             capacity_mips: [1.0, 2.0, 4.0, 8.0, 16.0][i % 5],
+            slots: 1,
             total_load_mi: (i as f64) * 10.0,
             local_avg_bandwidth_mbps: 5.0,
         })
@@ -148,9 +149,67 @@ fn bench_ready_set(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end makespan comparison of the three execution substrates on the same contended
+/// grid: the paper's uniform single-slot model, a heterogeneous 80% 1-core / 20% 16-core
+/// population, and the same population with the time-sliced preemptive policy.  Each bench
+/// prints its substrate's throughput/ACT once, then times the full run.
+fn bench_resource_models(c: &mut Criterion) {
+    let volunteer_classes = || {
+        vec![
+            SlotClass {
+                slots: 1,
+                weight: 0.8,
+            },
+            SlotClass {
+                slots: 16,
+                weight: 0.2,
+            },
+        ]
+    };
+    let substrates: [(&str, ResourceModel); 3] = [
+        ("uniform_1_slot", ResourceModel::single_cpu()),
+        (
+            "heterogeneous_80_20",
+            ResourceModel::heterogeneous(volunteer_classes()),
+        ),
+        (
+            "heterogeneous_preemptive",
+            ResourceModel::heterogeneous(volunteer_classes()).preemptive(),
+        ),
+    ];
+    let mut group = c.benchmark_group("substrate_makespans");
+    for (label, resource) in substrates {
+        let config = || {
+            let mut cfg = GridConfig::small(24)
+                .with_seed(20100913)
+                .with_resource(resource.clone());
+            cfg.workflows_per_node = 2;
+            cfg
+        };
+        let once = GridSimulation::with_algorithm(config(), Algorithm::Dsmf).run();
+        println!(
+            "{label}: {}/{} workflows, ACT {:.0} s",
+            once.completed,
+            once.submitted,
+            once.act_secs()
+        );
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                black_box(
+                    GridSimulation::with_algorithm(config(), Algorithm::Dsmf)
+                        .run()
+                        .completed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = bench_criterion_config();
-    targets = bench_topology, bench_gossip, bench_workflow_and_events, bench_ready_set
+    targets = bench_topology, bench_gossip, bench_workflow_and_events, bench_ready_set,
+        bench_resource_models
 }
 criterion_main!(benches);

@@ -43,24 +43,103 @@ impl CapacityModel {
     }
 }
 
-/// The execution substrate of one resource node — how many tasks it can run at once.
-///
-/// The paper models every peer as a single, non-preemptive CPU; the default
-/// (`slots_per_node = 1`) reproduces that exactly.  Raising the slot count turns every peer
-/// into a symmetric multi-core node: it advertises its *aggregate* throughput
-/// (`capacity × slots`) through the gossip substrate and executes up to `slots_per_node`
-/// data-complete ready tasks concurrently, while each individual task still runs on one slot at
-/// the per-slot speed.  This opens the multi-core workloads the paper never measured (see
-/// `examples/multicore_grid.rs`) without touching the scheduling algorithms.
+/// One class of a heterogeneous slot distribution: nodes of this class own `slots` execution
+/// slots, and the class is drawn with probability proportional to `weight`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotClass {
+    /// Execution slots per node of this class (≥ 1).
+    pub slots: usize,
+    /// Relative sampling weight (> 0; weights need not sum to 1).
+    pub weight: f64,
+}
+
+/// How many execution slots each node owns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlotModel {
+    /// Every node has the same slot count (paper: 1).
+    Uniform(usize),
+    /// Per-node slot counts sampled from a weighted class distribution, e.g. 80% single-core /
+    /// 20% 16-core volunteer machines.  Sampling is deterministic per seed (its own `SimRng`
+    /// stream), so heterogeneous runs are exactly reproducible.
+    Weighted(Vec<SlotClass>),
+}
+
+impl SlotModel {
+    /// Sample the slot count of one node.  `Uniform` never consumes randomness, so enabling
+    /// the seam costs single-slot runs nothing — they stay byte-identical to the paper model.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        match self {
+            SlotModel::Uniform(s) => *s,
+            SlotModel::Weighted(classes) => {
+                let total: f64 = classes.iter().map(|c| c.weight).sum();
+                let mut x = rng.gen_f64() * total;
+                for c in classes {
+                    x -= c.weight;
+                    if x < 0.0 {
+                        return c.slots;
+                    }
+                }
+                classes.last().expect("non-empty class set").slots
+            }
+        }
+    }
+
+    /// Sanity-check the model.
+    pub fn validate(&self) {
+        match self {
+            SlotModel::Uniform(s) => {
+                assert!(*s >= 1, "every node needs at least one execution slot");
+            }
+            SlotModel::Weighted(classes) => {
+                assert!(!classes.is_empty(), "slot class set must not be empty");
+                for c in classes {
+                    assert!(c.slots >= 1, "every node needs at least one execution slot");
+                    assert!(
+                        c.weight > 0.0 && c.weight.is_finite(),
+                        "slot class weights must be positive and finite"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether a resource node's slots are preemptible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreemptionPolicy {
+    /// The paper's model: a task that starts executing holds its slot until it finishes.
+    NonPreemptive,
+    /// Time-sliced execution: when a task becomes ready whose scheduler key is strictly
+    /// smaller (higher priority) than that of the lowest-priority running task and no slot is
+    /// free, the running task is displaced back into the ready heap carrying its *remaining*
+    /// load, and resumes later without losing completed work.
+    TimeSliced,
+}
+
+/// The execution substrate of one resource node — how many tasks it can run at once and
+/// whether running tasks can be displaced.
+///
+/// The paper models every peer as a single, non-preemptive CPU; the default reproduces that
+/// exactly.  Raising the slot count turns a peer into a multi-core node: it advertises its
+/// *aggregate* throughput (`capacity × slots`) plus its slot count through the gossip
+/// substrate, and executes up to `slots` data-complete ready tasks concurrently while each
+/// individual task runs on one slot at the per-slot speed (`capacity / slots` of the
+/// advertised aggregate).  See `examples/multicore_grid.rs` (uniform sweep) and
+/// `examples/heterogeneous_grid.rs` (weighted distributions + preemption).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceModel {
-    /// Independent execution slots per node (paper default: 1).
-    pub slots_per_node: usize,
+    /// Per-node slot counts (paper default: uniform 1).
+    pub slots: SlotModel,
+    /// Preemption policy of the execution slots (paper default: non-preemptive).
+    pub preemption: PreemptionPolicy,
 }
 
 impl Default for ResourceModel {
     fn default() -> Self {
-        ResourceModel { slots_per_node: 1 }
+        ResourceModel {
+            slots: SlotModel::Uniform(1),
+            preemption: PreemptionPolicy::NonPreemptive,
+        }
     }
 }
 
@@ -73,8 +152,33 @@ impl ResourceModel {
     /// A symmetric multi-core node with `slots` execution slots.
     pub fn multi_core(slots: usize) -> Self {
         ResourceModel {
-            slots_per_node: slots,
+            slots: SlotModel::Uniform(slots),
+            ..ResourceModel::default()
         }
+    }
+
+    /// A heterogeneous population drawn from `(slots, weight)` classes.
+    pub fn heterogeneous(classes: Vec<SlotClass>) -> Self {
+        ResourceModel {
+            slots: SlotModel::Weighted(classes),
+            ..ResourceModel::default()
+        }
+    }
+
+    /// Enable the time-sliced preemptive policy on this substrate.
+    pub fn preemptive(mut self) -> Self {
+        self.preemption = PreemptionPolicy::TimeSliced;
+        self
+    }
+
+    /// True when running tasks may be displaced by higher-priority arrivals.
+    pub fn is_preemptive(&self) -> bool {
+        self.preemption == PreemptionPolicy::TimeSliced
+    }
+
+    /// Sanity-check the model.
+    pub fn validate(&self) {
+        self.slots.validate();
     }
 }
 
@@ -236,6 +340,12 @@ impl GridConfig {
         self
     }
 
+    /// Override the full resource model (heterogeneous slot distributions, preemption).
+    pub fn with_resource(mut self, resource: ResourceModel) -> Self {
+        self.resource = resource;
+        self
+    }
+
     /// Override the churn model, as swept in Fig. 12–14.
     pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
         self.churn = churn;
@@ -263,10 +373,7 @@ impl GridConfig {
             (0.0..=1.0).contains(&self.churn.stable_fraction),
             "stable fraction must be in [0, 1]"
         );
-        assert!(
-            self.resource.slots_per_node >= 1,
-            "every node needs at least one execution slot"
-        );
+        self.resource.validate();
         assert!(
             !self.scheduling_interval.is_zero(),
             "scheduling interval must be positive"
@@ -362,9 +469,13 @@ mod tests {
 
     #[test]
     fn resource_model_defaults_to_the_papers_single_cpu() {
-        assert_eq!(ResourceModel::default().slots_per_node, 1);
+        assert_eq!(ResourceModel::default().slots, SlotModel::Uniform(1));
+        assert!(!ResourceModel::default().is_preemptive());
         assert_eq!(ResourceModel::single_cpu(), ResourceModel::default());
-        assert_eq!(GridConfig::paper_default().resource.slots_per_node, 1);
+        assert_eq!(
+            GridConfig::paper_default().resource.slots,
+            SlotModel::Uniform(1)
+        );
         let cfg = GridConfig::small(8).with_slots_per_node(4);
         cfg.validate();
         assert_eq!(cfg.resource, ResourceModel::multi_core(4));
@@ -374,6 +485,75 @@ mod tests {
     #[should_panic(expected = "execution slot")]
     fn zero_slots_per_node_is_rejected() {
         GridConfig::small(8).with_slots_per_node(0).validate();
+    }
+
+    #[test]
+    fn slot_models_sample_within_their_support() {
+        // Uniform never consumes randomness: two generators stay in lock-step.
+        let mut a = SimRng::seed_from_u64(5);
+        let b = SimRng::seed_from_u64(5);
+        assert_eq!(SlotModel::Uniform(3).sample(&mut a), 3);
+        assert_eq!(a.clone().gen_u64(), b.clone().gen_u64());
+
+        let classes = vec![
+            SlotClass {
+                slots: 1,
+                weight: 0.8,
+            },
+            SlotClass {
+                slots: 16,
+                weight: 0.2,
+            },
+        ];
+        let model = SlotModel::Weighted(classes);
+        model.validate();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut seen_single = 0usize;
+        let mut seen_multi = 0usize;
+        for _ in 0..500 {
+            match model.sample(&mut rng) {
+                1 => seen_single += 1,
+                16 => seen_multi += 1,
+                other => panic!("sampled slot count {other} outside the class set"),
+            }
+        }
+        // 80/20 split: both classes must appear, the single-core one far more often.
+        assert!(seen_multi > 0 && seen_single > 2 * seen_multi);
+    }
+
+    #[test]
+    fn heterogeneous_preemptive_builders_compose() {
+        let model = ResourceModel::heterogeneous(vec![
+            SlotClass {
+                slots: 1,
+                weight: 4.0,
+            },
+            SlotClass {
+                slots: 8,
+                weight: 1.0,
+            },
+        ])
+        .preemptive();
+        assert!(model.is_preemptive());
+        let cfg = GridConfig::small(8).with_resource(model.clone());
+        cfg.validate();
+        assert_eq!(cfg.resource, model);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_slot_weight_is_rejected() {
+        SlotModel::Weighted(vec![SlotClass {
+            slots: 2,
+            weight: 0.0,
+        }])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_slot_class_set_is_rejected() {
+        SlotModel::Weighted(Vec::new()).validate();
     }
 
     #[test]

@@ -68,6 +68,9 @@ enum GridEvent {
         epoch: u64,
         wf: usize,
         task: TaskId,
+        /// Run generation the completion belongs to; a preemption of the same task bumps the
+        /// generation, turning the displaced run's in-flight completion event stale.
+        run: u64,
     },
 }
 
@@ -84,6 +87,7 @@ pub(crate) struct EngineState {
     home_of: Vec<Vec<usize>>,
     metrics: WorkflowMetrics,
     next_seq: u64,
+    next_run: u64,
     dispatched_tasks: u64,
     executed_tasks: u64,
 }
@@ -100,10 +104,12 @@ impl EngineState {
         let mut landmark_rng = root.derive("landmarks");
         let landmarks = LandmarkEstimator::build_default(transfer.metrics(), &mut landmark_rng);
 
-        // Node capacities, slots and roles.
+        // Node capacities, slots and roles.  Slot counts draw from their own derived stream,
+        // so enabling heterogeneous distributions never perturbs capacities, workflows or
+        // gossip (and the uniform model draws nothing at all).
         let mut cap_rng = root.derive("capacity");
+        let mut slot_rng = root.derive("slots");
         let n = config.nodes;
-        let slots = config.resource.slots_per_node;
         let stable_count = if config.churn.splits_population() {
             ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
         } else {
@@ -127,6 +133,7 @@ impl EngineState {
                 } else {
                     1.0
                 };
+                let slots = config.resource.slots.sample(&mut slot_rng);
                 NodeRuntime {
                     alive: true,
                     churnable: i >= stable_count,
@@ -140,12 +147,10 @@ impl EngineState {
             })
             .collect();
 
-        // True system-wide averages, used for the efficiency baseline eft(f).
-        let true_avg_capacity = nodes
-            .iter()
-            .map(|nd| nd.advertised_capacity_mips())
-            .sum::<f64>()
-            / n as f64;
+        // True system-wide averages, used for the efficiency baseline eft(f).  Like the
+        // aggregation gossip, the capacity average is over *per-slot* rates: eft models the
+        // time one task takes on an average node, and one task only ever runs on one slot.
+        let true_avg_capacity = nodes.iter().map(|nd| nd.capacity_mips).sum::<f64>() / n as f64;
         let true_avg_bandwidth = if n > 1 {
             transfer.average_bandwidth_mbps().max(1e-6)
         } else {
@@ -201,6 +206,7 @@ impl EngineState {
                 .map(|(i, nd)| CandidateNode {
                     node: i,
                     capacity_mips: nd.advertised_capacity_mips(),
+                    slots: nd.slots,
                     total_load_mi: 0.0,
                 })
                 .collect();
@@ -239,6 +245,7 @@ impl EngineState {
             home_of,
             metrics,
             next_seq: 0,
+            next_run: 0,
             dispatched_tasks: 0,
             executed_tasks: 0,
         }
@@ -252,6 +259,7 @@ impl EngineState {
             .map(|nd| LocalNodeState {
                 alive: nd.alive,
                 capacity_mips: nd.advertised_capacity_mips(),
+                slots: nd.slots,
                 total_load_mi: nd.total_load_mi(now),
                 local_avg_bandwidth_mbps: nd.local_avg_bandwidth_mbps,
             })
@@ -443,6 +451,7 @@ impl EngineState {
             .map(|r| CandidateNode {
                 node: r.node,
                 capacity_mips: r.capacity_mips,
+                slots: r.slots,
                 total_load_mi: r.total_load_mi,
             })
             .collect();
@@ -450,6 +459,7 @@ impl EngineState {
             candidates.push(CandidateNode {
                 node: home,
                 capacity_mips: self.nodes[home].advertised_capacity_mips(),
+                slots: self.nodes[home].slots,
                 total_load_mi: self.nodes[home].total_load_mi(ctl.now()),
             });
         }
@@ -548,27 +558,58 @@ impl EngineState {
 
     // ----- second phase --------------------------------------------------------------------
 
+    /// Occupy one slot of `node` with `chosen` and schedule its completion.
+    fn start_task(&mut self, node: NodeId, chosen: &ReadyEntry, ctl: &mut SimControl<GridEvent>) {
+        let run = self.next_run;
+        self.next_run += 1;
+        let finish_at = self.nodes[node].start(chosen, ctl.now(), run);
+        self.executed_tasks += 1;
+        ctl.schedule_at(
+            finish_at,
+            GridEvent::TaskCompleted {
+                node,
+                epoch: self.nodes[node].epoch,
+                wf: chosen.wf,
+                task: chosen.task,
+                run,
+            },
+        );
+    }
+
     /// Algorithm 2: while the node has free execution slots, pick the next data-complete ready
-    /// task (smallest scheduler key) and run it.
+    /// task (smallest scheduler key) and run it.  Under the time-sliced preemptive substrate a
+    /// remaining ready task that outranks the lowest-priority running task then displaces it —
+    /// the victim re-enters the ready heap with its residual load and resumes later.
     fn try_start_tasks(&mut self, node: NodeId, ctl: &mut SimControl<GridEvent>) {
         if !self.nodes[node].alive {
             return;
         }
         while self.nodes[node].has_free_slot() {
             let Some(chosen) = self.nodes[node].ready.pop_next() else {
-                return;
+                break;
             };
-            let finish_at = self.nodes[node].start(&chosen, ctl.now());
-            self.executed_tasks += 1;
-            ctl.schedule_at(
-                finish_at,
-                GridEvent::TaskCompleted {
-                    node,
-                    epoch: self.nodes[node].epoch,
-                    wf: chosen.wf,
-                    task: chosen.task,
-                },
-            );
+            self.start_task(node, &chosen, ctl);
+        }
+        if !self.config.resource.is_preemptive() {
+            return;
+        }
+        // Each round swaps a strictly higher-priority ready task into a slot, so the worst
+        // running key strictly improves and the loop terminates.
+        while let Some((key, _seq)) = self.nodes[node].ready.peek_next() {
+            let Some(mut displaced) = self.nodes[node].preempt_lowest_priority(key, ctl.now())
+            else {
+                break;
+            };
+            let chosen = self.nodes[node]
+                .ready
+                .pop_next()
+                .expect("peeked entry must still be queued");
+            // Re-key the displaced task against its updated view: rules keyed on exec time
+            // now see the *remaining* time (shortest-remaining-time semantics), while
+            // ms/rpm-based rules and FCFS recompute the same key as before.
+            displaced.key = self.scheduler.ready_key(&displaced.view);
+            self.nodes[node].ready.insert(displaced);
+            self.start_task(node, &chosen, ctl);
         }
     }
 
@@ -593,12 +634,13 @@ impl EngineState {
         epoch: u64,
         wf: usize,
         task: TaskId,
+        run: u64,
         ctl: &mut SimControl<GridEvent>,
     ) {
         if self.nodes[node].epoch != epoch || !self.nodes[node].alive {
             return;
         }
-        if !self.nodes[node].complete(wf, task) {
+        if !self.nodes[node].complete(wf, task, run) {
             return;
         }
         let now = ctl.now();
@@ -686,8 +728,9 @@ impl p2pgrid_sim::EventHandler<GridEvent> for EngineState {
                 epoch,
                 wf,
                 task,
+                run,
             } => {
-                self.on_task_completed(node, epoch, wf, task, ctl);
+                self.on_task_completed(node, epoch, wf, task, run, ctl);
             }
         }
     }
@@ -919,6 +962,96 @@ mod tests {
                 single.act_secs()
             );
         }
+    }
+
+    #[test]
+    fn heterogeneous_slot_distributions_run_deterministically() {
+        use crate::config::{ResourceModel, SlotClass};
+        let resource = || {
+            ResourceModel::heterogeneous(vec![
+                SlotClass {
+                    slots: 1,
+                    weight: 0.8,
+                },
+                SlotClass {
+                    slots: 16,
+                    weight: 0.2,
+                },
+            ])
+        };
+        let run = || {
+            let cfg = tiny_config(15).with_resource(resource());
+            GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.completed > 0, "heterogeneous grid must make progress");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.act_secs().to_bits(), b.act_secs().to_bits());
+
+        // The slot sampling draws from its own RNG stream: capacities, workflows and gossip
+        // are untouched, so a uniform single-slot run still matches the plain paper config.
+        let plain = GridSimulation::with_algorithm(tiny_config(15), Algorithm::Dsmf).run();
+        let uniform = GridSimulation::with_algorithm(
+            tiny_config(15).with_resource(crate::config::ResourceModel::single_cpu()),
+            Algorithm::Dsmf,
+        )
+        .run();
+        assert_eq!(plain.completed, uniform.completed);
+        assert_eq!(plain.act_secs().to_bits(), uniform.act_secs().to_bits());
+    }
+
+    #[test]
+    fn preemptive_substrate_restarts_displaced_tasks() {
+        // A contended single-slot grid under DSMF: successors of short-makespan workflows
+        // arrive while long-workflow tasks hold the CPU, so the time-sliced policy must
+        // preempt at least once — observable as more task starts than dispatches.
+        let preempt = |seed: u64| {
+            let mut cfg = tiny_config(seed);
+            cfg.workflows_per_node = 2;
+            cfg.resource = crate::config::ResourceModel::single_cpu().preemptive();
+            let horizon = SimTime::ZERO + cfg.horizon;
+            let mut state = EngineState::new(
+                cfg,
+                Box::new(AlgorithmConfig::paper_default(Algorithm::Dsmf)),
+            );
+            let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
+            sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
+            sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
+            sim.run(&mut state);
+            (state.executed_tasks, state.dispatched_tasks, state)
+        };
+        let preempted_somewhere = (20..26).any(|seed| {
+            let (executed, dispatched, _) = preempt(seed);
+            executed > dispatched
+        });
+        assert!(
+            preempted_somewhere,
+            "no seed in the band ever triggered a preemption"
+        );
+        // Preempted-and-resumed tasks must still complete their workflows consistently.
+        let (_, _, state) = preempt(21);
+        for w in &state.workflows {
+            if w.completed {
+                assert!(w.progress.is_complete());
+                assert!(w.task_location.iter().all(|l| l.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn preemptive_runs_are_deterministic_and_account_consistently() {
+        let run = || {
+            let cfg = tiny_config(17)
+                .with_resource(crate::config::ResourceModel::multi_core(2).preemptive());
+            GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.completed > 0);
+        assert!(a.completed + a.failed <= a.submitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.act_secs().to_bits(), b.act_secs().to_bits());
     }
 
     #[test]

@@ -120,12 +120,26 @@ impl ReadySet {
         while let Some(Reverse(item)) = self.ready_heap.pop() {
             if let Some(entry) = self.entries.remove(&(item.wf, item.task)) {
                 self.queued_load_mi -= entry.load_mi;
-                if self.entries.is_empty() {
-                    // Clamp away accumulated f64 increment/decrement drift.
+                // Clamp away f64 increment/decrement drift after *every* subtraction — not
+                // only when the set empties — so a busy node can never gossip a slightly
+                // negative queued load.
+                if self.entries.is_empty() || self.queued_load_mi < 0.0 {
                     self.queued_load_mi = 0.0;
                 }
                 return Some(entry);
             }
+        }
+        None
+    }
+
+    /// The `(key, seq)` of the task [`ReadySet::pop_next`] would return, without removing it.
+    /// Stale heap residue is discarded along the way (hence `&mut self`).
+    pub fn peek_next(&mut self) -> Option<(ReadyKey, u64)> {
+        while let Some(Reverse(item)) = self.ready_heap.peek().copied() {
+            if self.entries.contains_key(&(item.wf, item.task)) {
+                return Some((item.key, item.seq));
+            }
+            self.ready_heap.pop();
         }
         None
     }
@@ -159,8 +173,15 @@ pub struct RunningTask {
     pub wf: usize,
     /// Task id within its workflow.
     pub task: TaskId,
-    /// Virtual time at which execution completes.
+    /// Virtual time at which execution completes (if it is not preempted first).
     pub finish_at: SimTime,
+    /// Monotonic run generation: each (re-)start of a task gets a fresh id, so a completion
+    /// event raced by a preemption of the same task is recognisably stale.
+    pub run: u64,
+    /// The scheduler's static priority key, kept for preemption comparisons.
+    pub key: ReadyKey,
+    /// The second-phase attributes, kept so a preempted task can be re-enqueued.
+    pub view: ReadyTaskView,
 }
 
 /// Runtime state of one peer node.
@@ -213,26 +234,31 @@ impl NodeRuntime {
         load
     }
 
-    /// Occupy a slot with `entry` starting at `now`; returns the completion instant.
-    /// Panics if no slot is free (the engine checks [`NodeRuntime::has_free_slot`] first).
-    pub fn start(&mut self, entry: &ReadyEntry, now: SimTime) -> SimTime {
+    /// Occupy a slot with `entry` starting at `now` under run generation `run`; returns the
+    /// completion instant.  Panics if no slot is free (the engine checks
+    /// [`NodeRuntime::has_free_slot`] first).
+    pub fn start(&mut self, entry: &ReadyEntry, now: SimTime, run: u64) -> SimTime {
         assert!(self.has_free_slot(), "no free execution slot");
         let finish_at = now + p2pgrid_sim::SimDuration::from_secs_f64(entry.view.exec_secs);
         self.running.push(RunningTask {
             wf: entry.wf,
             task: entry.task,
             finish_at,
+            run,
+            key: entry.key,
+            view: entry.view,
         });
         finish_at
     }
 
-    /// Release the slot occupied by `(wf, task)`.  Returns `false` when no slot holds that
-    /// task (a stale completion event from before a churn epoch).
-    pub fn complete(&mut self, wf: usize, task: TaskId) -> bool {
+    /// Release the slot occupied by `(wf, task)` for run generation `run`.  Returns `false`
+    /// when no slot holds that exact run (a stale completion event from before a churn epoch,
+    /// or from before the task was preempted and restarted).
+    pub fn complete(&mut self, wf: usize, task: TaskId, run: u64) -> bool {
         match self
             .running
             .iter()
-            .position(|r| r.wf == wf && r.task == task)
+            .position(|r| r.wf == wf && r.task == task && r.run == run)
         {
             Some(i) => {
                 self.running.remove(i);
@@ -240,6 +266,50 @@ impl NodeRuntime {
             }
             None => false,
         }
+    }
+
+    /// Time-sliced preemption: if a ready task with `key` outranks the lowest-priority running
+    /// task (*strictly* smaller key; equal keys never preempt, so FCFS — whose key is constant
+    /// — degenerates to the non-preemptive behaviour by construction), displace that running
+    /// task and return it as a re-enqueueable [`ReadyEntry`] carrying its *remaining* load —
+    /// completed work is kept, only the residue is re-queued.  The returned entry still holds
+    /// the key the task started with; the engine re-keys it against the updated view before
+    /// re-inserting (this type is scheduler-agnostic).  Returns `None` when every slot is
+    /// either free, higher-priority, or about to complete at `now`.
+    pub fn preempt_lowest_priority(&mut self, key: ReadyKey, now: SimTime) -> Option<ReadyEntry> {
+        let (idx, victim) = self
+            .running
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.key
+                    .cmp(&b.key)
+                    .then(a.view.enqueued_seq.cmp(&b.view.enqueued_seq))
+            })
+            .map(|(i, r)| (i, *r))?;
+        if key >= victim.key {
+            return None;
+        }
+        let remaining_secs = victim
+            .finish_at
+            .saturating_duration_since(now)
+            .as_secs_f64();
+        if remaining_secs <= 0.0 {
+            // The victim completes at this very instant; its completion event is already in
+            // flight, so displacing it would only redo finished work.
+            return None;
+        }
+        self.running.remove(idx);
+        let mut view = victim.view;
+        view.exec_secs = remaining_secs;
+        Some(ReadyEntry {
+            wf: victim.wf,
+            task: victim.task,
+            load_mi: remaining_secs * self.capacity_mips,
+            view,
+            key: victim.key,
+            data_ready: true,
+        })
     }
 
     /// The node departs: bump the epoch and surrender everything in flight.  Returns the
@@ -359,17 +429,17 @@ mod tests {
         let e0 = entry(0, 10.0, 1.0, 0, true);
         let e1 = entry(1, 20.0, 1.0, 1, true);
         let now = SimTime::ZERO;
-        let f0 = node.start(&e0, now);
+        let f0 = node.start(&e0, now, 0);
         assert!(node.has_free_slot(), "second slot still free");
-        node.start(&e1, now);
+        node.start(&e1, now, 1);
         assert!(!node.has_free_slot());
         assert_eq!(f0, SimTime::from_secs(10));
         // Remaining work of both slots: 2 tasks × 10 s × 2 MIPS = 40 MI.
         assert_eq!(node.total_load_mi(now), 40.0);
 
-        assert!(node.complete(0, TaskId(0)));
+        assert!(node.complete(0, TaskId(0), 0));
         assert!(
-            !node.complete(0, TaskId(0)),
+            !node.complete(0, TaskId(0), 0),
             "double completion is rejected"
         );
         assert!(node.has_free_slot());
@@ -380,5 +450,106 @@ mod tests {
         assert_eq!(node.epoch, 1);
         node.join();
         assert!(node.alive && node.running.is_empty());
+    }
+
+    #[test]
+    fn queued_load_never_goes_negative_while_tasks_remain() {
+        // Loads whose running f64 sum drifts: after popping some (but not all) entries the
+        // incremental total must be clamped at zero, not gossiped as a tiny negative value.
+        let mut rs = ReadySet::new();
+        for (i, load) in [0.1, 0.7, 0.2].iter().enumerate() {
+            let mut e = entry(i, 100.0 + i as f64, 10.0, i as u64, true);
+            e.load_mi = *load;
+            rs.insert(e);
+        }
+        while rs.pop_next().is_some() {
+            assert!(
+                rs.queued_load_mi() >= 0.0,
+                "queued load went negative mid-drain: {}",
+                rs.queued_load_mi()
+            );
+        }
+        assert_eq!(rs.queued_load_mi(), 0.0);
+    }
+
+    #[test]
+    fn peek_next_matches_pop_next_without_removing() {
+        let mut rs = ReadySet::new();
+        assert!(rs.peek_next().is_none());
+        rs.insert(entry(0, 300.0, 10.0, 0, true));
+        rs.insert(entry(1, 100.0, 10.0, 1, true));
+        let peeked = rs.peek_next().unwrap();
+        assert_eq!(rs.len(), 2, "peek must not remove entries");
+        let popped = rs.pop_next().unwrap();
+        assert_eq!(peeked, (popped.key, popped.view.enqueued_seq));
+        assert_eq!(popped.wf, 1);
+    }
+
+    #[test]
+    fn preemption_displaces_the_lowest_priority_running_task() {
+        let mut node = NodeRuntime {
+            alive: true,
+            churnable: false,
+            capacity_mips: 2.0,
+            slots: 1,
+            epoch: 0,
+            ready: ReadySet::new(),
+            running: Vec::new(),
+            local_avg_bandwidth_mbps: 1.0,
+        };
+        // A long low-priority task (workflow makespan 500) starts at t = 0...
+        let mut low = entry(0, 500.0, 10.0, 0, true);
+        low.view.exec_secs = 100.0;
+        low.load_mi = 200.0;
+        node.start(&low, SimTime::ZERO, 0);
+        assert!(!node.has_free_slot());
+
+        // ...and at t = 40 a higher-priority arrival (makespan 100) claims the slot.
+        let high = entry(1, 100.0, 10.0, 1, true);
+        let now = SimTime::from_secs(40);
+        let displaced = node
+            .preempt_lowest_priority(high.key, now)
+            .expect("the running task must be displaced");
+        assert!(node.has_free_slot());
+        assert_eq!(displaced.wf, 0);
+        assert!(displaced.data_ready, "a displaced task needs no transfers");
+        // 60 of 100 seconds remain, at 2 MIPS that is 120 MI of residual load.
+        assert_eq!(displaced.view.exec_secs, 60.0);
+        assert_eq!(displaced.load_mi, 120.0);
+
+        // An equal-priority arrival must NOT preempt (ties keep the running task) — even one
+        // with an *earlier* arrival sequence, so constant-key rules like FCFS can never
+        // preempt at all.
+        node.start(&high, now, 1);
+        let equal_later = entry(2, 100.0, 10.0, 2, true);
+        assert!(node.preempt_lowest_priority(equal_later.key, now).is_none());
+        let equal_earlier = entry(2, 100.0, 10.0, 0, true);
+        assert!(node
+            .preempt_lowest_priority(equal_earlier.key, now)
+            .is_none());
+        // Nor may a lower-priority arrival.
+        let lower = entry(3, 900.0, 10.0, 3, true);
+        assert!(node.preempt_lowest_priority(lower.key, now).is_none());
+    }
+
+    #[test]
+    fn stale_run_generations_do_not_complete() {
+        let mut node = NodeRuntime {
+            alive: true,
+            churnable: false,
+            capacity_mips: 1.0,
+            slots: 1,
+            epoch: 0,
+            ready: ReadySet::new(),
+            running: Vec::new(),
+            local_avg_bandwidth_mbps: 1.0,
+        };
+        let e = entry(0, 100.0, 10.0, 0, true);
+        node.start(&e, SimTime::ZERO, 7);
+        assert!(
+            !node.complete(0, TaskId(0), 6),
+            "a completion event from a previous run generation is stale"
+        );
+        assert!(node.complete(0, TaskId(0), 7));
     }
 }

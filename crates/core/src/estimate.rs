@@ -7,10 +7,25 @@
 //! (program image from the home node plus one dependent-data transfer per precedent).  The two
 //! delays overlap in time, hence `ST = max(R, LTD)` (Eq. 5) and `FT = ST + et` (Eq. 6/7).
 //!
+//! ## Multi-core candidates: per-slot execution vs aggregate queue drain
+//!
+//! A multi-slot peer gossips its *aggregate* capacity (`per-slot rate × slots`) plus its slot
+//! count, and the two halves of the model use different rates:
+//!
+//! * the **queuing delay** divides the backlog by the *aggregate* capacity — all slots drain
+//!   the queue concurrently;
+//! * the **execution time** divides one task's load by the *per-slot* rate
+//!   (`capacity / slots`) — a single task occupies exactly one slot and runs no faster on a
+//!   16-core node than on one of its cores.
+//!
+//! Conflating the two (dividing a single task's load by the aggregate) makes a 16-slot node
+//! look 16× faster *for one task* than it is and skews every placement towards multi-core
+//! peers; `slots == 1` keeps both rates equal, reproducing the paper's model bit-for-bit.
+//!
 //! The estimator is deliberately decoupled from the simulation: it sees candidate nodes as
-//! `(capacity, total load)` records — exactly what the epidemic gossip's `RSS` provides, stale
-//! or not — and network bandwidth through a caller-supplied estimate function (landmark-based
-//! for the decentralized algorithms, exact for the full-ahead baselines).
+//! `(capacity, slots, total load)` records — exactly what the epidemic gossip's `RSS`
+//! provides, stale or not — and network bandwidth through a caller-supplied estimate function
+//! (landmark-based for the decentralized algorithms, exact for the full-ahead baselines).
 
 use crate::NodeId;
 
@@ -19,14 +34,32 @@ use crate::NodeId;
 pub struct CandidateNode {
     /// The node's identifier.
     pub node: NodeId,
-    /// Its capacity in MIPS.
+    /// Its *aggregate* capacity in MIPS (all execution slots combined).
     pub capacity_mips: f64,
+    /// Number of execution slots behind that aggregate (paper: 1).
+    pub slots: usize,
     /// Its believed total load (running + ready tasks) in MI.
     pub total_load_mi: f64,
 }
 
 impl CandidateNode {
-    /// The queuing delay `R(τ, p_h) = l_h / c_h`, in seconds.
+    /// A candidate with the paper's single execution slot.
+    pub fn single_slot(node: NodeId, capacity_mips: f64, total_load_mi: f64) -> Self {
+        CandidateNode {
+            node,
+            capacity_mips,
+            slots: 1,
+            total_load_mi,
+        }
+    }
+
+    /// The rate one task actually executes at: `capacity / slots`, in MIPS.
+    pub fn per_slot_capacity_mips(&self) -> f64 {
+        self.capacity_mips / self.slots.max(1) as f64
+    }
+
+    /// The queuing delay `R(τ, p_h) = l_h / c_h`, in seconds.  The backlog drains on all slots
+    /// concurrently, so this uses the aggregate capacity.
     pub fn queuing_delay_secs(&self) -> f64 {
         if self.capacity_mips <= 0.0 {
             f64::INFINITY
@@ -35,12 +68,13 @@ impl CandidateNode {
         }
     }
 
-    /// Execution time of a task with `load_mi` on this node, in seconds.
+    /// Execution time of a task with `load_mi` on this node, in seconds.  One task runs on one
+    /// slot, so this uses the per-slot rate — not the aggregate.
     pub fn execution_secs(&self, load_mi: f64) -> f64 {
         if self.capacity_mips <= 0.0 {
             f64::INFINITY
         } else {
-            load_mi / self.capacity_mips
+            load_mi / self.per_slot_capacity_mips()
         }
     }
 
@@ -196,18 +230,10 @@ mod tests {
 
     #[test]
     fn queuing_delay_and_execution_follow_load_over_capacity() {
-        let c = CandidateNode {
-            node: 3,
-            capacity_mips: 4.0,
-            total_load_mi: 200.0,
-        };
+        let c = CandidateNode::single_slot(3, 4.0, 200.0);
         assert_eq!(c.queuing_delay_secs(), 50.0);
         assert_eq!(c.execution_secs(100.0), 25.0);
-        let dead = CandidateNode {
-            node: 0,
-            capacity_mips: 0.0,
-            total_load_mi: 0.0,
-        };
+        let dead = CandidateNode::single_slot(0, 0.0, 0.0);
         assert_eq!(dead.queuing_delay_secs(), f64::INFINITY);
     }
 
@@ -252,13 +278,10 @@ mod tests {
         let busy = CandidateNode {
             node: 2,
             capacity_mips: 1.0,
+            slots: 1,
             total_load_mi: 500.0, // 500 s of queue
         };
-        let idle = CandidateNode {
-            node: 2,
-            capacity_mips: 1.0,
-            total_load_mi: 0.0,
-        };
+        let idle = CandidateNode::single_slot(2, 1.0, 0.0);
         let preds = [PredecessorData {
             location: 1,
             data_mb: 100.0,
@@ -273,6 +296,7 @@ mod tests {
         let c = CandidateNode {
             node: 1,
             capacity_mips: 2.0,
+            slots: 1,
             total_load_mi: 100.0, // 50 s queue
         };
         // LTD = image 20 Mb / 1 Mb/s = 20 s < queue 50 s; execution = 300 / 2 = 150 s.
@@ -283,21 +307,9 @@ mod tests {
     fn best_candidate_implements_formula_9() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode {
-                node: 1,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            }, // exec 100
-            CandidateNode {
-                node: 2,
-                capacity_mips: 4.0,
-                total_load_mi: 0.0,
-            }, // exec 25
-            CandidateNode {
-                node: 3,
-                capacity_mips: 16.0,
-                total_load_mi: 8000.0,
-            }, // queue 500
+            CandidateNode::single_slot(1, 1.0, 0.0),     // exec 100
+            CandidateNode::single_slot(2, 4.0, 0.0),     // exec 25
+            CandidateNode::single_slot(3, 16.0, 8000.0), // queue 500
         ];
         let (idx, ft) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
         assert_eq!(candidates[idx].node, 2);
@@ -312,16 +324,8 @@ mod tests {
         // "node locality issue" in §III.D).
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode {
-                node: 2,
-                capacity_mips: 16.0,
-                total_load_mi: 0.0,
-            },
-            CandidateNode {
-                node: 9,
-                capacity_mips: 2.0,
-                total_load_mi: 0.0,
-            },
+            CandidateNode::single_slot(2, 16.0, 0.0),
+            CandidateNode::single_slot(9, 2.0, 0.0),
         ];
         let preds = [PredecessorData {
             location: 9,
@@ -335,16 +339,8 @@ mod tests {
     fn ties_break_towards_lower_node_id() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode {
-                node: 7,
-                capacity_mips: 2.0,
-                total_load_mi: 0.0,
-            },
-            CandidateNode {
-                node: 3,
-                capacity_mips: 2.0,
-                total_load_mi: 0.0,
-            },
+            CandidateNode::single_slot(7, 2.0, 0.0),
+            CandidateNode::single_slot(3, 2.0, 0.0),
         ];
         let (idx, _) = est.best_candidate(&candidates, 100.0, 0.0, &[]).unwrap();
         assert_eq!(candidates[idx].node, 3);
@@ -353,11 +349,7 @@ mod tests {
     #[test]
     fn add_load_updates_subsequent_estimates() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
-        let mut c = CandidateNode {
-            node: 1,
-            capacity_mips: 2.0,
-            total_load_mi: 0.0,
-        };
+        let mut c = CandidateNode::single_slot(1, 2.0, 0.0);
         assert_eq!(est.finish_time_secs(&c, 100.0, 0.0, &[]), 50.0);
         c.add_load(100.0);
         assert_eq!(est.finish_time_secs(&c, 100.0, 0.0, &[]), 100.0);
@@ -367,16 +359,8 @@ mod tests {
     fn completion_matrix_matches_individual_estimates() {
         let est = FinishTimeEstimator::new(0, &unit_bw);
         let candidates = [
-            CandidateNode {
-                node: 1,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            },
-            CandidateNode {
-                node: 2,
-                capacity_mips: 2.0,
-                total_load_mi: 100.0,
-            },
+            CandidateNode::single_slot(1, 1.0, 0.0),
+            CandidateNode::single_slot(2, 2.0, 100.0),
         ];
         let tasks = vec![
             (100.0, 0.0, vec![]),
@@ -400,6 +384,61 @@ mod tests {
             m[1][1],
             est.finish_time_secs(&candidates[1], 400.0, 0.0, &tasks[1].2)
         );
+    }
+
+    #[test]
+    fn one_16_slot_node_is_not_16_single_slot_nodes_for_one_task() {
+        // The "capacity illusion" regression: a 16-slot node and a single-slot node with the
+        // same 16 MIPS aggregate must yield *different* single-task finish estimates — the
+        // multi-core peer runs one task at 1 MIPS (one slot), the single-core peer at 16 MIPS.
+        let est = FinishTimeEstimator::new(0, &unit_bw);
+        let multi = CandidateNode {
+            node: 1,
+            capacity_mips: 16.0,
+            slots: 16,
+            total_load_mi: 0.0,
+        };
+        let single = CandidateNode::single_slot(2, 16.0, 0.0);
+        assert_eq!(multi.per_slot_capacity_mips(), 1.0);
+        assert_eq!(single.per_slot_capacity_mips(), 16.0);
+        let ft_multi = est.finish_time_secs(&multi, 1600.0, 0.0, &[]);
+        let ft_single = est.finish_time_secs(&single, 1600.0, 0.0, &[]);
+        assert_eq!(ft_multi, 1600.0);
+        assert_eq!(ft_single, 100.0);
+        // Formula 9 therefore places a single long task on the fast single core...
+        let (idx, _) = est
+            .best_candidate(&[multi, single], 1600.0, 0.0, &[])
+            .unwrap();
+        assert_eq!([multi, single][idx].node, 2);
+        // ...while the queue-drain half still credits the multi-core node's aggregate: under a
+        // heavy backlog the 16 slots drain 16× faster, so it wins the queued comparison.
+        let multi_busy = CandidateNode {
+            total_load_mi: 64_000.0,
+            ..multi
+        };
+        let single_busy = CandidateNode {
+            total_load_mi: 64_000.0,
+            ..single
+        };
+        assert_eq!(multi_busy.queuing_delay_secs(), 4000.0);
+        assert_eq!(single_busy.queuing_delay_secs(), 4000.0);
+        let (idx, _) = est
+            .best_candidate(&[multi_busy, single_busy], 16.0, 0.0, &[])
+            .unwrap();
+        assert_eq!(
+            [multi_busy, single_busy][idx].node,
+            2,
+            "equal queues: per-slot execution still favours the single core"
+        );
+    }
+
+    #[test]
+    fn single_slot_candidates_reproduce_the_paper_model_exactly() {
+        // slots == 1 must not perturb a single bit of the original arithmetic.
+        let c = CandidateNode::single_slot(3, 4.0, 200.0);
+        assert_eq!(c.per_slot_capacity_mips().to_bits(), 4.0f64.to_bits());
+        assert_eq!(c.execution_secs(100.0).to_bits(), 25.0f64.to_bits());
+        assert_eq!(c.queuing_delay_secs().to_bits(), 50.0f64.to_bits());
     }
 
     #[test]

@@ -178,11 +178,7 @@ mod tests {
         capacities
             .iter()
             .enumerate()
-            .map(|(i, &c)| CandidateNode {
-                node: i,
-                capacity_mips: c,
-                total_load_mi: 0.0,
-            })
+            .map(|(i, &c)| CandidateNode::single_slot(i, c, 0.0))
             .collect()
     }
 
@@ -290,16 +286,8 @@ mod tests {
             workflow: &w,
         }];
         let nodes = vec![
-            CandidateNode {
-                node: 0,
-                capacity_mips: 8.0,
-                total_load_mi: 1_000_000.0,
-            },
-            CandidateNode {
-                node: 1,
-                capacity_mips: 8.0,
-                total_load_mi: 0.0,
-            },
+            CandidateNode::single_slot(0, 8.0, 1_000_000.0),
+            CandidateNode::single_slot(1, 8.0, 0.0),
         ];
         let plans = plan_full_ahead(
             Algorithm::Smf,

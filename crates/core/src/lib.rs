@@ -49,7 +49,9 @@ pub mod simulation;
 pub mod worked_example;
 
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
-pub use config::{CapacityModel, ChurnConfig, GridConfig, ResourceModel};
+pub use config::{
+    CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, SlotClass, SlotModel,
+};
 pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
 pub use report::SimulationReport;
 pub use scheduler::Scheduler;

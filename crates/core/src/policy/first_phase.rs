@@ -272,11 +272,7 @@ mod tests {
 
     fn idle_candidates(n: usize) -> Vec<CandidateNode> {
         (0..n)
-            .map(|i| CandidateNode {
-                node: 100 + i,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            })
+            .map(|i| CandidateNode::single_slot(100 + i, 1.0, 0.0))
             .collect()
     }
 
@@ -412,6 +408,45 @@ mod tests {
     }
 
     #[test]
+    fn equal_aggregate_slot_farm_does_not_attract_a_single_long_task() {
+        // The capacity-illusion regression at planner level: a 16-slot node advertising the
+        // same 16 MIPS aggregate as a single-core node must lose the placement of one long
+        // task under every heuristic — one task only ever runs on one 1 MIPS slot there.
+        let tasks = vec![DispatchCandidateTask {
+            workflow: 0,
+            task: TaskId(0),
+            load_mi: 8000.0,
+            image_size_mb: 0.0,
+            rpm_secs: 1.0,
+            workflow_ms_secs: 1.0,
+            predecessors: vec![],
+        }];
+        let slot_farm = CandidateNode {
+            node: 1,
+            capacity_mips: 16.0,
+            slots: 16,
+            total_load_mi: 0.0,
+        };
+        let single_core = CandidateNode::single_slot(2, 16.0, 0.0);
+        let est = FinishTimeEstimator::new(0, &uniform_bw);
+        for alg in [
+            Algorithm::Dsmf,
+            Algorithm::Dheft,
+            Algorithm::Dsdf,
+            Algorithm::MinMin,
+            Algorithm::MaxMin,
+            Algorithm::Sufferage,
+        ] {
+            let mut cands = vec![slot_farm, single_core];
+            let d = plan_dispatch(alg, &tasks, &mut cands, &est);
+            assert_eq!(
+                d[0].target, 2,
+                "{alg}: the long task belongs on the fast single core"
+            );
+        }
+    }
+
+    #[test]
     fn empty_inputs_produce_no_decisions() {
         let est = FinishTimeEstimator::new(0, &uniform_bw);
         let mut candidates = idle_candidates(2);
@@ -434,16 +469,8 @@ mod tests {
             predecessors: vec![],
         }];
         let mut candidates = vec![
-            CandidateNode {
-                node: 1,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            },
-            CandidateNode {
-                node: 2,
-                capacity_mips: 16.0,
-                total_load_mi: 0.0,
-            },
+            CandidateNode::single_slot(1, 1.0, 0.0),
+            CandidateNode::single_slot(2, 16.0, 0.0),
         ];
         let est = FinishTimeEstimator::new(0, &uniform_bw);
         for alg in [

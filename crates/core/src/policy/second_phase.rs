@@ -28,6 +28,15 @@ pub struct ReadyTaskView {
 /// first, with the arrival sequence number as the final tie-break.  This is what lets the
 /// engine keep each node's data-ready tasks in a priority heap (`engine::node::ReadySet`)
 /// instead of re-scanning and re-ranking the whole ready set on every CPU-idle event.
+///
+/// Under the time-sliced preemptive substrate the same key also arbitrates *displacement*: a
+/// newly ready task preempts the lowest-priority running task iff its key is *strictly*
+/// smaller — the arrival sequence number plays no part, so equal keys never preempt and FCFS
+/// (whose key is constant) degenerates to the non-preemptive behaviour by construction.  A
+/// preempted task re-enters the ready heap with its remaining load and a key recomputed from
+/// its updated attributes, so rules keyed on execution time rank it by *remaining* time
+/// (shortest-remaining-time semantics) while the ms/rpm-based rules reproduce the original
+/// key unchanged.
 #[derive(Debug, Clone, Copy)]
 pub struct ReadyKey {
     k0: f64,

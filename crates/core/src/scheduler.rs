@@ -138,11 +138,7 @@ mod tests {
             home: 0,
             workflow: &w,
         }];
-        let nodes = [CandidateNode {
-            node: 0,
-            capacity_mips: 4.0,
-            total_load_mi: 0.0,
-        }];
+        let nodes = [CandidateNode::single_slot(0, 4.0, 0.0)];
         let bw = |_a: NodeId, _b: NodeId| 10.0;
         let costs = ExpectedCosts::new(1.0, 1.0);
         let jit = AlgorithmConfig::paper_default(Algorithm::Dsmf);

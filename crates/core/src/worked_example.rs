@@ -165,11 +165,7 @@ mod tests {
         let bw = |a: usize, b: usize| if a == b { f64::INFINITY } else { 1.0 };
         let est = FinishTimeEstimator::new(0, &bw);
         let mut candidates: Vec<CandidateNode> = (1..=3)
-            .map(|i| CandidateNode {
-                node: i,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            })
+            .map(|i| CandidateNode::single_slot(i, 1.0, 0.0))
             .collect();
         let order: Vec<(usize, TaskId)> =
             plan_dispatch(Algorithm::Dsmf, &tasks, &mut candidates, &est)

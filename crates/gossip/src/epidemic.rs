@@ -37,8 +37,10 @@ impl Default for EpidemicConfig {
 /// The local ground truth a node advertises in the current cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalAdvertisement {
-    /// Node capacity in MIPS.
+    /// Aggregate node capacity in MIPS (all execution slots combined).
     pub capacity_mips: f64,
+    /// Number of execution slots behind that aggregate (paper: 1).
+    pub slots: usize,
     /// Current total load (running + ready tasks) in MI.
     pub total_load_mi: f64,
 }
@@ -114,6 +116,7 @@ impl EpidemicGossip {
                 self.rss[i].merge(NodeStateRecord {
                     node: i,
                     capacity_mips: adv.capacity_mips,
+                    slots: adv.slots,
                     total_load_mi: adv.total_load_mi,
                     updated_at: now,
                     hops: 0,
@@ -192,6 +195,7 @@ mod tests {
             .map(|i| {
                 Some(LocalAdvertisement {
                     capacity_mips: 1.0 + i as f64,
+                    slots: 1,
                     total_load_mi: 10.0 * i as f64,
                 })
             })

@@ -25,12 +25,21 @@ use serde::{Deserialize, Serialize};
 pub struct LocalNodeState {
     /// False once the node has churned away.
     pub alive: bool,
-    /// Node capacity in MIPS.
+    /// Aggregate node capacity in MIPS (all execution slots combined).
     pub capacity_mips: f64,
+    /// Number of execution slots behind that aggregate (paper: 1).
+    pub slots: usize,
     /// Current total load (running + ready tasks) in MI.
     pub total_load_mi: f64,
     /// The node's locally measured average bandwidth towards its landmarks, in Mb/s.
     pub local_avg_bandwidth_mbps: f64,
+}
+
+impl LocalNodeState {
+    /// The execution rate of *one* slot in MIPS — what a single task runs at.
+    pub fn per_slot_capacity_mips(&self) -> f64 {
+        self.capacity_mips / self.slots.max(1) as f64
+    }
 }
 
 /// Configuration of the mixed protocol.
@@ -155,7 +164,11 @@ impl MixedGossip {
         self.epidemic.rss(i)
     }
 
-    /// Node `i`'s current estimate of the system-wide average capacity (MIPS).
+    /// Node `i`'s current estimate of the system-wide average *per-slot* execution rate
+    /// (MIPS) — the rate one task runs at on an average node.  With the paper's single-slot
+    /// nodes this is exactly the average capacity; multi-slot nodes contribute
+    /// `capacity / slots`, not their aggregate, because the expected-cost model (Eq. 1, 7, 8)
+    /// uses this average as the rate a *single* task executes at.
     pub fn avg_capacity_estimate(&self, i: PeerId) -> f64 {
         self.agg_capacity.estimate(i)
     }
@@ -222,6 +235,7 @@ impl MixedGossip {
             .map(|s| {
                 s.alive.then_some(LocalAdvertisement {
                     capacity_mips: s.capacity_mips,
+                    slots: s.slots,
                     total_load_mi: s.total_load_mi,
                 })
             })
@@ -239,10 +253,13 @@ impl MixedGossip {
         );
         let epidemic_delta = self.epidemic.messages_sent() - epidemic_before;
 
-        // 3. Aggregation of the two global statistics.
+        // 3. Aggregation of the two global statistics.  The capacity average feeds the
+        //    expected-cost model as "the rate one task runs at", so multi-slot nodes
+        //    contribute their per-slot rate — dividing by 1 is exact, keeping single-slot
+        //    runs bit-identical to the paper model.
         let caps: Vec<Option<f64>> = local
             .iter()
-            .map(|s| s.alive.then_some(s.capacity_mips))
+            .map(|s| s.alive.then_some(s.per_slot_capacity_mips()))
             .collect();
         let bws: Vec<Option<f64>> = local
             .iter()
@@ -287,6 +304,7 @@ mod tests {
             .map(|i| LocalNodeState {
                 alive: true,
                 capacity_mips: [1.0, 2.0, 4.0, 8.0, 16.0][i % 5],
+                slots: 1,
                 total_load_mi: (i as f64) * 50.0,
                 local_avg_bandwidth_mbps: 5.0,
             })
@@ -342,6 +360,32 @@ mod tests {
             );
             assert!(avg >= 3.0, "n={n}: average RSS {avg} suspiciously small");
         }
+    }
+
+    #[test]
+    fn capacity_aggregation_averages_per_slot_rates() {
+        // A population of 16-slot nodes advertising a 16 MIPS aggregate runs one task at
+        // 1 MIPS per slot; the capacity estimate must converge towards 1, not 16.
+        let n = 80;
+        let mut rng = SimRng::seed_from_u64(23);
+        let mut gossip = MixedGossip::new(n, MixedGossipConfig::default(), &mut rng);
+        let local: Vec<LocalNodeState> = (0..n)
+            .map(|_| LocalNodeState {
+                alive: true,
+                capacity_mips: 16.0,
+                slots: 16,
+                total_load_mi: 0.0,
+                local_avg_bandwidth_mbps: 5.0,
+            })
+            .collect();
+        for c in 0..12 {
+            gossip.run_cycle(SimTime::from_secs(c * 300), &local, &mut rng);
+        }
+        let est = gossip.avg_capacity_estimate(0);
+        assert!(
+            (est - 1.0).abs() < 0.1,
+            "per-slot rate estimate {est} should approach 1 MIPS, not the 16 MIPS aggregate"
+        );
     }
 
     #[test]
@@ -435,6 +479,7 @@ mod tests {
         let local = vec![LocalNodeState {
             alive: true,
             capacity_mips: 4.0,
+            slots: 1,
             total_load_mi: 0.0,
             local_avg_bandwidth_mbps: 2.0,
         }];

@@ -12,8 +12,13 @@ pub type PeerId = usize;
 pub struct NodeStateRecord {
     /// The node this record describes.
     pub node: PeerId,
-    /// Its computing capacity in MIPS.
+    /// Its *aggregate* computing capacity in MIPS: all execution slots combined.  With the
+    /// paper's single CPU this is exactly the node's Table I capacity.
     pub capacity_mips: f64,
+    /// Number of execution slots behind that aggregate (paper: 1).  A scheduler must divide
+    /// `capacity_mips` by this to obtain the rate one task actually runs at — a 16-slot node
+    /// drains its *queue* 16× faster, but runs a *single* task no faster than one slot.
+    pub slots: usize,
     /// Total load (running + waiting tasks) in MI, `l_r` in the paper.
     pub total_load_mi: f64,
     /// Virtual time at which the record was produced by its origin node.
@@ -24,12 +29,18 @@ pub struct NodeStateRecord {
 
 impl NodeStateRecord {
     /// The queuing-delay estimate the paper derives from this record: `l_r / c_r` seconds.
+    /// The backlog drains on all slots at once, so this correctly uses the aggregate capacity.
     pub fn queuing_delay_secs(&self) -> f64 {
         if self.capacity_mips <= 0.0 {
             f64::INFINITY
         } else {
             self.total_load_mi / self.capacity_mips
         }
+    }
+
+    /// The execution rate of *one* slot in MIPS — what a single task runs at.
+    pub fn per_slot_capacity_mips(&self) -> f64 {
+        self.capacity_mips / self.slots.max(1) as f64
     }
 }
 
@@ -139,6 +150,7 @@ mod tests {
         NodeStateRecord {
             node,
             capacity_mips: 4.0,
+            slots: 1,
             total_load_mi: 100.0,
             updated_at: SimTime::from_secs(t),
             hops: 0,
@@ -153,6 +165,19 @@ mod tests {
             ..rec(0, 0)
         };
         assert_eq!(zero_cap.queuing_delay_secs(), f64::INFINITY);
+    }
+
+    #[test]
+    fn per_slot_capacity_divides_the_aggregate() {
+        // A 4-slot node advertising 4 MIPS aggregate runs one task at 1 MIPS, but still drains
+        // its 100 MI backlog in 25 s.
+        let quad = NodeStateRecord {
+            slots: 4,
+            ..rec(0, 0)
+        };
+        assert_eq!(quad.per_slot_capacity_mips(), 1.0);
+        assert_eq!(quad.queuing_delay_secs(), 25.0);
+        assert_eq!(rec(0, 0).per_slot_capacity_mips(), 4.0);
     }
 
     #[test]

@@ -97,12 +97,21 @@ impl OnlineStats {
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation on the sorted data.
 /// Returns `None` for an empty sample.
+///
+/// The sample must be NaN-free (debug-asserted): sorting is by `f64::total_cmp`, a total
+/// order, so a stray NaN can no longer silently scramble the sort the way the old
+/// `partial_cmp(..).unwrap_or(Equal)` comparator did — it sorts after every number and is
+/// caught by the assertion in debug builds.
 pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
+    debug_assert!(
+        samples.iter().all(|x| !x.is_nan()),
+        "quantile() requires a NaN-free sample"
+    );
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -177,6 +186,25 @@ mod tests {
         assert_eq!(quantile(&xs, 0.5), Some(2.5));
         assert_eq!(quantile(&[], 0.5), None);
         assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    fn quantiles_use_a_total_order() {
+        // total_cmp sorts infinities to the extremes and is permutation-independent — the
+        // property the old partial_cmp-with-Equal-fallback comparator lost on odd inputs.
+        let xs = [f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(quantile(&xs, 1.0), Some(f64::INFINITY));
+        let mut reversed = xs;
+        reversed.reverse();
+        assert_eq!(quantile(&reversed, 0.5), quantile(&xs, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN-free")]
+    #[cfg(debug_assertions)]
+    fn quantile_rejects_nan_samples_in_debug_builds() {
+        quantile(&[1.0, f64::NAN], 0.5);
     }
 
     proptest! {

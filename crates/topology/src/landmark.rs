@@ -1,6 +1,6 @@
 //! Landmark-based bandwidth estimation.
 //!
-//! The paper estimates network status with a "landmark based mechanism" (its reference [17]):
+//! The paper estimates network status with a "landmark based mechanism" (its reference \[17\]):
 //! each node only monitors its links towards `log2(n)` landmark nodes and propagates that list
 //! through the epidemic gossip protocol, after which every node can *estimate* the bandwidth of
 //! any pair without ever probing it directly.  The classic landmark estimate of the bandwidth

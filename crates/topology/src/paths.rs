@@ -122,7 +122,9 @@ fn single_source(topo: &Topology, src: NodeId) -> (Vec<f32>, Vec<f32>) {
     }
     impl Ord for BwEntry {
         fn cmp(&self, other: &Self) -> Ordering {
-            self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+            // total_cmp: a NaN key (conceivable only from corrupt edge props) must not be
+            // able to poison the heap order the way `partial_cmp -> Equal` could.
+            self.0.total_cmp(&other.0)
         }
     }
     let mut heap = BinaryHeap::new();
@@ -153,8 +155,8 @@ fn single_source(topo: &Topology, src: NodeId) -> (Vec<f32>, Vec<f32>) {
     }
     impl Ord for LatEntry {
         fn cmp(&self, other: &Self) -> Ordering {
-            // Reverse: smaller latency pops first.
-            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            // Reverse (total_cmp): smaller latency pops first, NaN-proof like BwEntry.
+            other.0.total_cmp(&self.0)
         }
     }
     let mut heap = BinaryHeap::new();

@@ -1,0 +1,127 @@
+//! Heterogeneous and preemptive substrates: the ROADMAP's resource-model extensions.
+//!
+//! Part 1 shows the fixed Formula 9 on multi-core peers: a 16-slot node and a 16 MIPS
+//! single-core node advertise the same aggregate capacity, but a single long task now gets
+//! *different* finish estimates on them (per-slot execution vs aggregate queue drain), so DSMF
+//! no longer over-selects multi-core peers for single long tasks.
+//!
+//! Part 2 sweeps three substrates over an otherwise identical contended grid under DSMF:
+//!
+//! * **uniform** — the paper's single non-preemptive CPU per node;
+//! * **heterogeneous** — 80% single-core / 20% 16-core volunteer machines, deterministically
+//!   sampled per seed;
+//! * **heterogeneous + preemptive** — the same population with the time-sliced policy, where a
+//!   newly ready higher-priority task displaces the lowest-priority running task back into the
+//!   ready heap with its remaining load.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_grid
+//! ```
+
+use p2pgrid::core::policy::first_phase::DispatchCandidateTask;
+use p2pgrid::core::{CandidateNode, FinishTimeEstimator, Scheduler};
+use p2pgrid::prelude::*;
+use p2pgrid::workflow::TaskId;
+
+fn main() {
+    single_task_placement_demo();
+    substrate_sweep();
+}
+
+/// One long task, two candidates of equal aggregate capacity: placement must follow the
+/// per-slot rate, not the aggregate.
+fn single_task_placement_demo() {
+    let multi = CandidateNode {
+        node: 0,
+        capacity_mips: 16.0, // aggregate of 16 × 1 MIPS slots
+        slots: 16,
+        total_load_mi: 0.0,
+    };
+    let single = CandidateNode::single_slot(1, 16.0, 0.0);
+    let bw = |a: usize, b: usize| if a == b { f64::INFINITY } else { 5.0 };
+    let estimator = FinishTimeEstimator::new(1, &bw);
+    let load_mi = 8_000.0;
+
+    println!("Single 8 000 MI task, two candidates with a 16 MIPS aggregate:\n");
+    for c in [&multi, &single] {
+        println!(
+            "  node {} — {:>2} slot(s) × {:>4.1} MIPS/slot: estimated finish {:>6.0} s",
+            c.node,
+            c.slots,
+            c.per_slot_capacity_mips(),
+            estimator.finish_time_secs(c, load_mi, 0.0, &[]),
+        );
+    }
+    let task = DispatchCandidateTask {
+        workflow: 0,
+        task: TaskId(0),
+        load_mi,
+        image_size_mb: 0.0,
+        rpm_secs: 1.0,
+        workflow_ms_secs: 1.0,
+        predecessors: vec![],
+    };
+    let mut candidates = vec![multi, single];
+    let scheduler = AlgorithmConfig::paper_default(Algorithm::Dsmf);
+    let decisions = scheduler.plan_dispatch(&[task], &mut candidates, &estimator);
+    println!(
+        "\nDSMF places the task on node {} — the fast single core, not the slot farm.\n",
+        decisions[0].target
+    );
+}
+
+/// Throughput / ACT / AE across the three substrates on the same contended grid.
+fn substrate_sweep() {
+    let seed = 20100913;
+    let volunteer_classes = || {
+        vec![
+            SlotClass {
+                slots: 1,
+                weight: 0.8,
+            },
+            SlotClass {
+                slots: 16,
+                weight: 0.2,
+            },
+        ]
+    };
+    let substrates: [(&str, ResourceModel); 3] = [
+        ("uniform 1-slot", ResourceModel::single_cpu()),
+        (
+            "heterogeneous 80/20",
+            ResourceModel::heterogeneous(volunteer_classes()),
+        ),
+        (
+            "heterogeneous + preemptive",
+            ResourceModel::heterogeneous(volunteer_classes()).preemptive(),
+        ),
+    ];
+
+    println!("DSMF on a contended 48-node grid, sweeping the execution substrate\n");
+    println!(
+        "{:<28}  {:>9}  {:>9}  {:>10}  {:>7}",
+        "substrate", "submitted", "finished", "ACT(s)", "AE"
+    );
+    for (label, resource) in substrates {
+        let cfg = GridConfig::paper_default()
+            .with_nodes(48)
+            .with_load_factor(3)
+            .with_resource(resource)
+            .with_seed(seed);
+        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        println!(
+            "{:<28}  {:>9}  {:>9}  {:>10.0}  {:>7.3}",
+            label,
+            report.submitted,
+            report.completed,
+            report.act_secs(),
+            report.average_efficiency()
+        );
+    }
+    println!(
+        "\nThe heterogeneous population concentrates 80% of the aggregate capacity in a few\n\
+         16-slot nodes; with the per-slot estimator DSMF routes long tasks to fast single\n\
+         cores and queues of short tasks to the slot farms.  Preemption then lets short-\n\
+         makespan arrivals cut ahead of long residents on contended nodes."
+    );
+}

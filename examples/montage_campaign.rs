@@ -38,21 +38,9 @@ fn main() {
     let bw = |a: usize, b: usize| if a == b { f64::INFINITY } else { 2.0 };
     let estimator = FinishTimeEstimator::new(0, &bw);
     let mut candidates = vec![
-        CandidateNode {
-            node: 10,
-            capacity_mips: 16.0,
-            total_load_mi: 4000.0,
-        },
-        CandidateNode {
-            node: 11,
-            capacity_mips: 8.0,
-            total_load_mi: 0.0,
-        },
-        CandidateNode {
-            node: 12,
-            capacity_mips: 2.0,
-            total_load_mi: 0.0,
-        },
+        CandidateNode::single_slot(10, 16.0, 4000.0),
+        CandidateNode::single_slot(11, 8.0, 0.0),
+        CandidateNode::single_slot(12, 2.0, 0.0),
     ];
     let entry = mosaic.entry();
     let ready: Vec<DispatchCandidateTask> = mosaic

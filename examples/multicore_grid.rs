@@ -38,8 +38,11 @@ fn main() {
     }
     println!(
         "\nslots = 1 is exactly the paper's model; the seam only adds behaviour, never\n\
-         changes the baseline.  ACT collapses as slots absorb the queueing delay.  AE\n\
-         (eft/ct) is not directly comparable across slot counts: its eft baseline uses\n\
-         the aggregate advertised capacity, which a single task can never exploit."
+         changes the baseline.  ACT collapses as slots absorb the queueing delay.  The\n\
+         model keeps the two rates separate everywhere — queues drain at the aggregate\n\
+         capacity, while Formula 9, the RPM/makespan estimates and the eft(f) baseline\n\
+         all use the per-slot rate a single task actually runs at — so multi-core peers\n\
+         are no longer credited with running one task N× faster (see\n\
+         examples/heterogeneous_grid.rs)."
     );
 }

@@ -70,11 +70,7 @@ fn main() {
         ("decreasing-RPM (HEFT-like)", Algorithm::Dheft),
     ] {
         let mut candidates: Vec<CandidateNode> = (1..=3)
-            .map(|i| CandidateNode {
-                node: i,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            })
+            .map(|i| CandidateNode::single_slot(i, 1.0, 0.0))
             .collect();
         let order: Vec<String> = plan_dispatch(algorithm, &tasks, &mut candidates, &estimator)
             .iter()

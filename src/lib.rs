@@ -52,7 +52,7 @@ pub use p2pgrid_workflow as workflow;
 pub mod prelude {
     pub use p2pgrid_core::{
         Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, GridConfig, GridSimulation,
-        SecondPhase, SimulationReport,
+        PreemptionPolicy, ResourceModel, SecondPhase, SimulationReport, SlotClass, SlotModel,
     };
     pub use p2pgrid_experiments::ExperimentScale;
     pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};

@@ -87,6 +87,45 @@ fn multicore_runs_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn heterogeneous_preemptive_runs_are_byte_identical_across_runs() {
+    // The PR-3 substrate extensions: a weighted 80% single-core / 20% 16-core population with
+    // the time-sliced preemptive policy must be exactly as reproducible as the paper model.
+    let cfg = || {
+        config(77).with_resource(
+            ResourceModel::heterogeneous(vec![
+                SlotClass {
+                    slots: 1,
+                    weight: 0.8,
+                },
+                SlotClass {
+                    slots: 16,
+                    weight: 0.2,
+                },
+            ])
+            .preemptive(),
+        )
+    };
+    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    assert!(a.completed > 0);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn single_slot_runs_reproduce_the_paper_model_exactly() {
+    // The multi-core estimator fix must leave slots_per_node = 1 untouched: an explicit
+    // uniform single-slot resource model is byte-identical to the plain paper configuration.
+    let plain = GridSimulation::with_algorithm(config(78), Algorithm::Dsmf).run();
+    let uniform = GridSimulation::with_algorithm(
+        config(78).with_resource(ResourceModel::single_cpu()),
+        Algorithm::Dsmf,
+    )
+    .run();
+    assert!(plain.completed > 0);
+    assert_eq!(fingerprint(&plain), fingerprint(&uniform));
+}
+
+#[test]
 fn different_seeds_change_the_fingerprint() {
     // Guards against the fingerprint being trivially constant.
     let a = GridSimulation::with_algorithm(config(75), Algorithm::Dsmf).run();

@@ -1,7 +1,11 @@
 //! Property-based integration tests: simulation invariants that must hold for any seed and any
 //! (small) configuration.
 
+use p2pgrid::core::engine::node::{ReadyEntry, ReadySet};
+use p2pgrid::core::policy::second_phase::{ready_key, ReadyTaskView};
+use p2pgrid::core::{CandidateNode, FinishTimeEstimator};
 use p2pgrid::prelude::*;
+use p2pgrid::workflow::TaskId;
 use proptest::prelude::*;
 
 fn any_algorithm() -> impl Strategy<Value = Algorithm> {
@@ -66,6 +70,88 @@ proptest! {
         prop_assert!(report.completed + report.failed <= report.submitted);
         if reschedule {
             prop_assert_eq!(report.failed, 0);
+        }
+    }
+
+    /// The fixed Formula 9 model on multi-slot nodes: estimated vs simulated finish time agree
+    /// within list-scheduling slack (the analogue of the transfer-overlap bound — the estimate
+    /// collapses per-slot packing into an aggregate drain, so it can only be off by one
+    /// backlog task's execution time).  For any per-slot rate, slot count and FCFS backlog:
+    ///
+    /// * the estimator splits cleanly into `R = backlog / aggregate` + `et = load / per-slot`;
+    /// * the simulated finish (the engine's real `ReadySet` drained over `slots` slots) is
+    ///   never faster than `et` and never slower than `R + max_backlog_exec + et`;
+    /// * with one slot the estimate is *exact* — the paper's single-CPU model.
+    #[test]
+    fn prop_multislot_estimate_brackets_simulated_finish(
+        cap in 1.0f64..16.0,
+        slots in 1usize..8,
+        prev in proptest::collection::vec(10.0f64..5_000.0, 0..40),
+        x in 10.0f64..5_000.0,
+    ) {
+        let agg = cap * slots as f64;
+        let cand = CandidateNode {
+            node: 0,
+            capacity_mips: agg,
+            slots,
+            total_load_mi: prev.iter().sum(),
+        };
+        let bw = |_a: usize, _b: usize| f64::INFINITY;
+        let est = FinishTimeEstimator::new(0, &bw);
+        let r = cand.queuing_delay_secs();
+        let et = cand.execution_secs(x);
+        let ft_est = est.finish_time_secs(&cand, x, 0.0, &[]);
+        prop_assert!((ft_est - (r + et)).abs() <= 1e-9 * ft_est.max(1.0));
+        prop_assert!((et - x / cap).abs() <= 1e-9 * et.max(1.0), "execution must use the per-slot rate");
+
+        // Simulate: drain the engine's ReadySet FCFS over `slots` slots at the per-slot rate,
+        // the estimated task arriving last.
+        let mut set = ReadySet::new();
+        for (i, &load) in prev.iter().chain(std::iter::once(&x)).enumerate() {
+            let view = ReadyTaskView {
+                workflow_ms_secs: 0.0,
+                rpm_secs: 0.0,
+                exec_secs: load / cap,
+                sufferage_secs: 0.0,
+                enqueued_seq: i as u64,
+            };
+            set.insert(ReadyEntry {
+                wf: i,
+                task: TaskId(0),
+                load_mi: load,
+                key: ready_key(SecondPhase::Fcfs, &view),
+                view,
+                data_ready: true,
+            });
+        }
+        let mut slot_free = vec![0.0f64; slots];
+        let mut simulated_finish = 0.0f64;
+        while let Some(e) = set.pop_next() {
+            let (idx, free_at) = slot_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            slot_free[idx] = free_at + e.view.exec_secs;
+            if e.wf == prev.len() {
+                simulated_finish = slot_free[idx];
+            }
+        }
+
+        let max_prev_exec = prev.iter().copied().fold(0.0f64, f64::max) / cap;
+        let eps = 1e-6 * (1.0 + simulated_finish.max(ft_est));
+        prop_assert!(simulated_finish + eps >= et, "finish {simulated_finish} beat pure execution {et}");
+        prop_assert!(
+            simulated_finish <= r + max_prev_exec + et + eps,
+            "finish {simulated_finish} outside the list-scheduling bound {} (R {r}, et {et})",
+            r + max_prev_exec + et
+        );
+        if slots == 1 {
+            prop_assert!(
+                (simulated_finish - ft_est).abs() <= eps,
+                "single slot must make the estimate exact: sim {simulated_finish} vs est {ft_est}"
+            );
         }
     }
 }

@@ -27,6 +27,7 @@ fn gossip_estimates_converge_to_topology_ground_truth() {
             LocalNodeState {
                 alive: true,
                 capacity_mips: capacities[i],
+                slots: 1,
                 total_load_mi: 0.0,
                 local_avg_bandwidth_mbps: bws.iter().sum::<f64>() / bws.len() as f64,
             }

@@ -54,11 +54,7 @@ fn fig3_dispatch_orders_for_dsmf_and_decreasing_rpm() {
     let est = FinishTimeEstimator::new(0, &bw);
     let idle = || -> Vec<CandidateNode> {
         (1..=3)
-            .map(|i| CandidateNode {
-                node: i,
-                capacity_mips: 1.0,
-                total_load_mi: 0.0,
-            })
+            .map(|i| CandidateNode::single_slot(i, 1.0, 0.0))
             .collect()
     };
 
