@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config};
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario};
 use p2pgrid_experiments::{fcfs_ablation, ExperimentScale};
 use std::hint::black_box;
 
@@ -18,6 +18,9 @@ fn bench(c: &mut Criterion) {
         ablation.pairs.len()
     );
 
+    // One world, two second-phase rules: the scenario is built once, the timings measure the
+    // 36-hour session itself.
+    let scenario = Scenario::build(bench_grid_config(32, 2, 36)).expect("bench config is valid");
     let mut group = c.benchmark_group("fcfs_ablation");
     for (label, cfg) in [
         (
@@ -30,10 +33,7 @@ fn bench(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(format!("simulate_36h/{label}"), |bencher| {
-            bencher.iter(|| {
-                let grid = bench_grid_config(32, 2, 36);
-                black_box(GridSimulation::new(grid, cfg).run().act_secs())
-            })
+            bencher.iter(|| black_box(scenario.simulate_config(cfg).run().act_secs()))
         });
     }
     group.finish();

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
-use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_core::{Algorithm, Scenario};
 use p2pgrid_experiments::{static_comparison, ExperimentScale};
 use std::hint::black_box;
 
@@ -27,6 +27,9 @@ fn bench(c: &mut Criterion) {
         headline.ae_improvement_pct.1
     );
 
+    // One world shared by all four timed algorithms: the timings measure the sessions, not
+    // the topology/workflow sampling.
+    let scenario = Scenario::build(bench_grid_config(32, 2, 36)).expect("bench config is valid");
     let mut group = c.benchmark_group("fig04_06_static_comparison");
     for alg in [
         Algorithm::Dsmf,
@@ -35,10 +38,7 @@ fn bench(c: &mut Criterion) {
         Algorithm::Smf,
     ] {
         group.bench_function(format!("simulate_36h/{alg}"), |bencher| {
-            bencher.iter(|| {
-                let cfg = bench_grid_config(32, 2, 36);
-                black_box(GridSimulation::with_algorithm(cfg, alg).run().completed)
-            })
+            bencher.iter(|| black_box(scenario.simulate_algorithm(alg).run().completed))
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
-use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_core::{Algorithm, Scenario};
 use p2pgrid_experiments::{load_factor, ExperimentScale};
 use std::hint::black_box;
 
@@ -16,11 +16,14 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig07_08_load_factor");
     for lf in [1usize, 4, 8] {
+        // One world per load factor, built outside the timed loop.
+        let scenario =
+            Scenario::build(bench_grid_config(24, lf, 36)).expect("bench config is valid");
         group.bench_function(format!("dsmf_36h/load_factor_{lf}"), |bencher| {
             bencher.iter(|| {
-                let cfg = bench_grid_config(24, lf, 36);
                 black_box(
-                    GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                    scenario
+                        .simulate_algorithm(Algorithm::Dsmf)
                         .run()
                         .act_secs(),
                 )

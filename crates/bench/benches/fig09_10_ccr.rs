@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
-use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_core::{Algorithm, Scenario};
 use p2pgrid_experiments::{ccr, ExperimentScale};
 use std::hint::black_box;
 
@@ -23,12 +23,14 @@ fn bench(c: &mut Criterion) {
         ("compute_heavy_ccr0.16", 100.0..=10_000.0, 10.0..=1000.0),
         ("data_heavy_ccr16", 10.0..=1000.0, 100.0..=10_000.0),
     ] {
+        // One world per CCR case, built outside the timed loop.
+        let cfg = bench_grid_config(24, 2, 36).with_load_and_data(load.clone(), data.clone());
+        let scenario = Scenario::build(cfg).expect("bench config is valid");
         group.bench_function(format!("dsmf_36h/{label}"), |bencher| {
             bencher.iter(|| {
-                let cfg =
-                    bench_grid_config(24, 2, 36).with_load_and_data(load.clone(), data.clone());
                 black_box(
-                    GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
+                    scenario
+                        .simulate_algorithm(Algorithm::Dsmf)
                         .run()
                         .average_efficiency(),
                 )

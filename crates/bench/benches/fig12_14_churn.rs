@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2pgrid_bench::{bench_criterion_config, bench_grid_config, print_figure};
-use p2pgrid_core::{Algorithm, ChurnConfig, GridSimulation};
+use p2pgrid_core::{Algorithm, ChurnConfig, Scenario};
 use p2pgrid_experiments::{churn, ExperimentScale};
 use std::hint::black_box;
 
@@ -26,18 +26,16 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig12_14_churn");
     for df in [0.0f64, 0.2, 0.4] {
+        // One world per dynamic factor (the stable/churnable split depends on it), built
+        // outside the timed loop; every timed run replays the identical churn stream.
+        let cfg = bench_grid_config(32, 2, 36).with_churn(ChurnConfig::with_dynamic_factor(df));
+        let scenario = Scenario::build(cfg).expect("bench config is valid");
         group.bench_with_input(
             BenchmarkId::new("dsmf_36h", format!("df_{df}")),
             &df,
-            |bencher, &df| {
+            |bencher, _| {
                 bencher.iter(|| {
-                    let cfg = bench_grid_config(32, 2, 36)
-                        .with_churn(ChurnConfig::with_dynamic_factor(df));
-                    black_box(
-                        GridSimulation::with_algorithm(cfg, Algorithm::Dsmf)
-                            .run()
-                            .completed,
-                    )
+                    black_box(scenario.simulate_algorithm(Algorithm::Dsmf).run().completed)
                 })
             },
         );

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2pgrid_bench::bench_criterion_config;
 use p2pgrid_core::engine::node::{ReadyEntry, ReadySet};
 use p2pgrid_core::policy::second_phase::{ready_key, select_next, ReadyTaskView};
-use p2pgrid_core::{Algorithm, GridConfig, GridSimulation, ResourceModel, SecondPhase, SlotClass};
+use p2pgrid_core::{Algorithm, GridConfig, ResourceModel, Scenario, SecondPhase, SlotClass};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip, MixedGossipConfig};
 use p2pgrid_sim::{EventQueue, SimRng, SimTime};
 use p2pgrid_topology::{PairwiseMetrics, WaxmanConfig, WaxmanGenerator};
@@ -179,14 +179,12 @@ fn bench_resource_models(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("substrate_makespans");
     for (label, resource) in substrates {
-        let config = || {
-            let mut cfg = GridConfig::small(24)
-                .with_seed(20100913)
-                .with_resource(resource.clone());
-            cfg.workflows_per_node = 2;
-            cfg
-        };
-        let once = GridSimulation::with_algorithm(config(), Algorithm::Dsmf).run();
+        let mut cfg = GridConfig::small(24)
+            .with_seed(20100913)
+            .with_resource(resource.clone());
+        cfg.workflows_per_node = 2;
+        let scenario = Scenario::build(cfg).expect("bench config is valid");
+        let once = scenario.simulate_algorithm(Algorithm::Dsmf).run();
         println!(
             "{label}: {}/{} workflows, ACT {:.0} s",
             once.completed,
@@ -194,15 +192,101 @@ fn bench_resource_models(c: &mut Criterion) {
             once.act_secs()
         );
         group.bench_function(label, |bencher| {
-            bencher.iter(|| {
-                black_box(
-                    GridSimulation::with_algorithm(config(), Algorithm::Dsmf)
-                        .run()
-                        .completed,
-                )
-            })
+            bencher.iter(|| black_box(scenario.simulate_algorithm(Algorithm::Dsmf).run().completed))
         });
     }
+    group.finish();
+}
+
+/// The Scenario-reuse comparison: a full 8-algorithm sweep on one shared pre-built world
+/// versus the legacy behaviour of rebuilding the world (topology, all-pairs bandwidths,
+/// landmarks, capacities, workflows) for every algorithm.  Criterion times the two variants at
+/// smoke scale; setting `P2PGRID_BENCH_REDUCED=1` additionally runs a one-shot wall-clock
+/// comparison at the experiments' Reduced scale (120 nodes, 36 h — seconds per sweep) and
+/// prints it, which is where the amortisation is most visible (numbers in EXPERIMENTS.md).
+fn bench_scenario_reuse(c: &mut Criterion) {
+    let sweep_shared = |cfg: GridConfig| {
+        let scenario = Scenario::build(cfg).expect("bench config is valid");
+        Algorithm::ALL
+            .iter()
+            .map(|&alg| scenario.simulate_algorithm(alg).run().completed)
+            .sum::<u64>()
+    };
+    let sweep_rebuilt = |cfg: &GridConfig| {
+        Algorithm::ALL
+            .iter()
+            .map(|&alg| {
+                Scenario::build(cfg.clone())
+                    .expect("bench config is valid")
+                    .simulate_algorithm(alg)
+                    .run()
+                    .completed
+            })
+            .sum::<u64>()
+    };
+
+    if std::env::var_os("P2PGRID_BENCH_REDUCED").is_some() {
+        use p2pgrid_experiments::ExperimentScale;
+        let cfg = ExperimentScale::Reduced.base_config(20100913);
+        // Isolate the quantity being amortised: one world build at this scale.
+        let t_build = std::time::Instant::now();
+        std::hint::black_box(Scenario::build(cfg.clone()).expect("bench config is valid"));
+        let build = t_build.elapsed();
+        // A multi-second sweep carries more run-to-run noise (warm-up, frequency drift)
+        // than the setup saving, so interleave the two variants with alternating order
+        // across repetitions and compare the minima (the usual robust wall-clock
+        // estimator; a fixed order systematically penalises whichever variant runs first
+        // in each pair).
+        const REPS: usize = 4;
+        let mut shared = std::time::Duration::MAX;
+        let mut rebuilt = std::time::Duration::MAX;
+        let mut totals = [None; 2];
+        for rep in 0..REPS {
+            for leg in 0..2 {
+                let shared_leg = (rep + leg) % 2 == 0;
+                let t = std::time::Instant::now();
+                let completed = if shared_leg {
+                    sweep_shared(cfg.clone())
+                } else {
+                    sweep_rebuilt(&cfg)
+                };
+                let elapsed = t.elapsed();
+                let total = &mut totals[shared_leg as usize];
+                assert_eq!(
+                    *total.get_or_insert(completed),
+                    completed,
+                    "every sweep must complete the identical workload"
+                );
+                if shared_leg {
+                    shared = shared.min(elapsed);
+                } else {
+                    rebuilt = rebuilt.min(elapsed);
+                }
+            }
+        }
+        assert_eq!(totals[0], totals[1], "variants must agree on the results");
+        println!(
+            "# scenario_reuse @ Reduced scale (120 nodes, 36 h, 8 algorithms, min of {REPS}, \
+             interleaved):\n\
+             one Scenario::build: {build:?}; \
+             shared scenario {shared:?} vs per-run rebuild {rebuilt:?} \
+             ({:.3}x, 7 rebuilt worlds amortised over the sweep)",
+            rebuilt.as_secs_f64() / shared.as_secs_f64()
+        );
+    }
+
+    let smoke = || {
+        let mut cfg = GridConfig::small(32).with_seed(20100913);
+        cfg.workflows_per_node = 2;
+        cfg
+    };
+    let mut group = c.benchmark_group("scenario_reuse");
+    group.bench_function("sweep8_shared_scenario", |bencher| {
+        bencher.iter(|| black_box(sweep_shared(smoke())))
+    });
+    group.bench_function("sweep8_per_run_rebuild", |bencher| {
+        bencher.iter(|| black_box(sweep_rebuilt(&smoke())))
+    });
     group.finish();
 }
 
@@ -210,6 +294,6 @@ criterion_group! {
     name = benches;
     config = bench_criterion_config();
     targets = bench_topology, bench_gossip, bench_workflow_and_events, bench_ready_set,
-        bench_resource_models
+        bench_resource_models, bench_scenario_reuse
 }
 criterion_main!(benches);

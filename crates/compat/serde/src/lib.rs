@@ -1,10 +1,12 @@
 //! Offline stand-in for the real `serde` crate.
 //!
 //! The workspace builds without network access, so this shim supplies exactly the surface the
-//! codebase uses: the `Serialize` / `Deserialize` *derive macros* (which expand to nothing) and
-//! same-named marker traits for bounds.  No value is actually serialized anywhere in the
-//! workspace; when the environment gains crates.io access, point the workspace dependency at
-//! the real `serde` and nothing else needs to change.
+//! codebase uses: the `Serialize` / `Deserialize` *derive macros* (which expand to nothing),
+//! same-named marker traits for bounds, and a minimal [`json`] backend (a self-describing
+//! [`json::Value`] tree with a conforming writer) for the machine-readable artifacts the
+//! `repro --json` flag emits.  When the environment gains crates.io access, point the
+//! workspace dependency at the real `serde` (+`serde_json`) — the hand-rolled
+//! `to_json()` builders at the call sites map one-to-one onto `#[derive(Serialize)]`.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -13,3 +15,197 @@ pub trait Serialize {}
 
 /// Marker trait mirroring `serde::Deserialize` (no methods in this offline shim).
 pub trait Deserialize<'de> {}
+
+/// A minimal JSON document model and writer (the `serde_json::Value` analogue).
+pub mod json {
+    use std::fmt;
+
+    /// A JSON value tree.  Build it with the `From` impls and [`Value::object`] /
+    /// [`Value::array`], render it with `Display` (compact) or [`Value::to_string_pretty`].
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null` (also the rendering of non-finite numbers, as in `serde_json`).
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (always carried as `f64`; integral values render without a fraction).
+        Number(f64),
+        /// A string (escaped on output).
+        String(String),
+        /// An ordered array.
+        Array(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// An object from `(key, value)` pairs, preserving order.
+        pub fn object(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+            Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        }
+
+        /// An array from anything convertible to values.
+        pub fn array(items: impl IntoIterator<Item = impl Into<Value>>) -> Value {
+            Value::Array(items.into_iter().map(Into::into).collect())
+        }
+
+        /// Render with two-space indentation (the `serde_json::to_string_pretty` analogue).
+        pub fn to_string_pretty(&self) -> String {
+            let mut out = String::new();
+            self.write_pretty(&mut out, 0);
+            out
+        }
+
+        fn write_pretty(&self, out: &mut String, indent: usize) {
+            match self {
+                Value::Array(items) if !items.is_empty() => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&"  ".repeat(indent + 1));
+                        item.write_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                    out.push(']');
+                }
+                Value::Object(fields) if !fields.is_empty() => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&"  ".repeat(indent + 1));
+                        out.push_str(&format!("{}: ", Value::String(k.clone())));
+                        v.write_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                    out.push('}');
+                }
+                other => {
+                    out.push_str(&other.to_string());
+                }
+            }
+        }
+    }
+
+    impl From<bool> for Value {
+        fn from(b: bool) -> Value {
+            Value::Bool(b)
+        }
+    }
+    impl From<f64> for Value {
+        fn from(n: f64) -> Value {
+            Value::Number(n)
+        }
+    }
+    impl From<u64> for Value {
+        fn from(n: u64) -> Value {
+            Value::Number(n as f64)
+        }
+    }
+    impl From<usize> for Value {
+        fn from(n: usize) -> Value {
+            Value::Number(n as f64)
+        }
+    }
+    impl From<&str> for Value {
+        fn from(s: &str) -> Value {
+            Value::String(s.to_string())
+        }
+    }
+    impl From<String> for Value {
+        fn from(s: String) -> Value {
+            Value::String(s)
+        }
+    }
+    impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+        fn from((a, b): (A, B)) -> Value {
+            Value::Array(vec![a.into(), b.into()])
+        }
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Value::Null => write!(f, "null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                // JSON has no NaN/Infinity literals; serde_json renders them as null too.
+                Value::Number(n) if !n.is_finite() => write!(f, "null"),
+                Value::Number(n) => write!(f, "{n}"),
+                Value::String(s) => {
+                    write!(f, "\"")?;
+                    for c in s.chars() {
+                        match c {
+                            '"' => write!(f, "\\\"")?,
+                            '\\' => write!(f, "\\\\")?,
+                            '\n' => write!(f, "\\n")?,
+                            '\r' => write!(f, "\\r")?,
+                            '\t' => write!(f, "\\t")?,
+                            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                            c => write!(f, "{c}")?,
+                        }
+                    }
+                    write!(f, "\"")
+                }
+                Value::Array(items) => {
+                    write!(f, "[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{item}")?;
+                    }
+                    write!(f, "]")
+                }
+                Value::Object(fields) => {
+                    write!(f, "{{")?;
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}:{v}", Value::String(k.clone()))?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn compact_rendering_is_valid_json() {
+            let v = Value::object([
+                ("id", Value::from("fig4")),
+                ("n", Value::from(3usize)),
+                ("pi", Value::from(3.5f64)),
+                ("nan", Value::from(f64::NAN)),
+                ("points", Value::array([(0.0f64, 1.0f64), (1.0, 2.5)])),
+                ("quote", Value::from("a\"b\\c\nd")),
+                ("empty", Value::Array(Vec::new())),
+            ]);
+            assert_eq!(
+                v.to_string(),
+                "{\"id\":\"fig4\",\"n\":3,\"pi\":3.5,\"nan\":null,\
+                 \"points\":[[0,1],[1,2.5]],\"quote\":\"a\\\"b\\\\c\\nd\",\"empty\":[]}"
+            );
+        }
+
+        #[test]
+        fn pretty_rendering_indents_nested_structures() {
+            let v = Value::object([("xs", Value::array([1u64, 2]))]);
+            assert_eq!(
+                v.to_string_pretty(),
+                "{\n  \"xs\": [\n    1,\n    2\n  ]\n}"
+            );
+            assert_eq!(Value::Null.to_string_pretty(), "null");
+        }
+    }
+}

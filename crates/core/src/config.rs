@@ -1,5 +1,10 @@
 //! Experiment configuration (Table I defaults).
+//!
+//! All validation is `Result`-returning with a typed [`ConfigError`]: a malformed sweep
+//! configuration fails [`Scenario::build`](crate::scenario::Scenario::build) with a message
+//! naming the offending value instead of panicking mid-experiment.
 
+use crate::error::ConfigError;
 use p2pgrid_gossip::MixedGossipConfig;
 use p2pgrid_sim::{SimDuration, SimRng};
 use p2pgrid_topology::WaxmanConfig;
@@ -22,14 +27,29 @@ impl Default for CapacityModel {
 }
 
 impl CapacityModel {
-    /// Sample a capacity for one node.
+    /// Sample a capacity for one node.  The model must have passed
+    /// [`CapacityModel::validate`] first (an empty choice set panics here).
     pub fn sample(&self, rng: &mut SimRng) -> f64 {
         match self {
-            CapacityModel::Choices(choices) => {
-                assert!(!choices.is_empty(), "capacity choice set must not be empty");
-                *rng.choose(choices).expect("non-empty")
-            }
+            CapacityModel::Choices(choices) => *rng
+                .choose(choices)
+                .expect("capacity choice set must not be empty (validate the config first)"),
             CapacityModel::Uniform(c) => *c,
+        }
+    }
+
+    /// Check the model for an empty choice set or non-positive / non-finite capacities.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let values: &[f64] = match self {
+            CapacityModel::Choices(choices) if choices.is_empty() => {
+                return Err(ConfigError::EmptyCapacitySet)
+            }
+            CapacityModel::Choices(choices) => choices,
+            CapacityModel::Uniform(c) => std::slice::from_ref(c),
+        };
+        match values.iter().find(|c| !(c.is_finite() && **c > 0.0)) {
+            Some(&bad) => Err(ConfigError::InvalidCapacity(bad)),
+            None => Ok(()),
         }
     }
 
@@ -84,23 +104,29 @@ impl SlotModel {
         }
     }
 
-    /// Sanity-check the model.
-    pub fn validate(&self) {
+    /// Check the model for zero slot counts, empty class sets or degenerate weights.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         match self {
             SlotModel::Uniform(s) => {
-                assert!(*s >= 1, "every node needs at least one execution slot");
+                if *s < 1 {
+                    return Err(ConfigError::ZeroSlots);
+                }
             }
             SlotModel::Weighted(classes) => {
-                assert!(!classes.is_empty(), "slot class set must not be empty");
+                if classes.is_empty() {
+                    return Err(ConfigError::EmptySlotClasses);
+                }
                 for c in classes {
-                    assert!(c.slots >= 1, "every node needs at least one execution slot");
-                    assert!(
-                        c.weight > 0.0 && c.weight.is_finite(),
-                        "slot class weights must be positive and finite"
-                    );
+                    if c.slots < 1 {
+                        return Err(ConfigError::ZeroSlots);
+                    }
+                    if !(c.weight > 0.0 && c.weight.is_finite()) {
+                        return Err(ConfigError::InvalidSlotWeight(c.weight));
+                    }
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -176,9 +202,9 @@ impl ResourceModel {
         self.preemption == PreemptionPolicy::TimeSliced
     }
 
-    /// Sanity-check the model.
-    pub fn validate(&self) {
-        self.slots.validate();
+    /// Check the substrate's slot model.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.slots.validate()
     }
 }
 
@@ -358,34 +384,41 @@ impl GridConfig {
         self
     }
 
-    /// Sanity-check the configuration.
-    pub fn validate(&self) {
-        assert!(self.nodes >= 1, "at least one node is required");
-        assert_eq!(
-            self.waxman.nodes, self.nodes,
-            "topology node count must match the grid node count"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.churn.dynamic_factor),
-            "dynamic factor must be in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.churn.stable_fraction),
-            "stable fraction must be in [0, 1]"
-        );
-        self.resource.validate();
-        assert!(
-            !self.scheduling_interval.is_zero(),
-            "scheduling interval must be positive"
-        );
-        assert!(
-            !self.gossip_interval.is_zero(),
-            "gossip interval must be positive"
-        );
-        assert!(
-            !self.metrics_interval.is_zero(),
-            "metrics interval must be positive"
-        );
+    /// Check the whole configuration, reporting the first problem found.
+    ///
+    /// [`Scenario::build`](crate::scenario::Scenario::build) calls this before any sampling,
+    /// so malformed sweep configurations fail with a [`ConfigError`] message instead of a
+    /// panic mid-experiment.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes < 1 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.waxman.nodes != self.nodes {
+            return Err(ConfigError::TopologyMismatch {
+                topology: self.waxman.nodes,
+                nodes: self.nodes,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.churn.dynamic_factor) {
+            return Err(ConfigError::InvalidDynamicFactor(self.churn.dynamic_factor));
+        }
+        if !(0.0..=1.0).contains(&self.churn.stable_fraction) {
+            return Err(ConfigError::InvalidStableFraction(
+                self.churn.stable_fraction,
+            ));
+        }
+        self.capacity.validate()?;
+        self.resource.validate()?;
+        if self.scheduling_interval.is_zero() {
+            return Err(ConfigError::ZeroInterval("scheduling"));
+        }
+        if self.gossip_interval.is_zero() {
+            return Err(ConfigError::ZeroInterval("gossip"));
+        }
+        if self.metrics_interval.is_zero() {
+            return Err(ConfigError::ZeroInterval("metrics"));
+        }
+        Ok(())
     }
 }
 
@@ -393,10 +426,12 @@ impl GridConfig {
 mod tests {
     use super::*;
 
+    use crate::error::ConfigError;
+
     #[test]
     fn paper_default_matches_table_i() {
         let cfg = GridConfig::paper_default();
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.nodes, 1000);
         assert_eq!(cfg.workflows_per_node, 3);
         assert_eq!(cfg.scheduling_interval, SimDuration::from_mins(15));
@@ -428,7 +463,7 @@ mod tests {
             .with_load_and_data(10.0..=1000.0, 100.0..=10_000.0)
             .with_churn(ChurnConfig::with_dynamic_factor(0.2))
             .with_seed(7);
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.nodes, 80);
         assert_eq!(cfg.waxman.nodes, 80);
         assert_eq!(cfg.workflows_per_node, 4);
@@ -452,18 +487,20 @@ mod tests {
     #[test]
     fn churn_baseline_restricts_home_nodes_like_the_churned_points() {
         use crate::algorithm::Algorithm;
-        use crate::simulation::GridSimulation;
+        use crate::scenario::Scenario;
         let mut cfg = GridConfig::small(12).with_seed(3);
         cfg.workflows_per_node = 1;
         cfg.workflow.tasks = 2..=4;
         cfg.horizon = p2pgrid_sim::SimDuration::from_hours(6);
-        let all_homes = GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
+        let all_homes = Scenario::build(cfg.clone())
+            .unwrap()
+            .simulate_algorithm(Algorithm::Dsmf)
+            .run();
         assert_eq!(all_homes.submitted, 12);
-        let stable_homes = GridSimulation::with_algorithm(
-            cfg.with_churn(ChurnConfig::with_dynamic_factor(0.0)),
-            Algorithm::Dsmf,
-        )
-        .run();
+        let stable_homes = Scenario::build(cfg.with_churn(ChurnConfig::with_dynamic_factor(0.0)))
+            .unwrap()
+            .simulate_algorithm(Algorithm::Dsmf)
+            .run();
         assert_eq!(stable_homes.submitted, 6);
     }
 
@@ -477,14 +514,16 @@ mod tests {
             SlotModel::Uniform(1)
         );
         let cfg = GridConfig::small(8).with_slots_per_node(4);
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.resource, ResourceModel::multi_core(4));
     }
 
     #[test]
-    #[should_panic(expected = "execution slot")]
     fn zero_slots_per_node_is_rejected() {
-        GridConfig::small(8).with_slots_per_node(0).validate();
+        assert_eq!(
+            GridConfig::small(8).with_slots_per_node(0).validate(),
+            Err(ConfigError::ZeroSlots)
+        );
     }
 
     #[test]
@@ -506,7 +545,7 @@ mod tests {
             },
         ];
         let model = SlotModel::Weighted(classes);
-        model.validate();
+        model.validate().unwrap();
         let mut rng = SimRng::seed_from_u64(9);
         let mut seen_single = 0usize;
         let mut seen_multi = 0usize;
@@ -536,39 +575,59 @@ mod tests {
         .preemptive();
         assert!(model.is_preemptive());
         let cfg = GridConfig::small(8).with_resource(model.clone());
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.resource, model);
     }
 
     #[test]
-    #[should_panic(expected = "weights must be positive")]
     fn non_positive_slot_weight_is_rejected() {
-        SlotModel::Weighted(vec![SlotClass {
+        let err = SlotModel::Weighted(vec![SlotClass {
             slots: 2,
             weight: 0.0,
         }])
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidSlotWeight(0.0));
+        assert!(err.to_string().contains("weights must be positive"));
     }
 
     #[test]
-    #[should_panic(expected = "must not be empty")]
     fn empty_slot_class_set_is_rejected() {
-        SlotModel::Weighted(Vec::new()).validate();
+        assert_eq!(
+            SlotModel::Weighted(Vec::new()).validate(),
+            Err(ConfigError::EmptySlotClasses)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "dynamic factor")]
     fn invalid_dynamic_factor_is_rejected() {
-        GridConfig::small(10)
+        let err = GridConfig::small(10)
             .with_churn(ChurnConfig::with_dynamic_factor(1.5))
-            .validate();
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidDynamicFactor(1.5));
+        assert!(err.to_string().contains("dynamic factor"));
     }
 
     #[test]
-    #[should_panic(expected = "topology node count")]
     fn mismatched_topology_is_rejected() {
         let mut cfg = GridConfig::small(10);
         cfg.waxman.nodes = 99;
-        cfg.validate();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::TopologyMismatch {
+                topology: 99,
+                nodes: 10
+            })
+        );
+    }
+
+    #[test]
+    fn empty_capacity_choice_set_is_rejected() {
+        let mut cfg = GridConfig::small(10);
+        cfg.capacity = CapacityModel::Choices(Vec::new());
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyCapacitySet));
+        cfg.capacity = CapacityModel::Uniform(-1.0);
+        assert_eq!(cfg.validate(), Err(ConfigError::InvalidCapacity(-1.0)));
     }
 }

@@ -21,9 +21,14 @@
 //!    (or are re-scheduled if the future-work flag is enabled).
 //! 7. Throughput, ACT and AE are sampled hourly, exactly like the paper's figures.
 //!
-//! The public entry point is the thin [`GridSimulation`](crate::simulation::GridSimulation)
-//! facade.  The event loop itself (`EngineState`) stays crate-private, while [`node`] (the
-//! indexed ready set and slot runtime) and [`transfer`] are exported for benches and tooling.
+//! Steps 1–2 (and every other seed-derived sample) live in
+//! [`Scenario::build`](crate::scenario::Scenario::build) so a sweep pays for them once; the
+//! event loop itself runs inside a crate-private session type, which the public
+//! [`Simulation`](crate::simulation::Simulation) handle drives one event at a time.  Every
+//! externally meaningful transition is mirrored to the session's registered
+//! [`Observer`](crate::observer)s — [`node`] (the indexed ready set and slot
+//! runtime) and [`transfer`] are exported for benches and tooling; everything else stays
+//! crate-private.
 
 pub mod node;
 pub mod transfer;
@@ -32,17 +37,20 @@ pub(crate) mod workflow;
 use crate::config::GridConfig;
 use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
 use crate::fullahead::PlanInput;
+use crate::observer::{GridSample, Observer};
 use crate::policy::first_phase::DispatchCandidateTask;
 use crate::policy::second_phase::ReadyTaskView;
 use crate::report::SimulationReport;
+use crate::scenario::Scenario;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
-use node::{NodeRuntime, ReadyEntry, ReadySet};
+use node::{NodeRuntime, ReadyEntry};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip};
 use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
-use p2pgrid_sim::{SimControl, SimDuration, SimRng, SimTime, Simulator};
-use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
-use p2pgrid_workflow::{ExpectedCosts, TaskId, WorkflowAnalysis, WorkflowGenerator};
+use p2pgrid_sim::{EventHandler, SimControl, SimDuration, SimRng, SimTime, Simulator};
+use p2pgrid_topology::LandmarkEstimator;
+use p2pgrid_workflow::{ExpectedCosts, TaskId, WorkflowAnalysis};
+use std::sync::Arc;
 use transfer::TransferModel;
 use workflow::WorkflowRuntime;
 
@@ -74,17 +82,31 @@ enum GridEvent {
     },
 }
 
+/// The observers registered on one session, passed down the engine call tree so every hook
+/// fires at the exact transition it describes.  Observers only ever receive `&mut self`
+/// callbacks with copied event data — they cannot reach engine state, so a run with observers
+/// attached stays byte-identical to the same run without them.
+pub(crate) struct Observers<'a, 'obs>(pub(crate) &'a mut [&'obs mut dyn Observer]);
+
+impl Observers<'_, '_> {
+    fn emit(&mut self, mut f: impl FnMut(&mut dyn Observer)) {
+        for o in self.0.iter_mut() {
+            f(&mut **o);
+        }
+    }
+}
+
 pub(crate) struct EngineState {
     config: GridConfig,
     scheduler: Box<dyn Scheduler>,
-    transfer: TransferModel,
-    landmarks: LandmarkEstimator,
+    transfer: Arc<TransferModel>,
+    landmarks: Arc<LandmarkEstimator>,
     gossip: MixedGossip,
     gossip_rng: SimRng,
     churn_rng: SimRng,
     nodes: Vec<NodeRuntime>,
     workflows: Vec<WorkflowRuntime>,
-    home_of: Vec<Vec<usize>>,
+    home_of: Arc<Vec<Vec<usize>>>,
     metrics: WorkflowMetrics,
     next_seq: u64,
     next_run: u64,
@@ -93,105 +115,17 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
-    pub(crate) fn new(config: GridConfig, scheduler: Box<dyn Scheduler>) -> Self {
-        config.validate();
-        let root = SimRng::seed_from_u64(config.seed);
-
-        // Topology and ground-truth network metrics.
-        let mut topo_rng = root.derive("topology");
-        let topology = WaxmanGenerator::new(config.waxman).generate(&mut topo_rng);
-        let transfer = TransferModel::new(PairwiseMetrics::compute(&topology));
-        let mut landmark_rng = root.derive("landmarks");
-        let landmarks = LandmarkEstimator::build_default(transfer.metrics(), &mut landmark_rng);
-
-        // Node capacities, slots and roles.  Slot counts draw from their own derived stream,
-        // so enabling heterogeneous distributions never perturbs capacities, workflows or
-        // gossip (and the uniform model draws nothing at all).
-        let mut cap_rng = root.derive("capacity");
-        let mut slot_rng = root.derive("slots");
-        let n = config.nodes;
-        let stable_count = if config.churn.splits_population() {
-            ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
-        } else {
-            n
-        };
-        let nodes: Vec<NodeRuntime> = (0..n)
-            .map(|i| {
-                let local_bw = if n > 1 {
-                    let others: Vec<f64> = landmarks
-                        .landmarks()
-                        .iter()
-                        .filter(|&&l| l != i)
-                        .map(|&l| transfer.bandwidth_mbps(i, l))
-                        .filter(|b| b.is_finite() && *b > 0.0)
-                        .collect();
-                    if others.is_empty() {
-                        transfer.average_bandwidth_mbps().max(1e-6)
-                    } else {
-                        others.iter().sum::<f64>() / others.len() as f64
-                    }
-                } else {
-                    1.0
-                };
-                let slots = config.resource.slots.sample(&mut slot_rng);
-                NodeRuntime {
-                    alive: true,
-                    churnable: i >= stable_count,
-                    capacity_mips: config.capacity.sample(&mut cap_rng),
-                    slots,
-                    epoch: 0,
-                    ready: ReadySet::new(),
-                    running: Vec::with_capacity(slots),
-                    local_avg_bandwidth_mbps: local_bw,
-                }
-            })
-            .collect();
-
-        // True system-wide averages, used for the efficiency baseline eft(f).  Like the
-        // aggregation gossip, the capacity average is over *per-slot* rates: eft models the
-        // time one task takes on an average node, and one task only ever runs on one slot.
-        let true_avg_capacity = nodes.iter().map(|nd| nd.capacity_mips).sum::<f64>() / n as f64;
-        let true_avg_bandwidth = if n > 1 {
-            transfer.average_bandwidth_mbps().max(1e-6)
-        } else {
-            1.0
-        };
-        let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
-
-        // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
-        // home nodes (the paper excludes home nodes from churning).
-        let mut wf_rng = root.derive("workflows");
-        let generator = WorkflowGenerator::new(config.workflow.clone());
-        let home_candidates: Vec<NodeId> = (0..n).filter(|&i| !nodes[i].churnable).collect();
-        let mut workflows = Vec::new();
-        let mut home_of = vec![Vec::new(); n];
+    /// Clone the scenario's mutable runtime state into a fresh session state and run the
+    /// scheduler's full-ahead planning pass (HEFT / SMF plan centrally before execution).
+    pub(crate) fn from_scenario(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
+        let world = scenario.world();
+        let nodes = world.nodes.clone();
+        let mut workflows = world.workflows.clone();
         let mut metrics = WorkflowMetrics::new(scheduler.label());
-        for &home in &home_candidates {
-            for _ in 0..config.workflows_per_node {
-                let workflow = generator.generate(&mut wf_rng);
-                let analysis = WorkflowAnalysis::new(&workflow, true_costs);
-                let static_rpm: Vec<f64> =
-                    workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
-                let wf = WorkflowRuntime {
-                    home,
-                    progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
-                    eft_secs: analysis.expected_finish_time_secs(),
-                    task_location: vec![None; workflow.task_count()],
-                    failed: false,
-                    completed: false,
-                    submitted_at: SimTime::ZERO,
-                    plan: None,
-                    static_ms_secs: analysis.expected_finish_time_secs(),
-                    static_rpm,
-                    workflow,
-                };
-                metrics.record_submission();
-                home_of[home].push(workflows.len());
-                workflows.push(wf);
-            }
+        for _ in 0..workflows.len() {
+            metrics.record_submission();
         }
 
-        // Full-ahead schedulers (HEFT / SMF) plan centrally before execution starts.
         {
             let inputs: Vec<PlanInput<'_>> = workflows
                 .iter()
@@ -210,8 +144,11 @@ impl EngineState {
                     total_load_mi: 0.0,
                 })
                 .collect();
+            let transfer = &world.transfer;
             let bw = |a: NodeId, b: NodeId| transfer.bandwidth_mbps(a, b);
-            if let Some(plans) = scheduler.plan_full_ahead(&inputs, &candidates, true_costs, &bw) {
+            if let Some(plans) =
+                scheduler.plan_full_ahead(&inputs, &candidates, world.true_costs, &bw)
+            {
                 assert_eq!(
                     plans.len(),
                     workflows.len(),
@@ -228,21 +165,17 @@ impl EngineState {
             }
         }
 
-        let mut gossip_rng = root.derive("gossip");
-        let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
-        let churn_rng = root.derive("churn");
-
         EngineState {
-            config,
+            config: world.config.clone(),
             scheduler,
-            transfer,
-            landmarks,
-            gossip,
-            gossip_rng,
-            churn_rng,
+            transfer: Arc::clone(&world.transfer),
+            landmarks: Arc::clone(&world.landmarks),
+            gossip: world.gossip.clone(),
+            gossip_rng: world.gossip_rng.clone(),
+            churn_rng: world.churn_rng.clone(),
             nodes,
             workflows,
-            home_of,
+            home_of: Arc::clone(&world.home_of),
             metrics,
             next_seq: 0,
             next_run: 0,
@@ -266,7 +199,30 @@ impl EngineState {
             .collect()
     }
 
-    fn fail_workflow(&mut self, wf: usize, now: SimTime) {
+    /// One aggregate snapshot over the alive population, built from the per-node `O(1)`
+    /// accessors — `O(nodes)` total, no heap walks.
+    fn grid_sample(&self) -> GridSample {
+        let mut sample = GridSample {
+            alive_nodes: 0,
+            ready_tasks: 0,
+            selectable_tasks: 0,
+            running_tasks: 0,
+            queued_load_mi: 0.0,
+        };
+        for nd in &self.nodes {
+            if !nd.alive {
+                continue;
+            }
+            sample.alive_nodes += 1;
+            sample.ready_tasks += nd.ready.len();
+            sample.selectable_tasks += nd.ready.selectable_len();
+            sample.running_tasks += nd.running.len();
+            sample.queued_load_mi += nd.ready.queued_load_mi();
+        }
+        sample
+    }
+
+    fn fail_workflow(&mut self, wf: usize, now: SimTime, obs: &mut Observers<'_, '_>) {
         let w = &mut self.workflows[wf];
         if !w.is_active() {
             return;
@@ -278,6 +234,7 @@ impl EngineState {
             expected_finish_secs: w.eft_secs,
             outcome: WorkflowOutcome::Failed,
         });
+        obs.emit(|o| o.on_workflow_failed(now, wf));
     }
 
     /// A node departs.  Tasks that were merely *waiting* in its ready set (or still receiving
@@ -286,7 +243,7 @@ impl EngineState {
     /// for that.  A task that was *running* loses its computation; without the
     /// checkpointing/rescheduling extension (the paper's future work) its workflow can no
     /// longer finish and is recorded as failed.
-    fn handle_departure(&mut self, node: NodeId, now: SimTime) {
+    fn handle_departure(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         if !self.nodes[node].alive {
             return;
         }
@@ -301,20 +258,22 @@ impl EngineState {
                 if self.config.churn.reschedule_lost_tasks {
                     self.workflows[wf].progress.unmark_dispatched(task);
                 } else {
-                    self.fail_workflow(wf, now);
+                    self.fail_workflow(wf, now, obs);
                 }
             }
         }
         self.gossip.forget_node(node);
+        obs.emit(|o| o.on_node_departed(now, node));
     }
 
-    fn handle_join(&mut self, node: NodeId) {
+    fn handle_join(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         if !self.nodes[node].alive {
             self.nodes[node].join();
+            obs.emit(|o| o.on_node_joined(now, node));
         }
     }
 
-    fn churn_step(&mut self, now: SimTime) {
+    fn churn_step(&mut self, now: SimTime, obs: &mut Observers<'_, '_>) {
         let df = self.config.churn.dynamic_factor;
         if df <= 0.0 {
             return;
@@ -342,31 +301,40 @@ impl EngineState {
             .copied()
             .collect();
         for node in leaving {
-            self.handle_departure(node, now);
+            self.handle_departure(node, now, obs);
         }
         for node in joining {
-            self.handle_join(node);
+            self.handle_join(node, now, obs);
         }
     }
 
     // ----- first phase ---------------------------------------------------------------------
 
-    fn scheduling_phase_one(&mut self, ctl: &mut SimControl<GridEvent>) {
+    fn scheduling_phase_one(
+        &mut self,
+        ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
+    ) {
         let home_nodes: Vec<NodeId> = (0..self.nodes.len())
             .filter(|&i| self.nodes[i].alive && !self.home_of[i].is_empty())
             .collect();
         for home in home_nodes {
             if self.workflows[self.home_of[home][0]].plan.is_some() {
-                self.dispatch_full_ahead(home, ctl);
+                self.dispatch_full_ahead(home, ctl, obs);
             } else {
-                self.dispatch_just_in_time(home, ctl);
+                self.dispatch_just_in_time(home, ctl, obs);
             }
         }
     }
 
     /// Dispatch every current schedule point of a full-ahead plan to its pre-planned node
     /// (falling back to the home node if the planned node has churned away).
-    fn dispatch_full_ahead(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
+    fn dispatch_full_ahead(
+        &mut self,
+        home: NodeId,
+        ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
+    ) {
         let wf_indices = self.home_of[home].clone();
         for wf in wf_indices {
             if !self.workflows[wf].is_active() {
@@ -388,13 +356,18 @@ impl EngineState {
                     let w = &self.workflows[wf];
                     (w.static_rpm[task.index()], w.static_ms_secs, 0.0)
                 };
-                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, ctl);
+                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, ctl, obs);
             }
         }
     }
 
     /// Algorithm 1 (and its competitor orderings) at one home node.
-    fn dispatch_just_in_time(&mut self, home: NodeId, ctl: &mut SimControl<GridEvent>) {
+    fn dispatch_just_in_time(
+        &mut self,
+        home: NodeId,
+        ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
+    ) {
         // The home node's estimates of the system-wide averages come from the aggregation
         // gossip; its candidate set comes from the epidemic gossip's RSS.
         let (avg_cap, avg_bw) = self.gossip.expected_costs(home);
@@ -486,6 +459,7 @@ impl EngineState {
                 ms,
                 d.sufferage_secs,
                 ctl,
+                obs,
             );
         }
     }
@@ -503,6 +477,7 @@ impl EngineState {
         ms_secs: f64,
         sufferage_secs: f64,
         ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
     ) {
         if !self.nodes[target].alive {
             // A stale RSS record pointed at a node that just churned away; the migration fails
@@ -545,6 +520,7 @@ impl EngineState {
             view,
             data_ready: false,
         });
+        obs.emit(|o| o.on_task_dispatched(ctl.now(), wf, task, target));
         ctl.schedule_in(
             SimDuration::from_secs_f64(transfer_secs),
             GridEvent::DataReady {
@@ -559,11 +535,18 @@ impl EngineState {
     // ----- second phase --------------------------------------------------------------------
 
     /// Occupy one slot of `node` with `chosen` and schedule its completion.
-    fn start_task(&mut self, node: NodeId, chosen: &ReadyEntry, ctl: &mut SimControl<GridEvent>) {
+    fn start_task(
+        &mut self,
+        node: NodeId,
+        chosen: &ReadyEntry,
+        ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
+    ) {
         let run = self.next_run;
         self.next_run += 1;
         let finish_at = self.nodes[node].start(chosen, ctl.now(), run);
         self.executed_tasks += 1;
+        obs.emit(|o| o.on_task_started(ctl.now(), chosen.wf, chosen.task, node));
         ctl.schedule_at(
             finish_at,
             GridEvent::TaskCompleted {
@@ -580,7 +563,12 @@ impl EngineState {
     /// task (smallest scheduler key) and run it.  Under the time-sliced preemptive substrate a
     /// remaining ready task that outranks the lowest-priority running task then displaces it —
     /// the victim re-enters the ready heap with its residual load and resumes later.
-    fn try_start_tasks(&mut self, node: NodeId, ctl: &mut SimControl<GridEvent>) {
+    fn try_start_tasks(
+        &mut self,
+        node: NodeId,
+        ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
+    ) {
         if !self.nodes[node].alive {
             return;
         }
@@ -588,7 +576,7 @@ impl EngineState {
             let Some(chosen) = self.nodes[node].ready.pop_next() else {
                 break;
             };
-            self.start_task(node, &chosen, ctl);
+            self.start_task(node, &chosen, ctl, obs);
         }
         if !self.config.resource.is_preemptive() {
             return;
@@ -604,12 +592,13 @@ impl EngineState {
                 .ready
                 .pop_next()
                 .expect("peeked entry must still be queued");
+            obs.emit(|o| o.on_task_displaced(ctl.now(), displaced.wf, displaced.task, node));
             // Re-key the displaced task against its updated view: rules keyed on exec time
             // now see the *remaining* time (shortest-remaining-time semantics), while
             // ms/rpm-based rules and FCFS recompute the same key as before.
             displaced.key = self.scheduler.ready_key(&displaced.view);
             self.nodes[node].ready.insert(displaced);
-            self.start_task(node, &chosen, ctl);
+            self.start_task(node, &chosen, ctl, obs);
         }
     }
 
@@ -620,14 +609,16 @@ impl EngineState {
         wf: usize,
         task: TaskId,
         ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
     ) {
         if !self.nodes[node].alive || self.nodes[node].epoch != epoch {
             return;
         }
         self.nodes[node].ready.mark_data_ready(wf, task);
-        self.try_start_tasks(node, ctl);
+        self.try_start_tasks(node, ctl, obs);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_task_completed(
         &mut self,
         node: NodeId,
@@ -636,6 +627,7 @@ impl EngineState {
         task: TaskId,
         run: u64,
         ctl: &mut SimControl<GridEvent>,
+        obs: &mut Observers<'_, '_>,
     ) {
         if self.nodes[node].epoch != epoch || !self.nodes[node].alive {
             return;
@@ -644,6 +636,7 @@ impl EngineState {
             return;
         }
         let now = ctl.now();
+        obs.emit(|o| o.on_task_finished(now, wf, task, node));
         {
             let w = &mut self.workflows[wf];
             if w.is_active() {
@@ -657,13 +650,61 @@ impl EngineState {
                         expected_finish_secs: w.eft_secs,
                         outcome: WorkflowOutcome::Completed,
                     });
+                    obs.emit(|o| o.on_workflow_completed(now, wf));
                 }
             }
         }
-        self.try_start_tasks(node, ctl);
+        self.try_start_tasks(node, ctl, obs);
     }
 
-    pub(crate) fn finish(mut self, end_time: SimTime) -> SimulationReport {
+    fn handle_event(
+        &mut self,
+        ctl: &mut SimControl<GridEvent>,
+        event: GridEvent,
+        obs: &mut Observers<'_, '_>,
+    ) {
+        match event {
+            GridEvent::GossipCycle => {
+                let cycle = self.gossip.stats().cycles;
+                let local = self.local_gossip_states(ctl.now());
+                let mut rng = self.gossip_rng.clone();
+                self.gossip.run_cycle(ctl.now(), &local, &mut rng);
+                self.gossip_rng = rng;
+                obs.emit(|o| o.on_gossip_cycle(ctl.now(), cycle));
+                ctl.schedule_in(self.config.gossip_interval, GridEvent::GossipCycle);
+            }
+            GridEvent::SchedulingCycle => {
+                self.churn_step(ctl.now(), obs);
+                self.scheduling_phase_one(ctl, obs);
+                ctl.schedule_in(self.config.scheduling_interval, GridEvent::SchedulingCycle);
+            }
+            GridEvent::MetricsSample => {
+                self.metrics.sample(ctl.now());
+                let sample = self.grid_sample();
+                obs.emit(|o| o.on_sample(ctl.now(), &sample));
+                ctl.schedule_in(self.config.metrics_interval, GridEvent::MetricsSample);
+            }
+            GridEvent::DataReady {
+                node,
+                epoch,
+                wf,
+                task,
+            } => {
+                self.on_data_ready(node, epoch, wf, task, ctl, obs);
+            }
+            GridEvent::TaskCompleted {
+                node,
+                epoch,
+                wf,
+                task,
+                run,
+            } => {
+                self.on_task_completed(node, epoch, wf, task, run, ctl, obs);
+            }
+        }
+    }
+
+    fn finish(mut self, end_time: SimTime) -> SimulationReport {
         self.metrics.sample(end_time);
         let local = self.local_gossip_states(end_time);
         let avg_rss_size = self.gossip.average_rss_size(&local);
@@ -679,60 +720,100 @@ impl EngineState {
             metrics: self.metrics,
         }
     }
+}
 
-    /// Drive the engine to `horizon` and return the report (the facade's `run`).
-    pub(crate) fn run_to_horizon(
-        config: GridConfig,
-        scheduler: Box<dyn Scheduler>,
-    ) -> SimulationReport {
-        let horizon = SimTime::ZERO + config.horizon;
-        let mut state = EngineState::new(config, scheduler);
+/// Adapter handing each delivered event to the engine together with the session's observers.
+struct Driver<'a, 'obs> {
+    state: &'a mut EngineState,
+    observers: &'a mut [&'obs mut dyn Observer],
+}
+
+impl EventHandler<GridEvent> for Driver<'_, '_> {
+    fn handle(&mut self, ctl: &mut SimControl<GridEvent>, event: GridEvent) {
+        self.state
+            .handle_event(ctl, event, &mut Observers(&mut *self.observers));
+    }
+}
+
+/// One in-flight run: the engine state plus its event queue, stepped one event at a time.
+/// The public face of this type is [`Simulation`](crate::simulation::Simulation), which owns
+/// the observer list; the session only borrows observers per step so the engine stays free of
+/// observer lifetimes.
+pub(crate) struct EngineSession {
+    state: EngineState,
+    sim: Simulator<GridEvent>,
+    horizon: SimTime,
+}
+
+impl EngineSession {
+    pub(crate) fn new(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
+        let state = EngineState::from_scenario(scenario, scheduler);
+        let horizon = SimTime::ZERO + state.config.horizon;
         let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
         sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
         sim.schedule_at(SimTime::ZERO, GridEvent::MetricsSample);
         sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-        sim.run(&mut state);
-        state.finish(horizon)
-    }
-}
-
-impl p2pgrid_sim::EventHandler<GridEvent> for EngineState {
-    fn handle(&mut self, ctl: &mut SimControl<GridEvent>, event: GridEvent) {
-        match event {
-            GridEvent::GossipCycle => {
-                let local = self.local_gossip_states(ctl.now());
-                let mut rng = self.gossip_rng.clone();
-                self.gossip.run_cycle(ctl.now(), &local, &mut rng);
-                self.gossip_rng = rng;
-                ctl.schedule_in(self.config.gossip_interval, GridEvent::GossipCycle);
-            }
-            GridEvent::SchedulingCycle => {
-                self.churn_step(ctl.now());
-                self.scheduling_phase_one(ctl);
-                ctl.schedule_in(self.config.scheduling_interval, GridEvent::SchedulingCycle);
-            }
-            GridEvent::MetricsSample => {
-                self.metrics.sample(ctl.now());
-                ctl.schedule_in(self.config.metrics_interval, GridEvent::MetricsSample);
-            }
-            GridEvent::DataReady {
-                node,
-                epoch,
-                wf,
-                task,
-            } => {
-                self.on_data_ready(node, epoch, wf, task, ctl);
-            }
-            GridEvent::TaskCompleted {
-                node,
-                epoch,
-                wf,
-                task,
-                run,
-            } => {
-                self.on_task_completed(node, epoch, wf, task, run, ctl);
-            }
+        EngineSession {
+            state,
+            sim,
+            horizon,
         }
+    }
+
+    /// Announce the time-zero workflow submissions (fires once, before the first event).
+    pub(crate) fn announce_submissions(&self, observers: &mut [&mut dyn Observer]) {
+        let mut obs = Observers(observers);
+        for (wf, w) in self.state.workflows.iter().enumerate() {
+            let home = w.home;
+            obs.emit(|o| o.on_workflow_submitted(SimTime::ZERO, wf, home));
+        }
+    }
+
+    /// Deliver exactly one event and return its timestamp, or `None` when the run is over
+    /// (queue drained or every remaining event lies beyond the horizon).
+    pub(crate) fn step(&mut self, observers: &mut [&mut dyn Observer]) -> Option<SimTime> {
+        let mut driver = Driver {
+            state: &mut self.state,
+            observers,
+        };
+        self.sim.step(&mut driver)
+    }
+
+    /// Timestamp of the next event [`EngineSession::step`] would deliver.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.sim.peek_time()
+    }
+
+    /// Current virtual time (the timestamp of the last delivered event).
+    pub(crate) fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub(crate) fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    pub(crate) fn grid_sample(&self) -> GridSample {
+        self.state.grid_sample()
+    }
+
+    pub(crate) fn label(&self) -> String {
+        self.state.scheduler.label()
+    }
+
+    /// Close the session: take the final metrics sample (at the horizon if the run completed,
+    /// at the current time if it was cut short), mirror it to the observers, and build the
+    /// report.  A fully-stepped session produces a report byte-identical to the legacy
+    /// one-shot run.
+    pub(crate) fn finish(self, observers: &mut [&mut dyn Observer]) -> SimulationReport {
+        let end_time = if self.peek_time().is_none() {
+            self.horizon
+        } else {
+            self.now()
+        };
+        let sample = self.state.grid_sample();
+        Observers(observers).emit(|o| o.on_sample(end_time, &sample));
+        self.state.finish(end_time)
     }
 }
 
@@ -741,7 +822,8 @@ mod tests {
     use super::*;
     use crate::algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
     use crate::config::{CapacityModel, ChurnConfig};
-    use crate::simulation::GridSimulation;
+    use crate::scenario::Scenario;
+    use crate::simulation::Simulation;
 
     fn tiny_config(seed: u64) -> GridConfig {
         let mut cfg = GridConfig::small(12).with_seed(seed);
@@ -751,9 +833,24 @@ mod tests {
         cfg
     }
 
+    fn simulate(cfg: GridConfig, algorithm: Algorithm) -> Simulation<'static> {
+        Scenario::build(cfg)
+            .expect("test config is valid")
+            .simulate_algorithm(algorithm)
+    }
+
+    /// Run a session to the horizon and hand back the internal engine state, for white-box
+    /// tests asserting on dispatch/execution counters.
+    fn run_session(cfg: GridConfig, algo: AlgorithmConfig) -> EngineState {
+        let scenario = Scenario::build(cfg).expect("test config is valid");
+        let mut session = EngineSession::new(&scenario, Box::new(algo));
+        while session.step(&mut []).is_some() {}
+        session.state
+    }
+
     #[test]
     fn dsmf_run_completes_workflows_and_reports_metrics() {
-        let report = GridSimulation::with_algorithm(tiny_config(1), Algorithm::Dsmf).run();
+        let report = simulate(tiny_config(1), Algorithm::Dsmf).run();
         assert_eq!(report.submitted, 12);
         assert!(
             report.completed > 0,
@@ -769,9 +866,10 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_runs_on_the_same_tiny_grid() {
+    fn every_algorithm_runs_on_the_same_shared_scenario() {
+        let scenario = Scenario::build(tiny_config(2)).unwrap();
         for alg in Algorithm::ALL {
-            let report = GridSimulation::with_algorithm(tiny_config(2), alg).run();
+            let report = scenario.simulate_algorithm(alg).run();
             assert!(
                 report.completed > 0,
                 "{alg}: no workflow completed within the horizon"
@@ -782,13 +880,14 @@ mod tests {
     }
 
     #[test]
-    fn runs_are_deterministic_per_seed() {
-        let a = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
-        let b = GridSimulation::with_algorithm(tiny_config(3), Algorithm::Dsmf).run();
+    fn runs_are_deterministic_per_seed_and_across_scenario_reuse() {
+        let scenario = Scenario::build(tiny_config(3)).unwrap();
+        let a = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+        let b = scenario.simulate_algorithm(Algorithm::Dsmf).run();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.act_secs(), b.act_secs());
         assert_eq!(a.average_efficiency(), b.average_efficiency());
-        let c = GridSimulation::with_algorithm(tiny_config(4), Algorithm::Dsmf).run();
+        let c = simulate(tiny_config(4), Algorithm::Dsmf).run();
         // A different seed gives a different workload, so at least one headline number differs.
         assert!(
             a.completed != c.completed || a.act_secs() != c.act_secs(),
@@ -798,16 +897,13 @@ mod tests {
 
     #[test]
     fn fcfs_ablation_changes_only_the_second_phase() {
-        let paper = GridSimulation::new(
-            tiny_config(5),
-            AlgorithmConfig::paper_default(Algorithm::MinMin),
-        )
-        .run();
-        let fcfs = GridSimulation::new(
-            tiny_config(5),
-            AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin),
-        )
-        .run();
+        let scenario = Scenario::build(tiny_config(5)).unwrap();
+        let paper = scenario
+            .simulate_config(AlgorithmConfig::paper_default(Algorithm::MinMin))
+            .run();
+        let fcfs = scenario
+            .simulate_config(AlgorithmConfig::with_fcfs_second_phase(Algorithm::MinMin))
+            .run();
         assert_eq!(paper.submitted, fcfs.submitted);
         assert_eq!(fcfs.algorithm, "min-min+FCFS");
         assert!(fcfs.completed > 0);
@@ -818,7 +914,7 @@ mod tests {
         let mut cfg = tiny_config(6).with_churn(ChurnConfig::with_dynamic_factor(0.2));
         cfg.nodes = 20;
         cfg.waxman.nodes = 20;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = simulate(cfg, Algorithm::Dsmf).run();
         // Only stable nodes are home nodes: 50% of 20 = 10 homes, 1 workflow each.
         assert_eq!(report.submitted, 10);
         assert!(report.completed + report.failed <= report.submitted);
@@ -835,7 +931,7 @@ mod tests {
         let mut cfg = tiny_config(7).with_churn(churned);
         cfg.nodes = 20;
         cfg.waxman.nodes = 20;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(
             report.failed, 0,
             "with rescheduling enabled no workflow should be recorded as failed"
@@ -849,7 +945,7 @@ mod tests {
         cfg.capacity = CapacityModel::Uniform(4.0);
         cfg.workflow.tasks = 2..=4;
         cfg.horizon = SimDuration::from_hours(30);
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(report.submitted, 2);
         assert!(report.completed > 0);
     }
@@ -858,13 +954,7 @@ mod tests {
     fn all_tasks_execute_at_most_once() {
         let mut cfg = tiny_config(9);
         cfg.workflows_per_node = 2;
-        let algo = AlgorithmConfig::paper_default(Algorithm::Dsmf);
-        let horizon = SimTime::ZERO + cfg.horizon;
-        let mut state = EngineState::new(cfg, Box::new(algo));
-        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
-        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
-        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-        sim.run(&mut state);
+        let state = run_session(cfg, AlgorithmConfig::paper_default(Algorithm::Dsmf));
         let total_tasks: usize = state
             .workflows
             .iter()
@@ -890,7 +980,7 @@ mod tests {
         let mut cfg = tiny_config(11).with_churn(ChurnConfig::with_dynamic_factor(0.2));
         cfg.nodes = 30;
         cfg.waxman.nodes = 30;
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(report.submitted, 15);
         assert!(report.completed > 0);
         assert!(report.completed + report.failed <= report.submitted);
@@ -903,22 +993,20 @@ mod tests {
         // tiny_config builds a 12-node grid with one workflow per home node; restricting the
         // home set to the stable half leaves 6 submissions.
         let cfg = tiny_config(16).with_churn(ChurnConfig::with_dynamic_factor(0.0));
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(report.submitted, 6);
         assert_eq!(report.failed, 0);
     }
 
     #[test]
     fn second_phase_rule_is_respected_in_reports_label() {
-        let cfg = tiny_config(10);
-        let report = GridSimulation::new(
-            cfg,
-            AlgorithmConfig {
+        let report = Scenario::build(tiny_config(10))
+            .unwrap()
+            .simulate_config(AlgorithmConfig {
                 algorithm: Algorithm::Dsmf,
                 second_phase: SecondPhase::Fcfs,
-            },
-        )
-        .run();
+            })
+            .run();
         assert_eq!(report.algorithm, "DSMF+FCFS");
     }
 
@@ -926,10 +1014,8 @@ mod tests {
     fn multi_core_nodes_complete_no_less_than_single_core() {
         // The ResourceModel seam: with the same workload, giving every node four slots (and
         // four times the advertised throughput) must not finish fewer workflows.
-        let single = GridSimulation::with_algorithm(tiny_config(12), Algorithm::Dsmf).run();
-        let quad =
-            GridSimulation::with_algorithm(tiny_config(12).with_slots_per_node(4), Algorithm::Dsmf)
-                .run();
+        let single = simulate(tiny_config(12), Algorithm::Dsmf).run();
+        let quad = simulate(tiny_config(12).with_slots_per_node(4), Algorithm::Dsmf).run();
         assert_eq!(single.submitted, quad.submitted);
         assert!(
             quad.completed >= single.completed,
@@ -949,10 +1035,10 @@ mod tests {
         cfg.capacity = CapacityModel::Uniform(4.0);
         cfg.workflow.tasks = 4..=6;
         cfg.horizon = SimDuration::from_hours(30);
-        let quad = GridSimulation::with_algorithm(cfg.clone(), Algorithm::Dsmf).run();
+        let quad = simulate(cfg.clone(), Algorithm::Dsmf).run();
         let mut single_cfg = cfg;
         single_cfg.resource = crate::config::ResourceModel::single_cpu();
-        let single = GridSimulation::with_algorithm(single_cfg, Algorithm::Dsmf).run();
+        let single = simulate(single_cfg, Algorithm::Dsmf).run();
         assert!(quad.completed >= single.completed);
         if quad.completed == single.completed && quad.completed > 0 {
             assert!(
@@ -979,10 +1065,7 @@ mod tests {
                 },
             ])
         };
-        let run = || {
-            let cfg = tiny_config(15).with_resource(resource());
-            GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run()
-        };
+        let run = || simulate(tiny_config(15).with_resource(resource()), Algorithm::Dsmf).run();
         let a = run();
         let b = run();
         assert!(a.completed > 0, "heterogeneous grid must make progress");
@@ -991,8 +1074,8 @@ mod tests {
 
         // The slot sampling draws from its own RNG stream: capacities, workflows and gossip
         // are untouched, so a uniform single-slot run still matches the plain paper config.
-        let plain = GridSimulation::with_algorithm(tiny_config(15), Algorithm::Dsmf).run();
-        let uniform = GridSimulation::with_algorithm(
+        let plain = simulate(tiny_config(15), Algorithm::Dsmf).run();
+        let uniform = simulate(
             tiny_config(15).with_resource(crate::config::ResourceModel::single_cpu()),
             Algorithm::Dsmf,
         )
@@ -1010,27 +1093,18 @@ mod tests {
             let mut cfg = tiny_config(seed);
             cfg.workflows_per_node = 2;
             cfg.resource = crate::config::ResourceModel::single_cpu().preemptive();
-            let horizon = SimTime::ZERO + cfg.horizon;
-            let mut state = EngineState::new(
-                cfg,
-                Box::new(AlgorithmConfig::paper_default(Algorithm::Dsmf)),
-            );
-            let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
-            sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
-            sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-            sim.run(&mut state);
-            (state.executed_tasks, state.dispatched_tasks, state)
+            run_session(cfg, AlgorithmConfig::paper_default(Algorithm::Dsmf))
         };
         let preempted_somewhere = (20..26).any(|seed| {
-            let (executed, dispatched, _) = preempt(seed);
-            executed > dispatched
+            let state = preempt(seed);
+            state.executed_tasks > state.dispatched_tasks
         });
         assert!(
             preempted_somewhere,
             "no seed in the band ever triggered a preemption"
         );
         // Preempted-and-resumed tasks must still complete their workflows consistently.
-        let (_, _, state) = preempt(21);
+        let state = preempt(21);
         for w in &state.workflows {
             if w.completed {
                 assert!(w.progress.is_complete());
@@ -1044,7 +1118,7 @@ mod tests {
         let run = || {
             let cfg = tiny_config(17)
                 .with_resource(crate::config::ResourceModel::multi_core(2).preemptive());
-            GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run()
+            simulate(cfg, Algorithm::Dsmf).run()
         };
         let a = run();
         let b = run();
@@ -1089,7 +1163,10 @@ mod tests {
                 crate::policy::second_phase::ready_key(SecondPhase::Fcfs, task)
             }
         }
-        let report = GridSimulation::with_scheduler(tiny_config(13), Box::new(RoundRobin)).run();
+        let report = Scenario::build(tiny_config(13))
+            .unwrap()
+            .simulate(Box::new(RoundRobin))
+            .run();
         assert_eq!(report.algorithm, "round-robin");
         assert_eq!(report.submitted, 12);
         assert!(

@@ -55,6 +55,10 @@ pub struct ReadySet {
     /// Data-complete tasks only, smallest `(key, seq)` first.
     ready_heap: BinaryHeap<Reverse<HeapItem>>,
     queued_load_mi: f64,
+    /// Number of data-complete entries, maintained incrementally.  The heap length is *not*
+    /// that number (it may carry stale residue), so observers get their own `O(1)` counter
+    /// instead of walking the heap.
+    selectable: usize,
 }
 
 impl ReadySet {
@@ -66,6 +70,12 @@ impl ReadySet {
     /// Number of queued tasks (transferring + data-complete).
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of data-complete (selectable) tasks, maintained incrementally — the `O(1)`
+    /// accessor the time-series probe samples instead of walking the heap.
+    pub fn selectable_len(&self) -> usize {
+        self.selectable
     }
 
     /// True when no task is queued.
@@ -119,6 +129,7 @@ impl ReadySet {
     pub fn pop_next(&mut self) -> Option<ReadyEntry> {
         while let Some(Reverse(item)) = self.ready_heap.pop() {
             if let Some(entry) = self.entries.remove(&(item.wf, item.task)) {
+                self.selectable -= 1;
                 self.queued_load_mi -= entry.load_mi;
                 // Clamp away f64 increment/decrement drift after *every* subtraction — not
                 // only when the set empties — so a busy node can never gossip a slightly
@@ -150,10 +161,14 @@ impl ReadySet {
         all.sort_by_key(|e| e.view.enqueued_seq);
         self.ready_heap.clear();
         self.queued_load_mi = 0.0;
+        self.selectable = 0;
         all
     }
 
+    /// Called exactly when an entry transitions to data-complete, so `selectable` counts
+    /// entries, not heap items.
     fn push_ready(&mut self, entry: &ReadyEntry) {
+        self.selectable += 1;
         self.ready_heap.push(Reverse(HeapItem {
             key: entry.key,
             seq: entry.view.enqueued_seq,
@@ -408,6 +423,24 @@ mod tests {
     fn mark_data_ready_on_unknown_task_reports_false() {
         let mut rs = ReadySet::new();
         assert!(!rs.mark_data_ready(0, TaskId(3)));
+    }
+
+    #[test]
+    fn selectable_len_tracks_data_complete_entries_only() {
+        let mut rs = ReadySet::new();
+        assert_eq!(rs.selectable_len(), 0);
+        rs.insert(entry(0, 100.0, 10.0, 0, true));
+        rs.insert(entry(1, 200.0, 10.0, 1, false)); // still transferring
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.selectable_len(), 1);
+        // Marking data-ready twice must not double count.
+        assert!(rs.mark_data_ready(1, TaskId(0)));
+        assert!(rs.mark_data_ready(1, TaskId(0)));
+        assert_eq!(rs.selectable_len(), 2);
+        rs.pop_next();
+        assert_eq!(rs.selectable_len(), 1);
+        rs.drain();
+        assert_eq!(rs.selectable_len(), 0);
     }
 
     #[test]

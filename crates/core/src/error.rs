@@ -1,0 +1,99 @@
+//! Typed configuration errors.
+//!
+//! [`GridConfig::validate`](crate::config::GridConfig::validate) and
+//! [`Scenario::build`](crate::scenario::Scenario::build) report malformed configurations as a
+//! [`ConfigError`] instead of panicking, so a sweep runner can fail one configuration point
+//! with a message and keep the rest of the experiment alive.
+
+use std::fmt;
+
+/// Why a [`GridConfig`](crate::config::GridConfig) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The grid has no nodes at all.
+    NoNodes,
+    /// The Waxman topology's node count disagrees with the grid's node count.
+    TopologyMismatch {
+        /// Node count of the topology generator.
+        topology: usize,
+        /// Node count of the grid.
+        nodes: usize,
+    },
+    /// The churn dynamic factor lies outside `[0, 1]`.
+    InvalidDynamicFactor(f64),
+    /// The stable-population fraction lies outside `[0, 1]`.
+    InvalidStableFraction(f64),
+    /// A periodic interval (scheduling / gossip / metrics) is zero.
+    ZeroInterval(&'static str),
+    /// The capacity choice set is empty.
+    EmptyCapacitySet,
+    /// A capacity value is non-positive or non-finite.
+    InvalidCapacity(f64),
+    /// A node class would own zero execution slots.
+    ZeroSlots,
+    /// The weighted slot-distribution has no classes.
+    EmptySlotClasses,
+    /// A slot-class weight is non-positive or non-finite.
+    InvalidSlotWeight(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "at least one node is required"),
+            ConfigError::TopologyMismatch { topology, nodes } => write!(
+                f,
+                "topology node count ({topology}) must match the grid node count ({nodes})"
+            ),
+            ConfigError::InvalidDynamicFactor(df) => {
+                write!(f, "churn dynamic factor must be in [0, 1], got {df}")
+            }
+            ConfigError::InvalidStableFraction(sf) => {
+                write!(f, "churn stable fraction must be in [0, 1], got {sf}")
+            }
+            ConfigError::ZeroInterval(which) => {
+                write!(f, "{which} interval must be positive")
+            }
+            ConfigError::EmptyCapacitySet => {
+                write!(f, "capacity choice set must not be empty")
+            }
+            ConfigError::InvalidCapacity(c) => {
+                write!(f, "node capacities must be positive and finite, got {c}")
+            }
+            ConfigError::ZeroSlots => {
+                write!(f, "every node needs at least one execution slot")
+            }
+            ConfigError::EmptySlotClasses => {
+                write!(f, "slot class set must not be empty")
+            }
+            ConfigError::InvalidSlotWeight(w) => {
+                write!(f, "slot class weights must be positive and finite, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        assert!(ConfigError::InvalidDynamicFactor(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(ConfigError::TopologyMismatch {
+            topology: 99,
+            nodes: 10
+        }
+        .to_string()
+        .contains("99"));
+        assert!(ConfigError::ZeroInterval("gossip")
+            .to_string()
+            .contains("gossip"));
+        let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroSlots);
+        assert!(boxed.to_string().contains("execution slot"));
+    }
+}

@@ -6,6 +6,46 @@
 //! crates (`p2pgrid-sim`, `p2pgrid-topology`, `p2pgrid-workflow`, `p2pgrid-gossip`,
 //! `p2pgrid-metrics`).
 //!
+//! ## The three-layer API
+//!
+//! The top-level API separates *what the world is* from *one run over it* from *watching that
+//! run*:
+//!
+//! 1. **[`Scenario`]** — the immutable, reusable world: topology + all-pairs bandwidths,
+//!    landmark estimates, sampled node capacities / slots / churn roles, and the generated
+//!    workflows, all pre-sampled deterministically from the seed by [`Scenario::build`]
+//!    (which returns a typed [`ConfigError`] for malformed configurations instead of
+//!    panicking).  `Scenario` is an `Arc` handle: `Clone` is pointer-sized and the type is
+//!    `Send + Sync`, so one world fans out across a whole algorithm sweep.
+//! 2. **[`Simulation`]** — one session over that world, created by [`Scenario::simulate`]
+//!    (or [`Scenario::simulate_algorithm`]): step it event by event ([`Simulation::step`]),
+//!    advance it to an instant ([`Simulation::run_until`]), or drive it to the horizon
+//!    ([`Simulation::run`]).
+//! 3. **[`Observer`]** — the seam for tapping the run: task dispatch / start / finish /
+//!    displacement, workflow submit / complete / fail, node join / leave, gossip cycles and
+//!    the periodic [`GridSample`].  [`TimeSeriesProbe`] and [`TraceRecorder`] are built in.
+//!
+//! ```
+//! use p2pgrid_core::observer::TimeSeriesProbe;
+//! use p2pgrid_core::scenario::Scenario;
+//! use p2pgrid_core::{Algorithm, GridConfig};
+//!
+//! // Build the world once...
+//! let scenario = Scenario::build(GridConfig::small(16).with_seed(42)).unwrap();
+//! // ...run two schedulers on it, observing one of the runs.
+//! let mut probe = TimeSeriesProbe::new();
+//! let dsmf = scenario
+//!     .simulate_algorithm(Algorithm::Dsmf)
+//!     .observe(&mut probe)
+//!     .run();
+//! let heft = scenario.simulate_algorithm(Algorithm::Heft).run();
+//! assert_eq!(dsmf.submitted, heft.submitted);
+//! assert!(!probe.samples().is_empty());
+//! ```
+//!
+//! The pre-split [`GridSimulation`] facade remains as a deprecated shim; it rebuilds the world
+//! on every run.
+//!
 //! ## The dual-phase model
 //!
 //! Every task crosses two scheduling phases before it runs:
@@ -16,9 +56,9 @@
 //!    workflows/tasks according to the configured heuristic and dispatches each task to the
 //!    resource node with the earliest estimated finish time (Formula 9) among the `O(log n)`
 //!    candidates in its gossip-aggregated resource state set.
-//! 2. **Second phase — at the resource node.**  Whenever the (single, non-preemptive) CPU frees
-//!    up, the resource node picks the next data-complete task from its ready set according to
-//!    the configured ready-set rule (Formula 10 for DSMF).
+//! 2. **Second phase — at the resource node.**  Whenever an execution slot frees up, the
+//!    resource node picks the next data-complete task from its ready set according to the
+//!    configured ready-set rule (Formula 10 for DSMF).
 //!
 //! ## Crate layout
 //!
@@ -30,9 +70,12 @@
 //! | [`fullahead`] | the centralized full-ahead planner used by the HEFT and SMF baselines |
 //! | [`scheduler`] | the pluggable [`Scheduler`] seam unifying both phases (implemented by [`AlgorithmConfig`]) |
 //! | [`config`]    | experiment configuration (Table I defaults, [`config::ResourceModel`] slots, churn, load factor, CCR) |
+//! | [`error`]     | the typed [`ConfigError`] returned by validation and [`Scenario::build`] |
+//! | [`scenario`]  | the reusable pre-sampled world ([`Scenario`]) |
 //! | [`engine`]    | the grid engine: per-node / per-workflow runtime, transfer model, event loop |
-//! | [`simulation`]| the thin [`GridSimulation`] facade over the engine |
-//! | [`worked_example`] | the two-workflow scenario of Fig. 3 used by tests and `examples/paper_example.rs` |
+//! | [`simulation`]| [`Simulation`] sessions and the deprecated [`GridSimulation`] shim |
+//! | [`observer`]  | the [`Observer`] seam, [`TimeSeriesProbe`] and [`TraceRecorder`] |
+//! | [`worked_example`] | the two-workflow scenario of Fig. 3 used by tests and `repro --fig 3` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,10 +83,13 @@
 pub mod algorithm;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod estimate;
 pub mod fullahead;
+pub mod observer;
 pub mod policy;
 pub mod report;
+pub mod scenario;
 pub mod scheduler;
 pub mod simulation;
 pub mod worked_example;
@@ -52,10 +98,15 @@ pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
 pub use config::{
     CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, SlotClass, SlotModel,
 };
+pub use error::ConfigError;
 pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
+pub use observer::{GridSample, Observer, TimeSeriesProbe, TraceEvent, TraceRecorder};
 pub use report::SimulationReport;
+pub use scenario::Scenario;
 pub use scheduler::Scheduler;
+#[allow(deprecated)]
 pub use simulation::GridSimulation;
+pub use simulation::Simulation;
 
 /// Identifier of a peer node (shared dense index with `p2pgrid-topology` and `p2pgrid-gossip`).
 pub type NodeId = usize;

@@ -1,0 +1,306 @@
+//! The immutable, reusable world of one experiment configuration.
+//!
+//! A [`Scenario`] is everything about a grid-simulation run that does **not** depend on the
+//! scheduler under test: the Waxman topology and its all-pairs bottleneck bandwidths, the
+//! landmark Dijkstra estimates, every node's sampled capacity / slot count / churn role, the
+//! generated workflow DAGs with their home-node assignment, and the seeded RNG streams that
+//! drive gossip and churn during the run.  All of it is pre-sampled deterministically from
+//! `GridConfig::seed` when [`Scenario::build`] runs — exactly the sampling order the legacy
+//! one-shot facade used, so a run started from a `Scenario` is byte-identical to the old path.
+//!
+//! The value of the split is reuse: the expensive setup (the all-pairs bandwidth computation
+//! is `O(n²·log n)`, workflow analysis walks every DAG) happens **once**, and every
+//! [`Scenario::simulate`] session clones only the cheap mutable runtime state.  `Scenario`
+//! itself is an [`Arc`] handle — `Clone` is pointer-sized and the type is `Send + Sync`, so an
+//! eight-algorithm sweep can fan out across threads over one shared world:
+//!
+//! ```
+//! use p2pgrid_core::scenario::Scenario;
+//! use p2pgrid_core::{Algorithm, GridConfig};
+//!
+//! let scenario = Scenario::build(GridConfig::small(16).with_seed(3)).unwrap();
+//! let a = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+//! let b = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+//! assert_eq!(a.completed, b.completed); // sessions never perturb the scenario
+//! ```
+//!
+//! Malformed configurations fail the build with a typed [`ConfigError`] instead of panicking
+//! mid-experiment.
+
+use crate::algorithm::{Algorithm, AlgorithmConfig};
+use crate::config::GridConfig;
+use crate::engine::node::{NodeRuntime, ReadySet};
+use crate::engine::transfer::TransferModel;
+use crate::engine::workflow::WorkflowRuntime;
+use crate::error::ConfigError;
+use crate::scheduler::Scheduler;
+use crate::simulation::Simulation;
+use crate::NodeId;
+use p2pgrid_gossip::MixedGossip;
+use p2pgrid_sim::{SimRng, SimTime};
+use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
+use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis, WorkflowGenerator};
+use std::fmt;
+use std::sync::Arc;
+
+/// The pre-sampled world shared by every session of one configuration.  Scheduler-independent
+/// and immutable after [`Scenario::build`]; sessions clone the mutable parts and share the
+/// read-only parts through the inner [`Arc`]s.
+pub(crate) struct ScenarioWorld {
+    pub(crate) config: GridConfig,
+    /// Ground-truth transfer timing over the generated topology (read-only during runs).
+    pub(crate) transfer: Arc<TransferModel>,
+    /// Landmark-based bandwidth estimates (read-only during runs).
+    pub(crate) landmarks: Arc<LandmarkEstimator>,
+    /// Pristine per-node runtime state: capacity, slots, churn role, empty queues.
+    pub(crate) nodes: Vec<NodeRuntime>,
+    /// Pristine per-workflow runtime state (no full-ahead plans; those are per-scheduler).
+    pub(crate) workflows: Vec<WorkflowRuntime>,
+    /// Workflow indices submitted at each home node.
+    pub(crate) home_of: Arc<Vec<Vec<usize>>>,
+    /// True system-wide averages, the efficiency baseline `eft(f)` and full-ahead input.
+    pub(crate) true_costs: ExpectedCosts,
+    /// The gossip protocol state right after initialisation.
+    pub(crate) gossip: MixedGossip,
+    /// The gossip RNG stream, positioned right after [`MixedGossip::new`] drew from it.
+    pub(crate) gossip_rng: SimRng,
+    /// The churn RNG stream (sessions clone it, so every run replays the same churn).
+    pub(crate) churn_rng: SimRng,
+}
+
+/// A reusable, immutable, cheaply-cloneable world: build it once, run many schedulers on it.
+///
+/// See the [module docs](self) for the full story; [`Scenario::simulate`] (or the
+/// [`Scenario::simulate_algorithm`] / [`Scenario::simulate_config`] conveniences) starts an
+/// independent [`Simulation`] session on the shared world.
+#[derive(Clone)]
+pub struct Scenario {
+    world: Arc<ScenarioWorld>,
+}
+
+impl Scenario {
+    /// Validate `config` and pre-sample the whole world from its seed.
+    ///
+    /// This is the expensive step — topology generation, the all-pairs bottleneck-bandwidth
+    /// computation, landmark selection, capacity/slot sampling and workflow generation — and
+    /// the reason the type exists: do it once, then share the result across a sweep.
+    pub fn build(config: GridConfig) -> Result<Scenario, ConfigError> {
+        config.validate()?;
+        let root = SimRng::seed_from_u64(config.seed);
+
+        // Topology and ground-truth network metrics.
+        let mut topo_rng = root.derive("topology");
+        let topology = WaxmanGenerator::new(config.waxman).generate(&mut topo_rng);
+        let transfer = TransferModel::new(PairwiseMetrics::compute(&topology));
+        let mut landmark_rng = root.derive("landmarks");
+        let landmarks = LandmarkEstimator::build_default(transfer.metrics(), &mut landmark_rng);
+
+        // Node capacities, slots and roles.  Slot counts draw from their own derived stream,
+        // so enabling heterogeneous distributions never perturbs capacities, workflows or
+        // gossip (and the uniform model draws nothing at all).
+        let mut cap_rng = root.derive("capacity");
+        let mut slot_rng = root.derive("slots");
+        let n = config.nodes;
+        let stable_count = if config.churn.splits_population() {
+            ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
+        } else {
+            n
+        };
+        let nodes: Vec<NodeRuntime> = (0..n)
+            .map(|i| {
+                let local_bw = if n > 1 {
+                    let others: Vec<f64> = landmarks
+                        .landmarks()
+                        .iter()
+                        .filter(|&&l| l != i)
+                        .map(|&l| transfer.bandwidth_mbps(i, l))
+                        .filter(|b| b.is_finite() && *b > 0.0)
+                        .collect();
+                    if others.is_empty() {
+                        transfer.average_bandwidth_mbps().max(1e-6)
+                    } else {
+                        others.iter().sum::<f64>() / others.len() as f64
+                    }
+                } else {
+                    1.0
+                };
+                let slots = config.resource.slots.sample(&mut slot_rng);
+                NodeRuntime {
+                    alive: true,
+                    churnable: i >= stable_count,
+                    capacity_mips: config.capacity.sample(&mut cap_rng),
+                    slots,
+                    epoch: 0,
+                    ready: ReadySet::new(),
+                    running: Vec::with_capacity(slots),
+                    local_avg_bandwidth_mbps: local_bw,
+                }
+            })
+            .collect();
+
+        // True system-wide averages, used for the efficiency baseline eft(f).  Like the
+        // aggregation gossip, the capacity average is over *per-slot* rates: eft models the
+        // time one task takes on an average node, and one task only ever runs on one slot.
+        let true_avg_capacity = nodes.iter().map(|nd| nd.capacity_mips).sum::<f64>() / n as f64;
+        let true_avg_bandwidth = if n > 1 {
+            transfer.average_bandwidth_mbps().max(1e-6)
+        } else {
+            1.0
+        };
+        let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
+
+        // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
+        // home nodes (the paper excludes home nodes from churning).
+        let mut wf_rng = root.derive("workflows");
+        let generator = WorkflowGenerator::new(config.workflow.clone());
+        let home_candidates: Vec<NodeId> = (0..n).filter(|&i| !nodes[i].churnable).collect();
+        let mut workflows = Vec::new();
+        let mut home_of = vec![Vec::new(); n];
+        for &home in &home_candidates {
+            for _ in 0..config.workflows_per_node {
+                let workflow = generator.generate(&mut wf_rng);
+                let analysis = WorkflowAnalysis::new(&workflow, true_costs);
+                let static_rpm: Vec<f64> =
+                    workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
+                let wf = WorkflowRuntime {
+                    home,
+                    progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
+                    eft_secs: analysis.expected_finish_time_secs(),
+                    task_location: vec![None; workflow.task_count()],
+                    failed: false,
+                    completed: false,
+                    submitted_at: SimTime::ZERO,
+                    plan: None,
+                    static_ms_secs: analysis.expected_finish_time_secs(),
+                    static_rpm,
+                    workflow,
+                };
+                home_of[home].push(workflows.len());
+                workflows.push(wf);
+            }
+        }
+
+        let mut gossip_rng = root.derive("gossip");
+        let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
+        let churn_rng = root.derive("churn");
+
+        Ok(Scenario {
+            world: Arc::new(ScenarioWorld {
+                config,
+                transfer: Arc::new(transfer),
+                landmarks: Arc::new(landmarks),
+                nodes,
+                workflows,
+                home_of: Arc::new(home_of),
+                true_costs,
+                gossip,
+                gossip_rng,
+                churn_rng,
+            }),
+        })
+    }
+
+    pub(crate) fn world(&self) -> &ScenarioWorld {
+        &self.world
+    }
+
+    /// The configuration this world was sampled from.
+    pub fn config(&self) -> &GridConfig {
+        &self.world.config
+    }
+
+    /// Number of peer nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.world.nodes.len()
+    }
+
+    /// Number of workflows submitted at time zero.
+    pub fn workflow_count(&self) -> usize {
+        self.world.workflows.len()
+    }
+
+    /// The true system-wide expected costs (the `eft(f)` baseline of Eq. 1).
+    pub fn expected_costs(&self) -> ExpectedCosts {
+        self.world.true_costs
+    }
+
+    /// Start an independent [`Simulation`] session driven by any [`Scheduler`] — the seam for
+    /// policies beyond the paper's built-in eight.  The session clones the mutable runtime
+    /// state; the scenario itself is never perturbed, so sessions can run concurrently.
+    pub fn simulate<'obs>(&self, scheduler: Box<dyn Scheduler>) -> Simulation<'obs> {
+        Simulation::start(self, scheduler)
+    }
+
+    /// [`Scenario::simulate`] with an algorithm's paper-default phase pairing.
+    pub fn simulate_algorithm<'obs>(&self, algorithm: Algorithm) -> Simulation<'obs> {
+        self.simulate_config(AlgorithmConfig::paper_default(algorithm))
+    }
+
+    /// [`Scenario::simulate`] with an explicit algorithm × second-phase pairing.
+    pub fn simulate_config<'obs>(&self, algo: AlgorithmConfig) -> Simulation<'obs> {
+        self.simulate(Box::new(algo))
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("nodes", &self.node_count())
+            .field("workflows", &self.workflow_count())
+            .field("seed", &self.world.config.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CapacityModel, ChurnConfig};
+    use p2pgrid_sim::SimDuration;
+
+    #[test]
+    fn scenarios_are_send_sync_and_cheap_to_clone() {
+        fn assert_shareable<T: Send + Sync + Clone>() {}
+        assert_shareable::<Scenario>();
+        let scenario = Scenario::build(GridConfig::small(8).with_seed(1)).unwrap();
+        let other = scenario.clone();
+        assert!(Arc::ptr_eq(&scenario.world, &other.world));
+        assert_eq!(scenario.node_count(), 8);
+        assert_eq!(scenario.workflow_count(), 16);
+    }
+
+    #[test]
+    fn build_rejects_malformed_configs_with_typed_errors() {
+        let mut cfg = GridConfig::small(8);
+        cfg.capacity = CapacityModel::Choices(Vec::new());
+        assert_eq!(
+            Scenario::build(cfg).unwrap_err(),
+            ConfigError::EmptyCapacitySet
+        );
+        let bad_churn = GridConfig::small(8).with_churn(ChurnConfig::with_dynamic_factor(2.0));
+        assert_eq!(
+            Scenario::build(bad_churn).unwrap_err(),
+            ConfigError::InvalidDynamicFactor(2.0)
+        );
+        let mut zero_interval = GridConfig::small(8);
+        zero_interval.gossip_interval = SimDuration::from_secs(0);
+        assert_eq!(
+            Scenario::build(zero_interval).unwrap_err(),
+            ConfigError::ZeroInterval("gossip")
+        );
+    }
+
+    #[test]
+    fn churn_splits_the_population_like_the_legacy_setup() {
+        let churned = Scenario::build(
+            GridConfig::small(20)
+                .with_seed(5)
+                .with_churn(ChurnConfig::with_dynamic_factor(0.2)),
+        )
+        .unwrap();
+        // 50% stable nodes host 2 workflows each.
+        assert_eq!(churned.workflow_count(), 20);
+        let static_world = Scenario::build(GridConfig::small(20).with_seed(5)).unwrap();
+        assert_eq!(static_world.workflow_count(), 40);
+    }
+}

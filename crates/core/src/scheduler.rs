@@ -3,7 +3,7 @@
 //! The grid engine drives every scheduling decision through this trait, so algorithms beyond
 //! the paper's built-in eight can be plugged in without touching the engine or editing enum
 //! match arms: implement [`Scheduler`] and hand it to
-//! [`GridSimulation::with_scheduler`](crate::GridSimulation::with_scheduler).
+//! [`Scenario::simulate`](crate::scenario::Scenario::simulate).
 //!
 //! A scheduler owns both halves of the dual-phase model:
 //!

@@ -1,29 +1,163 @@
-//! The public facade over the grid engine.
+//! Simulation sessions: stepable runs over a shared [`Scenario`].
 //!
-//! [`GridSimulation`] configures and runs one end-to-end P2P-grid simulation.  The actual
-//! runtime — per-node state, per-workflow state, the transfer model and the event loop — lives
-//! in the [`engine`](crate::engine) module family behind two seams:
+//! A [`Simulation`] is one in-flight run of a scheduler on a pre-built world.  Unlike the
+//! legacy consume-on-run [`GridSimulation`] facade it can be driven incrementally —
+//! [`Simulation::step`] delivers one event, [`Simulation::run_until`] advances to a virtual
+//! instant, [`Simulation::run`] drives to the horizon — and it carries the observer seam:
+//! any number of [`Observer`]s registered via [`Simulation::observe`] receive every externally
+//! meaningful engine event as it happens.
 //!
-//! * the [`Scheduler`] trait, so scheduling policies beyond the paper's built-in eight can be
-//!   plugged in through [`GridSimulation::with_scheduler`] without touching the engine, and
-//! * the [`ResourceModel`](crate::config::ResourceModel) in [`GridConfig`], which generalises
-//!   the paper's single non-preemptive CPU per node to N execution slots.
+//! ```
+//! use p2pgrid_core::scenario::Scenario;
+//! use p2pgrid_core::{Algorithm, GridConfig};
+//! use p2pgrid_sim::{SimDuration, SimTime};
 //!
-//! The constructors taking an [`Algorithm`] / [`AlgorithmConfig`] — the paper's eight
-//! algorithms with their phase pairings — are unchanged from the pre-split API.
+//! let scenario = Scenario::build(GridConfig::small(12).with_seed(1)).unwrap();
+//! let mut session = scenario.simulate_algorithm(Algorithm::Dsmf);
+//! session.run_until(SimTime::ZERO + SimDuration::from_hours(2)); // peek mid-run...
+//! println!("backlog after 2 h: {} tasks", session.sample().ready_tasks);
+//! let report = session.run();                                    // ...then drive to the end
+//! assert_eq!(report.submitted, 24);
+//! ```
+//!
+//! Observers never perturb the engine: a fully-stepped session — with or without observers —
+//! produces a report byte-identical to the legacy one-shot run at the same seed.
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
 use crate::config::GridConfig;
-use crate::engine::EngineState;
+use crate::engine::EngineSession;
+use crate::observer::{GridSample, Observer};
 use crate::report::SimulationReport;
+use crate::scenario::Scenario;
 use crate::scheduler::Scheduler;
+use p2pgrid_sim::SimTime;
 
-/// One configured simulation run.
+/// One in-flight simulation run: step it, observe it, or drive it to the horizon.
+///
+/// Created by [`Scenario::simulate`] (or its algorithm conveniences); see the
+/// [module docs](self) for the lifecycle.  `'obs` is the lifetime of the registered
+/// observers — a session without observers is `Simulation<'static>`.
+pub struct Simulation<'obs> {
+    session: EngineSession,
+    observers: Vec<&'obs mut dyn Observer>,
+    started: bool,
+}
+
+impl<'obs> Simulation<'obs> {
+    pub(crate) fn start(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
+        Simulation {
+            session: EngineSession::new(scenario, scheduler),
+            observers: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Register an observer.  Must happen before the first step — observers registered later
+    /// would silently miss events, so that is rejected with a panic.
+    ///
+    /// The observer is borrowed (`&mut`), not owned: its recorded data stays with the caller
+    /// and remains available after [`Simulation::run`] consumes the session.
+    #[must_use = "observe returns the session; chain it or rebind it"]
+    pub fn observe(mut self, observer: &'obs mut dyn Observer) -> Self {
+        assert!(
+            !self.started,
+            "observers must be registered before the first step"
+        );
+        self.observers.push(observer);
+        self
+    }
+
+    /// Announce the time-zero submissions exactly once, before the first delivered event.
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.session.announce_submissions(&mut self.observers);
+        }
+    }
+
+    /// Deliver exactly one event and return its timestamp, or `None` when the run is over
+    /// (event queue drained, or every remaining event lies beyond the horizon).
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        self.session.step(&mut self.observers)
+    }
+
+    /// Deliver every event with a timestamp `<= until` and return how many were delivered.
+    /// Events exactly at `until` are included, matching the horizon's inclusive semantics.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.ensure_started();
+        let mut delivered = 0;
+        while self.session.peek_time().is_some_and(|t| t <= until) {
+            if self.session.step(&mut self.observers).is_none() {
+                break;
+            }
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Drive the run to its horizon and return the report (the one-shot path, byte-identical
+    /// to the legacy facade at the same seed).
+    pub fn run(mut self) -> SimulationReport {
+        self.ensure_started();
+        while self.session.step(&mut self.observers).is_some() {}
+        self.finish()
+    }
+
+    /// Close the session where it stands and return the report.  A session that already ran
+    /// out of events reports at the horizon (exactly like [`Simulation::run`]); a session cut
+    /// short reports at its current virtual time.
+    pub fn finish(mut self) -> SimulationReport {
+        self.ensure_started();
+        self.session.finish(&mut self.observers)
+    }
+
+    /// Current virtual time: the timestamp of the last delivered event.
+    pub fn now(&self) -> SimTime {
+        self.session.now()
+    }
+
+    /// Timestamp of the event the next [`Simulation::step`] would deliver, or `None` when the
+    /// run is over.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.session.peek_time()
+    }
+
+    /// The run's horizon (virtual end time).
+    pub fn horizon(&self) -> SimTime {
+        self.session.horizon()
+    }
+
+    /// A live aggregate snapshot of the grid — the same [`GridSample`] the metrics-cadence
+    /// observer hook receives, computable at any point of a stepped run.
+    pub fn sample(&self) -> GridSample {
+        self.session.grid_sample()
+    }
+
+    /// Label of the scheduler driving this session (e.g. `"DSMF"`).
+    pub fn algorithm(&self) -> String {
+        self.session.label()
+    }
+}
+
+/// The legacy one-shot facade: configure and run one simulation, consuming the builder.
+///
+/// Every run rebuilds the full world from scratch — topology, all-pairs bandwidths, sampled
+/// capacities and workflows — even when a sweep runs many schedulers on the same
+/// configuration.  Build a [`Scenario`] once and create sessions with
+/// [`Scenario::simulate`] / [`Scenario::simulate_algorithm`] instead; this shim remains only
+/// so existing call sites keep compiling, and panics (like the old facade) on configurations
+/// that [`Scenario::build`] rejects with a typed error.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Scenario` once and start sessions with `Scenario::simulate*`"
+)]
 pub struct GridSimulation {
     config: GridConfig,
     scheduler: Box<dyn Scheduler>,
 }
 
+#[allow(deprecated)]
 impl GridSimulation {
     /// Create a run for the given grid configuration and algorithm pairing.
     pub fn new(config: GridConfig, algo: AlgorithmConfig) -> Self {
@@ -35,14 +169,15 @@ impl GridSimulation {
         GridSimulation::new(config, AlgorithmConfig::paper_default(algorithm))
     }
 
-    /// Create a run driven by any [`Scheduler`] implementation — the seam for scheduling
-    /// policies beyond the paper's built-in eight.
+    /// Create a run driven by any [`Scheduler`] implementation.
     pub fn with_scheduler(config: GridConfig, scheduler: Box<dyn Scheduler>) -> Self {
         GridSimulation { config, scheduler }
     }
 
     /// Run the simulation to its horizon and return the report.
     pub fn run(self) -> SimulationReport {
-        EngineState::run_to_horizon(self.config, self.scheduler)
+        let scenario = Scenario::build(self.config)
+            .unwrap_or_else(|e| panic!("invalid grid configuration: {e}"));
+        scenario.simulate(self.scheduler).run()
     }
 }

@@ -2,17 +2,30 @@
 //!
 //! ```text
 //! repro [--scale smoke|reduced|full] [--seed N] [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]
+//!       [--json [DIR]]
 //! ```
 //!
 //! The default is `--scale reduced --fig all`, which runs every experiment at a laptop-friendly
 //! scale (120 nodes, full 36-hour horizon) and prints the regenerated series in the same layout
 //! as the paper's figures.  `--scale full` runs the paper-scale configuration (1 000 nodes) and
-//! takes correspondingly longer.
+//! takes correspondingly longer.  `--json` additionally writes one machine-readable artifact
+//! per regenerated figure (`<DIR>/<figure-id>.json`, default directory `repro-json`),
+//! serialized through the serde compat shim's JSON backend.
 
 use p2pgrid_core::worked_example;
 use p2pgrid_experiments::ExperimentScale;
-use p2pgrid_experiments::{ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison};
+use p2pgrid_experiments::{
+    ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison, FigureData,
+};
 use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis};
+use std::path::{Path, PathBuf};
+
+/// The accepted `--scale` spellings, shown when an unknown value is passed.
+const ACCEPTED_SCALES: &str = "smoke, reduced, full";
+/// The accepted `--fig` spellings, shown when an unknown value is passed.
+const ACCEPTED_FIGURES: &str =
+    "all, 3 (example), 4-6 (static), fcfs (ablation), 7-8 (load), 9-10 (ccr), \
+     11 (scalability), 12-14 (churn), headline";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Figure {
@@ -48,12 +61,14 @@ struct Args {
     scale: ExperimentScale,
     seed: u64,
     figure: Figure,
+    json_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = ExperimentScale::Reduced;
     let mut seed = 20100913u64;
     let mut figure = Figure::All;
+    let mut json_dir: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -61,7 +76,8 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => {
                 i += 1;
                 let v = argv.get(i).ok_or("--scale needs a value")?;
-                scale = ExperimentScale::parse(v).ok_or(format!("unknown scale '{v}'"))?;
+                scale = ExperimentScale::parse(v)
+                    .ok_or(format!("unknown scale '{v}' (accepted: {ACCEPTED_SCALES})"))?;
             }
             "--seed" => {
                 i += 1;
@@ -71,12 +87,26 @@ fn parse_args() -> Result<Args, String> {
             "--fig" => {
                 i += 1;
                 let v = argv.get(i).ok_or("--fig needs a value")?;
-                figure = Figure::parse(v).ok_or(format!("unknown figure '{v}'"))?;
+                figure = Figure::parse(v).ok_or(format!(
+                    "unknown figure '{v}' (accepted: {ACCEPTED_FIGURES})"
+                ))?;
+            }
+            "--json" => {
+                // Optional value: `--json out/` names the directory, bare `--json` defaults.
+                let dir = match argv.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(next)
+                    }
+                    _ => PathBuf::from("repro-json"),
+                };
+                json_dir = Some(dir);
             }
             "--help" | "-h" => {
-                return Err("usage: repro [--scale smoke|reduced|full] [--seed N] \
-                            [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]"
-                    .to_string())
+                return Err(format!(
+                    "usage: repro [--scale smoke|reduced|full] [--seed N] [--fig FIG] \
+                     [--json [DIR]]\n  scales:  {ACCEPTED_SCALES}\n  figures: {ACCEPTED_FIGURES}"
+                ))
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
@@ -86,7 +116,31 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         figure,
+        json_dir,
     })
+}
+
+/// Print a regenerated figure and, when `--json` is on, write its JSON artifact.
+fn emit(fig: &FigureData, json_dir: &Option<PathBuf>) {
+    println!("{}", fig.render());
+    if let Some(dir) = json_dir {
+        write_json(fig, dir);
+    }
+}
+
+fn write_json(fig: &FigureData, dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let path = dir.join(format!("{}.json", fig.id));
+    let mut doc = fig.to_json().to_string_pretty();
+    doc.push('\n');
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", path.display());
 }
 
 fn print_worked_example() {
@@ -106,12 +160,12 @@ fn print_worked_example() {
     println!();
 }
 
-fn run_static(scale: ExperimentScale, seed: u64, headline_only: bool) {
+fn run_static(scale: ExperimentScale, seed: u64, headline_only: bool, json_dir: &Option<PathBuf>) {
     let cmp = static_comparison::run(scale, seed);
     if !headline_only {
-        println!("{}", cmp.fig4_throughput().render());
-        println!("{}", cmp.fig5_average_finish_time().render());
-        println!("{}", cmp.fig6_average_efficiency().render());
+        emit(&cmp.fig4_throughput(), json_dir);
+        emit(&cmp.fig5_average_finish_time(), json_dir);
+        emit(&cmp.fig6_average_efficiency(), json_dir);
         println!("== converged summary (static environment) ==");
         println!("{}", cmp.summary_table());
     }
@@ -138,6 +192,7 @@ fn main() {
     };
     let scale = args.scale;
     let seed = args.seed;
+    let json_dir = &args.json_dir;
     println!(
         "# p2pgrid reproduction — scale: {scale:?}, seed: {seed}, nodes: {}\n",
         scale.nodes()
@@ -148,7 +203,7 @@ fn main() {
         print_worked_example();
     }
     if run_all || args.figure == Figure::StaticComparison || args.figure == Figure::Headline {
-        run_static(scale, seed, args.figure == Figure::Headline);
+        run_static(scale, seed, args.figure == Figure::Headline, json_dir);
     }
     if run_all || args.figure == Figure::FcfsAblation {
         let ablation = fcfs_ablation::run(scale, seed);
@@ -159,11 +214,16 @@ fn main() {
             ablation.second_phase_wins(),
             ablation.pairs.len()
         );
+        // The figure duplicates the table on stdout, so only its JSON artifact is written —
+        // stdout stays identical with and without --json.
+        if let Some(dir) = json_dir {
+            write_json(&ablation.figure(), dir);
+        }
     }
     if run_all || args.figure == Figure::LoadFactor {
         let sweep = load_factor::run(scale, seed);
-        println!("{}", sweep.fig7_average_finish_time().render());
-        println!("{}", sweep.fig8_average_efficiency().render());
+        emit(&sweep.fig7_average_finish_time(), json_dir);
+        emit(&sweep.fig8_average_efficiency(), json_dir);
     }
     if run_all || args.figure == Figure::Ccr {
         let sweep = ccr::run(scale, seed);
@@ -171,20 +231,20 @@ fn main() {
         for (i, case) in sweep.cases.iter().enumerate() {
             println!("case {i}: {}", case.label);
         }
-        println!("{}", sweep.fig9_average_finish_time().render());
-        println!("{}", sweep.fig10_average_efficiency().render());
+        emit(&sweep.fig9_average_finish_time(), json_dir);
+        emit(&sweep.fig10_average_efficiency(), json_dir);
     }
     if run_all || args.figure == Figure::Scalability {
         let sweep = scalability::run(scale, seed);
-        println!("{}", sweep.fig11a_rss_size().render());
-        println!("{}", sweep.fig11b_average_efficiency().render());
-        println!("{}", sweep.fig11c_average_finish_time().render());
+        emit(&sweep.fig11a_rss_size(), json_dir);
+        emit(&sweep.fig11b_average_efficiency(), json_dir);
+        emit(&sweep.fig11c_average_finish_time(), json_dir);
     }
     if run_all || args.figure == Figure::Churn {
         let sweep = churn::run(scale, seed);
-        println!("{}", sweep.fig12_throughput().render());
-        println!("{}", sweep.fig13_average_finish_time().render());
-        println!("{}", sweep.fig14_average_efficiency().render());
+        emit(&sweep.fig12_throughput(), json_dir);
+        emit(&sweep.fig13_average_finish_time(), json_dir);
+        emit(&sweep.fig14_average_efficiency(), json_dir);
         println!("== churn summary ==");
         for (df, r) in sweep.dynamic_factors.iter().zip(&sweep.reports) {
             println!(

@@ -5,7 +5,7 @@
 
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use rayon::prelude::*;
 use std::ops::RangeInclusive;
 
@@ -55,9 +55,20 @@ pub struct CcrSweep {
     pub reports: Vec<Vec<SimulationReport>>,
 }
 
-/// Run the sweep (algorithms × cases, in parallel).
+/// Run the sweep (algorithms × cases, in parallel).  One world is built per load/data case
+/// and shared across all eight algorithms at that case.
 pub fn run(scale: ExperimentScale, seed: u64) -> CcrSweep {
     let cases = paper_cases();
+    let scenarios: Vec<Scenario> = cases
+        .par_iter()
+        .map(|case| {
+            let cfg = scale
+                .base_config(seed)
+                .with_load_and_data(case.load_mi.clone(), case.data_mb.clone());
+            Scenario::build(cfg)
+                .unwrap_or_else(|e| panic!("invalid CCR case '{}': {e}", case.label))
+        })
+        .collect();
     let jobs: Vec<(usize, usize)> = (0..Algorithm::ALL.len())
         .flat_map(|a| (0..cases.len()).map(move |c| (a, c)))
         .collect();
@@ -65,11 +76,9 @@ pub fn run(scale: ExperimentScale, seed: u64) -> CcrSweep {
         .par_iter()
         .map(|&(a, c)| {
             let alg = Algorithm::ALL[a];
-            let case = &cases[c];
-            let cfg = scale
-                .base_config(seed)
-                .with_load_and_data(case.load_mi.clone(), case.data_mb.clone());
-            let report = GridSimulation::new(cfg, AlgorithmConfig::paper_default(alg)).run();
+            let report = scenarios[c]
+                .simulate_config(AlgorithmConfig::paper_default(alg))
+                .run();
             ((a, c), report)
         })
         .collect();

@@ -9,7 +9,7 @@
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
 use crate::static_comparison::series_points;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, ChurnConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, ChurnConfig, Scenario, SimulationReport};
 use rayon::prelude::*;
 
 /// Results of the churn sweep (DSMF only, as in the paper).
@@ -38,7 +38,10 @@ pub fn run_with_rescheduling(scale: ExperimentScale, seed: u64, rescheduling: bo
             let mut churn = ChurnConfig::with_dynamic_factor(df);
             churn.reschedule_lost_tasks = rescheduling;
             let cfg = scale.base_config(seed).with_churn(churn);
-            GridSimulation::new(cfg, AlgorithmConfig::paper_default(Algorithm::Dsmf)).run()
+            Scenario::build(cfg)
+                .unwrap_or_else(|e| panic!("invalid churn df={df} configuration: {e}"))
+                .simulate_algorithm(Algorithm::Dsmf)
+                .run()
         })
         .collect();
     ChurnSweep {

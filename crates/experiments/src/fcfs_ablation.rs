@@ -9,7 +9,7 @@
 
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use p2pgrid_metrics::format_table;
 use rayon::prelude::*;
 
@@ -40,8 +40,10 @@ pub struct FcfsAblation {
     pub pairs: Vec<AblationPair>,
 }
 
-/// Run the ablation (eight simulations, in parallel).
+/// Run the ablation (eight simulations, in parallel, all sharing one pre-built world).
 pub fn run(scale: ExperimentScale, seed: u64) -> FcfsAblation {
+    let scenario = Scenario::build(scale.base_config(seed))
+        .unwrap_or_else(|e| panic!("invalid ablation configuration: {e}"));
     let configs: Vec<(Algorithm, AlgorithmConfig)> = ABLATED_ALGORITHMS
         .iter()
         .flat_map(|&alg| {
@@ -53,7 +55,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> FcfsAblation {
         .collect();
     let reports: Vec<SimulationReport> = configs
         .par_iter()
-        .map(|&(_, ac)| GridSimulation::new(scale.base_config(seed), ac).run())
+        .map(|&(_, ac)| scenario.simulate_config(ac).run())
         .collect();
     let pairs = ABLATED_ALGORITHMS
         .iter()

@@ -21,6 +21,14 @@ impl Series {
         }
     }
 
+    /// The series as a JSON value (`{"label": ..., "points": [[x, y], ...]}`).
+    pub fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::object([
+            ("label", self.label.as_str().into()),
+            ("points", serde::json::Value::array(self.points.clone())),
+        ])
+    }
+
     /// The final y value, if any.
     pub fn final_value(&self) -> Option<f64> {
         self.points.last().map(|&(_, y)| y)
@@ -75,6 +83,23 @@ impl FigureData {
     /// Find a curve by label.
     pub fn series_by_label(&self, label: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The whole figure as a machine-readable JSON document — the artifact `repro --json`
+    /// writes, one file per figure.  Serialized through the serde compat shim's
+    /// [`json`](serde::json) backend; with the real `serde`/`serde_json` this maps
+    /// one-to-one onto `#[derive(Serialize)]`.
+    pub fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::object([
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("x_label", self.x_label.as_str().into()),
+            ("y_label", self.y_label.as_str().into()),
+            (
+                "series",
+                serde::json::Value::Array(self.series.iter().map(Series::to_json).collect()),
+            ),
+        ])
     }
 
     /// Render as an aligned plain-text table: one row per x value, one column per series.
@@ -148,5 +173,25 @@ mod tests {
     fn empty_figure_renders_placeholder() {
         let fig = FigureData::new("figX", "Empty", "x", "y");
         assert!(fig.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn json_export_carries_every_series_and_point() {
+        let mut fig = FigureData::new("fig4", "Throughput", "hour", "workflows finished");
+        fig.push_series(Series::new("DSMF", vec![(0.0, 0.0), (1.0, 10.0)]));
+        fig.push_series(Series::new("HEFT", vec![(2.0, 9.5)]));
+        let json = fig.to_json().to_string();
+        assert_eq!(
+            json,
+            "{\"id\":\"fig4\",\"title\":\"Throughput\",\"x_label\":\"hour\",\
+             \"y_label\":\"workflows finished\",\"series\":[\
+             {\"label\":\"DSMF\",\"points\":[[0,0],[1,10]]},\
+             {\"label\":\"HEFT\",\"points\":[[2,9.5]]}]}"
+        );
+        // The pretty form is what lands on disk; it must stay parseable-looking.
+        assert!(fig
+            .to_json()
+            .to_string_pretty()
+            .contains("\"id\": \"fig4\""));
     }
 }

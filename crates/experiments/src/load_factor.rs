@@ -3,7 +3,7 @@
 
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use rayon::prelude::*;
 
 /// Results of the load-factor sweep: `reports[algorithm][sweep point]`.
@@ -15,9 +15,18 @@ pub struct LoadFactorSweep {
     pub reports: Vec<Vec<SimulationReport>>,
 }
 
-/// Run the sweep (algorithms × load factors, in parallel).
+/// Run the sweep (algorithms × load factors, in parallel).  One world is built per load
+/// factor (the workload changes with it) and shared across all eight algorithms at that
+/// sweep point.
 pub fn run(scale: ExperimentScale, seed: u64) -> LoadFactorSweep {
     let load_factors = scale.load_factor_sweep();
+    let scenarios: Vec<Scenario> = load_factors
+        .par_iter()
+        .map(|&lf| {
+            Scenario::build(scale.base_config(seed).with_load_factor(lf))
+                .unwrap_or_else(|e| panic!("invalid load-factor={lf} configuration: {e}"))
+        })
+        .collect();
     let jobs: Vec<(usize, usize)> = (0..Algorithm::ALL.len())
         .flat_map(|a| (0..load_factors.len()).map(move |l| (a, l)))
         .collect();
@@ -25,8 +34,9 @@ pub fn run(scale: ExperimentScale, seed: u64) -> LoadFactorSweep {
         .par_iter()
         .map(|&(a, l)| {
             let alg = Algorithm::ALL[a];
-            let cfg = scale.base_config(seed).with_load_factor(load_factors[l]);
-            let report = GridSimulation::new(cfg, AlgorithmConfig::paper_default(alg)).run();
+            let report = scenarios[l]
+                .simulate_config(AlgorithmConfig::paper_default(alg))
+                .run();
             ((a, l), report)
         })
         .collect();

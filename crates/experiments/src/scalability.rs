@@ -6,7 +6,7 @@
 
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, Scenario, SimulationReport};
 use rayon::prelude::*;
 
 /// Results of the scalability sweep (DSMF only, as in the paper).
@@ -25,7 +25,10 @@ pub fn run(scale: ExperimentScale, seed: u64) -> ScalabilitySweep {
         .par_iter()
         .map(|&n| {
             let cfg = scale.base_config(seed).with_nodes(n);
-            GridSimulation::new(cfg, AlgorithmConfig::paper_default(Algorithm::Dsmf)).run()
+            Scenario::build(cfg)
+                .unwrap_or_else(|e| panic!("invalid {n}-node configuration: {e}"))
+                .simulate_algorithm(Algorithm::Dsmf)
+                .run()
         })
         .collect();
     ScalabilitySweep {

@@ -110,7 +110,7 @@ mod tests {
             ExperimentScale::Full,
         ] {
             let cfg = scale.base_config(1);
-            cfg.validate();
+            cfg.validate().unwrap();
             assert_eq!(cfg.nodes, scale.nodes());
         }
         assert_eq!(ExperimentScale::Full.base_config(1).nodes, 1000);

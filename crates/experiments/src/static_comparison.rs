@@ -3,7 +3,7 @@
 
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, GridSimulation, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use p2pgrid_metrics::{format_table, TimeSeries};
 use rayon::prelude::*;
 
@@ -22,13 +22,23 @@ pub fn series_points(ts: &TimeSeries) -> Vec<(f64, f64)> {
         .collect()
 }
 
-/// Run the eight algorithms (in parallel) on the same static grid.
+/// Run the eight algorithms (in parallel) on the same static grid.  The world — topology,
+/// all-pairs bandwidths, capacities, workflows — is built **once** and shared across all
+/// eight sessions; only the scheduler differs per run.
 pub fn run(scale: ExperimentScale, seed: u64) -> StaticComparison {
+    let scenario = Scenario::build(scale.base_config(seed))
+        .unwrap_or_else(|e| panic!("invalid static-comparison configuration: {e}"));
+    run_on(&scenario)
+}
+
+/// Run the eight algorithms (in parallel) on one pre-built shared [`Scenario`].
+pub fn run_on(scenario: &Scenario) -> StaticComparison {
     let reports: Vec<SimulationReport> = Algorithm::ALL
         .par_iter()
         .map(|&alg| {
-            let cfg = scale.base_config(seed);
-            GridSimulation::new(cfg, AlgorithmConfig::paper_default(alg)).run()
+            scenario
+                .simulate_config(AlgorithmConfig::paper_default(alg))
+                .run()
         })
         .collect();
     StaticComparison { reports }

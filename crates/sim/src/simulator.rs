@@ -151,6 +151,35 @@ impl<E> Simulator<E> {
         self.ctl.schedule_in(delay, event);
     }
 
+    /// The timestamp of the next event [`Simulator::step`] would deliver, or `None` when the
+    /// queue is drained, the next event lies beyond the horizon, or a stop was requested.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.ctl.stop_requested {
+            return None;
+        }
+        let t = self.ctl.queue.peek_time()?;
+        match self.horizon {
+            Some(h) if t > h => None,
+            _ => Some(t),
+        }
+    }
+
+    /// Deliver exactly one event to `handler` and return its timestamp, or `None` when nothing
+    /// remains to deliver (queue drained, horizon passed, or a stop was requested).
+    ///
+    /// This is the incremental counterpart of [`Simulator::run`]: repeatedly calling `step`
+    /// until it returns `None` delivers the same events in the same order.  The event *budget*
+    /// (`with_max_events`) is a [`Simulator::run`] backstop and is not consulted here — the
+    /// caller of `step` already controls how many events are delivered.
+    pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> Option<SimTime> {
+        self.peek_time()?;
+        let ev = self.ctl.queue.pop().expect("peek_time reported an event");
+        debug_assert!(ev.time >= self.ctl.now, "virtual time must be monotonic");
+        self.ctl.now = ev.time;
+        handler.handle(&mut self.ctl, ev.event);
+        Some(ev.time)
+    }
+
     /// Run until the queue drains, the horizon is reached, the event budget is exhausted or the
     /// handler calls [`SimControl::stop`].
     pub fn run<H: EventHandler<E>>(&mut self, handler: &mut H) -> RunSummary {
@@ -297,6 +326,44 @@ mod tests {
         };
         sim.run(&mut handler);
         assert_eq!(times, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+    }
+
+    #[test]
+    fn step_delivers_the_same_schedule_as_run() {
+        let build = || {
+            let mut sim = Simulator::new().with_horizon(SimTime::from_secs(10));
+            sim.schedule_at(SimTime::ZERO, Tick::Periodic(0));
+            sim
+        };
+        fn handler_into(
+            seen: &mut Vec<(u64, u32)>,
+        ) -> impl FnMut(&mut SimControl<Tick>, Tick) + '_ {
+            move |ctl, ev| {
+                if let Tick::Periodic(k) = ev {
+                    seen.push((ctl.now().as_millis(), k));
+                    ctl.schedule_in(SimDuration::from_secs(1), Tick::Periodic(k + 1));
+                }
+            }
+        }
+        let mut run_seen = Vec::new();
+        build().run(&mut handler_into(&mut run_seen));
+
+        let mut step_seen = Vec::new();
+        let mut sim = build();
+        {
+            let mut handler = handler_into(&mut step_seen);
+            assert_eq!(sim.peek_time(), Some(SimTime::ZERO));
+            let mut times = Vec::new();
+            while let Some(t) = sim.step(&mut handler) {
+                times.push(t);
+            }
+            // Eleven ticks at t = 0..=10 s; the twelfth lies beyond the horizon.
+            assert_eq!(times.len(), 11);
+            assert!(sim.peek_time().is_none());
+            assert!(sim.step(&mut handler).is_none());
+        }
+        assert_eq!(run_seen, step_seen);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
     }
 
     #[test]

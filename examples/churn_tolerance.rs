@@ -26,7 +26,10 @@ fn main() {
                 .with_load_factor(2)
                 .with_churn(churn)
                 .with_seed(4242);
-            let report = GridSimulation::with_algorithm(config, Algorithm::Dsmf).run();
+            let report = Scenario::build(config)
+                .expect("churn config is valid")
+                .simulate_algorithm(Algorithm::Dsmf)
+                .run();
             println!(
                 "{:<6.1} {:>10} {:>8} {:>10.0} {:>8.3}   {:>12}",
                 df,

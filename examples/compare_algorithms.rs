@@ -19,16 +19,12 @@ fn main() {
         }
         Some(n) => {
             println!("Running the 8-algorithm comparison on a custom {n}-node grid...");
-            let reports = Algorithm::ALL
-                .iter()
-                .map(|&alg| {
-                    let cfg = GridConfig::paper_default()
-                        .with_nodes(n)
-                        .with_seed(20100913);
-                    GridSimulation::with_algorithm(cfg, alg).run()
-                })
-                .collect();
-            static_comparison::StaticComparison { reports }
+            // The world is built once and shared by all eight (parallel) sessions.
+            let cfg = GridConfig::paper_default()
+                .with_nodes(n)
+                .with_seed(20100913);
+            let scenario = Scenario::build(cfg).expect("custom grid config is valid");
+            static_comparison::run_on(&scenario)
         }
     };
 

@@ -108,7 +108,10 @@ fn substrate_sweep() {
             .with_load_factor(3)
             .with_resource(resource)
             .with_seed(seed);
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = Scenario::build(cfg)
+            .expect("substrate config is valid")
+            .simulate_algorithm(Algorithm::Dsmf)
+            .run();
         println!(
             "{:<28}  {:>9}  {:>9}  {:>10.0}  {:>7.3}",
             label,

@@ -72,16 +72,19 @@ fn main() {
     // 3. A whole campaign on a 80-node volunteer grid: DSMF versus decentralized HEFT.
     println!();
     println!("Campaign: 80 volunteer peers, 3 workflows per gateway, 36 simulated hours");
+    let mut config = GridConfig::paper_default()
+        .with_nodes(80)
+        .with_load_factor(3)
+        .with_seed(777);
+    // Montage-like mix: moderately heavy tasks, sizeable mosaics to ship around.
+    config.workflow.tasks = 8..=24;
+    config.workflow.load_mi = 500.0..=5000.0;
+    config.workflow.data_mb = 50.0..=2000.0;
+    // One campaign world, three schedulers: the comparison is on identical workloads by
+    // construction, and the expensive setup is paid once.
+    let campaign = Scenario::build(config).expect("campaign config is valid");
     for algorithm in [Algorithm::Dsmf, Algorithm::Dheft, Algorithm::MinMin] {
-        let mut config = GridConfig::paper_default()
-            .with_nodes(80)
-            .with_load_factor(3)
-            .with_seed(777);
-        // Montage-like mix: moderately heavy tasks, sizeable mosaics to ship around.
-        config.workflow.tasks = 8..=24;
-        config.workflow.load_mi = 500.0..=5000.0;
-        config.workflow.data_mb = 50.0..=2000.0;
-        let report = GridSimulation::with_algorithm(config, algorithm).run();
+        let report = campaign.simulate_algorithm(algorithm).run();
         println!(
             "  {:<10} finished {:>4}/{:<4}  ACT {:>8.0} s  AE {:>6.3}",
             report.algorithm,

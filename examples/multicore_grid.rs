@@ -26,7 +26,10 @@ fn main() {
             .with_load_factor(3)
             .with_slots_per_node(slots)
             .with_seed(seed);
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = Scenario::build(cfg)
+            .expect("sweep config is valid")
+            .simulate_algorithm(Algorithm::Dsmf)
+            .run();
         println!(
             "{:>5}  {:>9}  {:>9}  {:>10.0}  {:>7.3}",
             slots,

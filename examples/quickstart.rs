@@ -6,6 +6,8 @@ use p2pgrid::prelude::*;
 
 fn main() {
     // A 64-peer grid with Table I's heterogeneous capacities, two workflows per home node.
+    // `Scenario::build` pre-samples the whole world (topology, bandwidths, capacities,
+    // workflows) from the seed; the session then runs DSMF over it.
     let config = GridConfig::small(64).with_load_factor(2).with_seed(7);
     println!(
         "Simulating {} peers x {} workflows/node for {:.0} hours under DSMF...",
@@ -14,7 +16,8 @@ fn main() {
         config.horizon.as_hours_f64()
     );
 
-    let report = GridSimulation::with_algorithm(config, Algorithm::Dsmf).run();
+    let scenario = Scenario::build(config).expect("quickstart config is valid");
+    let report = scenario.simulate_algorithm(Algorithm::Dsmf).run();
 
     println!();
     println!("submitted workflows : {}", report.submitted);

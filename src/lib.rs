@@ -11,18 +11,31 @@
 //!
 //! ## Quickstart
 //!
+//! Build the world once ([`Scenario`](core::scenario::Scenario)), then run any number of
+//! scheduler sessions on it — optionally observing the event stream:
+//!
 //! ```
 //! use p2pgrid::prelude::*;
 //!
-//! // A small grid (32 peers), two workflows per home node, scheduled with DSMF.
-//! let config = GridConfig::small(32).with_seed(42);
-//! let report = GridSimulation::with_algorithm(config, Algorithm::Dsmf).run();
+//! // A small grid (32 peers), two workflows per home node, pre-sampled from the seed.
+//! let scenario = Scenario::build(GridConfig::small(32).with_seed(42)).unwrap();
+//!
+//! // Run DSMF on it, recording the backlog time series along the way.
+//! let mut probe = TimeSeriesProbe::new();
+//! let report = scenario
+//!     .simulate_algorithm(Algorithm::Dsmf)
+//!     .observe(&mut probe)
+//!     .run();
 //! assert!(report.completed > 0);
+//!
+//! // The same world is reusable: compare another scheduler on the identical workload.
+//! let heft = scenario.simulate_algorithm(Algorithm::Heft).run();
+//! assert_eq!(report.submitted, heft.submitted);
 //! println!(
-//!     "finished {} workflows, ACT {:.0}s, AE {:.3}",
+//!     "DSMF finished {} workflows (ACT {:.0}s), peak backlog {:?}",
 //!     report.completed,
 //!     report.act_secs(),
-//!     report.average_efficiency()
+//!     probe.peak_ready_tasks()
 //! );
 //! ```
 //!
@@ -50,9 +63,12 @@ pub use p2pgrid_workflow as workflow;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use p2pgrid_core::GridSimulation;
     pub use p2pgrid_core::{
-        Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, GridConfig, GridSimulation,
-        PreemptionPolicy, ResourceModel, SecondPhase, SimulationReport, SlotClass, SlotModel,
+        Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, ConfigError, GridConfig,
+        GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase, Simulation,
+        SimulationReport, SlotClass, SlotModel, TimeSeriesProbe, TraceEvent, TraceRecorder,
     };
     pub use p2pgrid_experiments::ExperimentScale;
     pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};

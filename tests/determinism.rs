@@ -1,9 +1,13 @@
 //! Determinism regression tests: the same `GridConfig` seed must reproduce a byte-identical
 //! `SimulationReport` — submitted / completed / failed counts, ACT, AE and the full sampled
-//! series — run after run.  This is what makes the engine refactor provably
+//! series — run after run.  This is what makes the engine refactors provably
 //! behaviour-preserving: any accidental nondeterminism (hash-map iteration order leaking into
 //! scheduling, float accumulation order changing between runs, heap tie-breaks depending on
 //! allocation addresses) breaks these assertions immediately.
+//!
+//! Since the Scenario/Session split, the same property also pins the *setup/run separation*:
+//! a session started from a pre-built shared [`Scenario`] must be byte-identical to the legacy
+//! consume-on-run `GridSimulation` path that rebuilt the world every time.
 
 use p2pgrid::prelude::*;
 
@@ -12,6 +16,33 @@ fn config(seed: u64) -> GridConfig {
     cfg.workflows_per_node = 2;
     cfg.workflow.tasks = 2..=10;
     cfg
+}
+
+fn het_preemptive(seed: u64) -> GridConfig {
+    config(seed).with_resource(
+        ResourceModel::heterogeneous(vec![
+            SlotClass {
+                slots: 1,
+                weight: 0.8,
+            },
+            SlotClass {
+                slots: 16,
+                weight: 0.2,
+            },
+        ])
+        .preemptive(),
+    )
+}
+
+/// The legacy one-shot facade, kept as a deprecated shim; these tests are its pin against the
+/// scenario path.
+#[allow(deprecated)]
+fn legacy_run(cfg: GridConfig, alg: Algorithm) -> SimulationReport {
+    GridSimulation::with_algorithm(cfg, alg).run()
+}
+
+fn scenario_run(cfg: GridConfig, alg: Algorithm) -> SimulationReport {
+    Scenario::build(cfg).unwrap().simulate_algorithm(alg).run()
 }
 
 /// One sampled series as exact bits: `(time in ms, f64 bit pattern)` per point.
@@ -52,8 +83,8 @@ fn fingerprint(report: &SimulationReport) -> Fingerprint {
 
 #[test]
 fn dsmf_reports_are_byte_identical_across_runs() {
-    let a = GridSimulation::with_algorithm(config(71), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(config(71), Algorithm::Dsmf).run();
+    let a = scenario_run(config(71), Algorithm::Dsmf);
+    let b = scenario_run(config(71), Algorithm::Dsmf);
     assert!(
         a.completed > 0,
         "run must make progress for the check to mean anything"
@@ -63,8 +94,8 @@ fn dsmf_reports_are_byte_identical_across_runs() {
 
 #[test]
 fn heft_full_ahead_reports_are_byte_identical_across_runs() {
-    let a = GridSimulation::with_algorithm(config(72), Algorithm::Heft).run();
-    let b = GridSimulation::with_algorithm(config(72), Algorithm::Heft).run();
+    let a = scenario_run(config(72), Algorithm::Heft);
+    let b = scenario_run(config(72), Algorithm::Heft);
     assert!(a.completed > 0);
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
@@ -72,16 +103,16 @@ fn heft_full_ahead_reports_are_byte_identical_across_runs() {
 #[test]
 fn churned_runs_are_byte_identical_across_runs() {
     let cfg = || config(73).with_churn(ChurnConfig::with_dynamic_factor(0.2));
-    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let a = scenario_run(cfg(), Algorithm::Dsmf);
+    let b = scenario_run(cfg(), Algorithm::Dsmf);
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 
 #[test]
 fn multicore_runs_are_byte_identical_across_runs() {
     let cfg = || config(74).with_slots_per_node(4);
-    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let a = scenario_run(cfg(), Algorithm::Dsmf);
+    let b = scenario_run(cfg(), Algorithm::Dsmf);
     assert!(a.completed > 0);
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
@@ -90,23 +121,8 @@ fn multicore_runs_are_byte_identical_across_runs() {
 fn heterogeneous_preemptive_runs_are_byte_identical_across_runs() {
     // The PR-3 substrate extensions: a weighted 80% single-core / 20% 16-core population with
     // the time-sliced preemptive policy must be exactly as reproducible as the paper model.
-    let cfg = || {
-        config(77).with_resource(
-            ResourceModel::heterogeneous(vec![
-                SlotClass {
-                    slots: 1,
-                    weight: 0.8,
-                },
-                SlotClass {
-                    slots: 16,
-                    weight: 0.2,
-                },
-            ])
-            .preemptive(),
-        )
-    };
-    let a = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(cfg(), Algorithm::Dsmf).run();
+    let a = scenario_run(het_preemptive(77), Algorithm::Dsmf);
+    let b = scenario_run(het_preemptive(77), Algorithm::Dsmf);
     assert!(a.completed > 0);
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
@@ -115,12 +131,11 @@ fn heterogeneous_preemptive_runs_are_byte_identical_across_runs() {
 fn single_slot_runs_reproduce_the_paper_model_exactly() {
     // The multi-core estimator fix must leave slots_per_node = 1 untouched: an explicit
     // uniform single-slot resource model is byte-identical to the plain paper configuration.
-    let plain = GridSimulation::with_algorithm(config(78), Algorithm::Dsmf).run();
-    let uniform = GridSimulation::with_algorithm(
+    let plain = scenario_run(config(78), Algorithm::Dsmf);
+    let uniform = scenario_run(
         config(78).with_resource(ResourceModel::single_cpu()),
         Algorithm::Dsmf,
-    )
-    .run();
+    );
     assert!(plain.completed > 0);
     assert_eq!(fingerprint(&plain), fingerprint(&uniform));
 }
@@ -128,7 +143,78 @@ fn single_slot_runs_reproduce_the_paper_model_exactly() {
 #[test]
 fn different_seeds_change_the_fingerprint() {
     // Guards against the fingerprint being trivially constant.
-    let a = GridSimulation::with_algorithm(config(75), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(config(76), Algorithm::Dsmf).run();
+    let a = scenario_run(config(75), Algorithm::Dsmf);
+    let b = scenario_run(config(76), Algorithm::Dsmf);
     assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+// ----- the Scenario/Session split ------------------------------------------------------------
+
+#[test]
+fn one_scenario_run_twice_matches_two_fresh_legacy_runs() {
+    // The headline reuse guarantee: build the world once, run DSMF twice — both sessions must
+    // be byte-identical to two fresh legacy `GridSimulation` runs at the same seed.  Covers
+    // the plain static grid, a churned grid and the heterogeneous+preemptive substrate, since
+    // each exercises a different sampled/replayed RNG stream.
+    let configs = [
+        config(81),
+        config(82).with_churn(ChurnConfig::with_dynamic_factor(0.2)),
+        het_preemptive(83),
+    ];
+    for cfg in configs {
+        let scenario = Scenario::build(cfg.clone()).unwrap();
+        let first = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+        let second = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+        let legacy_a = legacy_run(cfg.clone(), Algorithm::Dsmf);
+        let legacy_b = legacy_run(cfg, Algorithm::Dsmf);
+        assert!(first.completed > 0, "run must make progress");
+        assert_eq!(fingerprint(&first), fingerprint(&second));
+        assert_eq!(fingerprint(&first), fingerprint(&legacy_a));
+        assert_eq!(fingerprint(&legacy_a), fingerprint(&legacy_b));
+    }
+}
+
+#[test]
+fn shared_scenario_eight_algorithm_sweep_matches_legacy_per_run_rebuild() {
+    // The acceptance criterion of the Scenario split: one shared world across the full
+    // eight-algorithm sweep produces byte-identical reports to the legacy path that rebuilt
+    // the world for every algorithm.
+    let scenario = Scenario::build(config(84)).unwrap();
+    for alg in Algorithm::ALL {
+        let shared = scenario.simulate_algorithm(alg).run();
+        let rebuilt = legacy_run(config(84), alg);
+        assert_eq!(
+            fingerprint(&shared),
+            fingerprint(&rebuilt),
+            "{alg}: shared-scenario run diverged from the legacy rebuild"
+        );
+    }
+}
+
+#[test]
+fn observers_and_stepping_do_not_perturb_the_run() {
+    // Observer callbacks only copy event data out, and stepping delivers the same events in
+    // the same order as the one-shot run: both must leave the report fingerprint untouched.
+    let scenario = Scenario::build(config(85)).unwrap();
+    let baseline = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+
+    let mut probe = TimeSeriesProbe::new();
+    let mut trace = TraceRecorder::new();
+    let observed = scenario
+        .simulate_algorithm(Algorithm::Dsmf)
+        .observe(&mut probe)
+        .observe(&mut trace)
+        .run();
+    assert_eq!(fingerprint(&baseline), fingerprint(&observed));
+    assert!(!probe.samples().is_empty());
+    assert!(!trace.events().is_empty());
+
+    let mut stepped_session = scenario.simulate_algorithm(Algorithm::Dsmf);
+    let mut delivered = 0u64;
+    while stepped_session.step().is_some() {
+        delivered += 1;
+    }
+    assert!(delivered > 0);
+    let stepped = stepped_session.finish();
+    assert_eq!(fingerprint(&baseline), fingerprint(&stepped));
 }

@@ -9,9 +9,13 @@ fn small_config(nodes: usize, seed: u64) -> GridConfig {
     cfg
 }
 
+fn scenario(nodes: usize, seed: u64) -> Scenario {
+    Scenario::build(small_config(nodes, seed)).expect("small configs are valid")
+}
+
 #[test]
 fn dsmf_end_to_end_on_a_small_grid() {
-    let report = GridSimulation::with_algorithm(small_config(20, 1), Algorithm::Dsmf).run();
+    let report = scenario(20, 1).simulate_algorithm(Algorithm::Dsmf).run();
     assert_eq!(report.submitted, 40);
     assert!(report.completed > 0);
     assert!(report.completed <= report.submitted);
@@ -30,8 +34,8 @@ fn dsmf_end_to_end_on_a_small_grid() {
 
 #[test]
 fn simulation_is_deterministic_across_runs() {
-    let a = GridSimulation::with_algorithm(small_config(16, 9), Algorithm::Dsmf).run();
-    let b = GridSimulation::with_algorithm(small_config(16, 9), Algorithm::Dsmf).run();
+    let a = scenario(16, 9).simulate_algorithm(Algorithm::Dsmf).run();
+    let b = scenario(16, 9).simulate_algorithm(Algorithm::Dsmf).run();
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.failed, b.failed);
     assert_eq!(a.act_secs(), b.act_secs());
@@ -44,8 +48,10 @@ fn simulation_is_deterministic_across_runs() {
 
 #[test]
 fn all_eight_algorithms_complete_the_same_workload() {
+    // One shared world across the whole sweep — the Scenario API's reason to exist.
+    let shared = scenario(16, 5);
     for alg in Algorithm::ALL {
-        let report = GridSimulation::with_algorithm(small_config(16, 5), alg).run();
+        let report = shared.simulate_algorithm(alg).run();
         assert!(report.completed > 0, "{alg} finished nothing");
         assert_eq!(report.submitted, 32, "{alg} saw the wrong workload");
         assert!(
@@ -58,7 +64,10 @@ fn all_eight_algorithms_complete_the_same_workload() {
 #[test]
 fn churned_grid_still_makes_progress_and_reports_failures() {
     let cfg = small_config(24, 3).with_churn(ChurnConfig::with_dynamic_factor(0.3));
-    let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+    let report = Scenario::build(cfg)
+        .unwrap()
+        .simulate_algorithm(Algorithm::Dsmf)
+        .run();
     // Half the nodes are stable home nodes, so 12 * 2 workflows are submitted.
     assert_eq!(report.submitted, 24);
     assert!(
@@ -73,23 +82,25 @@ fn rescheduling_extension_eliminates_churn_failures() {
     let mut churn = ChurnConfig::with_dynamic_factor(0.3);
     churn.reschedule_lost_tasks = true;
     let cfg = small_config(24, 3).with_churn(churn);
-    let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+    let report = Scenario::build(cfg)
+        .unwrap()
+        .simulate_algorithm(Algorithm::Dsmf)
+        .run();
     assert_eq!(report.failed, 0);
     assert!(report.completed > 0);
 }
 
 #[test]
 fn fcfs_ablation_is_wired_through_the_facade() {
-    let paper = GridSimulation::new(
-        small_config(16, 7),
-        AlgorithmConfig::paper_default(Algorithm::Sufferage),
-    )
-    .run();
-    let fcfs = GridSimulation::new(
-        small_config(16, 7),
-        AlgorithmConfig::with_fcfs_second_phase(Algorithm::Sufferage),
-    )
-    .run();
+    let shared = scenario(16, 7);
+    let paper = shared
+        .simulate_config(AlgorithmConfig::paper_default(Algorithm::Sufferage))
+        .run();
+    let fcfs = shared
+        .simulate_config(AlgorithmConfig::with_fcfs_second_phase(
+            Algorithm::Sufferage,
+        ))
+        .run();
     assert_eq!(paper.algorithm, "sufferage");
     assert_eq!(fcfs.algorithm, "sufferage+FCFS");
     assert_eq!(paper.submitted, fcfs.submitted);
@@ -98,7 +109,7 @@ fn fcfs_ablation_is_wired_through_the_facade() {
 
 #[test]
 fn hourly_sampling_produces_monotone_throughput_series() {
-    let report = GridSimulation::with_algorithm(small_config(16, 13), Algorithm::MinMin).run();
+    let report = scenario(16, 13).simulate_algorithm(Algorithm::MinMin).run();
     let points = report.metrics.throughput_series().points();
     // 12-hour small horizon: one sample per hour plus the initial and final samples.
     assert!(points.len() >= 13);
@@ -109,4 +120,48 @@ fn hourly_sampling_produces_monotone_throughput_series() {
         last = v;
     }
     assert_eq!(last, report.completed as f64);
+}
+
+#[test]
+fn stepping_and_run_until_walk_the_same_virtual_clock() {
+    let shared = scenario(16, 21);
+    let horizon = SimTime::ZERO + SimDuration::from_hours(12);
+
+    let mut session = shared.simulate_algorithm(Algorithm::Dsmf);
+    assert_eq!(session.now(), SimTime::ZERO);
+    assert_eq!(session.peek_time(), Some(SimTime::ZERO));
+    assert_eq!(session.horizon(), horizon);
+    assert_eq!(session.algorithm(), "DSMF");
+
+    // Advance to the 6-hour mark: time never runs backwards or past the bound.
+    let mid = SimTime::ZERO + SimDuration::from_hours(6);
+    let delivered = session.run_until(mid);
+    assert!(delivered > 0);
+    assert!(session.now() <= mid);
+    assert!(session.peek_time().is_none_or(|t| t > mid));
+    let mid_sample = session.sample();
+    assert!(mid_sample.alive_nodes == 16);
+
+    // Single-stepping from here stays monotone...
+    let mut last = session.now();
+    for _ in 0..32 {
+        let Some(t) = session.step() else { break };
+        assert!(t >= last);
+        last = t;
+    }
+    // ...and the remainder of the run drains every event within the horizon.
+    session.run_until(horizon);
+    assert!(session.peek_time().is_none());
+    let report = session.finish();
+    assert_eq!(report.submitted, 32);
+    assert_eq!(report.end_time, horizon);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_grid_simulation_shim_still_runs() {
+    // The deprecated consume-on-run facade must keep working for existing call sites.
+    let report = GridSimulation::with_algorithm(small_config(12, 2), Algorithm::Dsmf).run();
+    assert_eq!(report.submitted, 24);
+    assert!(report.completed > 0);
 }

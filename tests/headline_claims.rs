@@ -18,7 +18,9 @@ fn contended_config(seed: u64) -> GridConfig {
 #[test]
 fn dsmf_beats_the_other_decentralized_schedulers_under_contention() {
     let seed = 42;
-    let run = |alg: Algorithm| GridSimulation::with_algorithm(contended_config(seed), alg).run();
+    // One shared world across the four contenders: identical workload by construction.
+    let scenario = Scenario::build(contended_config(seed)).unwrap();
+    let run = |alg: Algorithm| scenario.simulate_algorithm(alg).run();
 
     let dsmf = run(Algorithm::Dsmf);
     let dheft = run(Algorithm::Dheft);

@@ -35,7 +35,7 @@ proptest! {
         cfg.workflows_per_node = 1;
         cfg.workflow.tasks = 2..=8;
         cfg.horizon = SimDuration::from_hours(10);
-        let report = GridSimulation::with_algorithm(cfg, alg).run();
+        let report = Scenario::build(cfg).unwrap().simulate_algorithm(alg).run();
 
         prop_assert_eq!(report.submitted, nodes as u64);
         prop_assert!(report.completed <= report.submitted);
@@ -64,7 +64,10 @@ proptest! {
         cfg.workflows_per_node = 1;
         cfg.workflow.tasks = 2..=6;
         cfg.horizon = SimDuration::from_hours(8);
-        let report = GridSimulation::with_algorithm(cfg, Algorithm::Dsmf).run();
+        let report = Scenario::build(cfg)
+            .unwrap()
+            .simulate_algorithm(Algorithm::Dsmf)
+            .run();
 
         prop_assert_eq!(report.submitted, 8); // 50% stable nodes host the workflows
         prop_assert!(report.completed + report.failed <= report.submitted);
