@@ -1,0 +1,123 @@
+//! The pooled campaign path versus sequential execution, plus the pool-balance regression
+//! bench for skewed per-item costs.
+//!
+//! `campaign::run` fans independent simulation sessions out across the persistent
+//! work-stealing pool; `campaign::run_sequential` is the single-threaded reference.  Criterion
+//! times both on a small sweep; setting `P2PGRID_BENCH_REDUCED=1` additionally runs a
+//! one-shot wall-clock comparison of a Reduced-scale campaign (the EXPERIMENTS.md speedup
+//! number).
+//!
+//! The `pool_balance` group pins the dynamic-chunking fix in the `rayon` shim: one item of
+//! the parallel map costs ~64x the others.  The old static one-chunk-per-core split serialised
+//! behind the heavy chunk (speedup -> 1 as the skew grows); with dynamic chunks and stealing,
+//! the light items spread over the remaining workers while one worker chews the heavy item.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pgrid_bench::{bench_criterion_config, BENCH_SEED};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, GridConfig};
+use p2pgrid_experiments::{campaign, Campaign, ExperimentScale};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn smoke_jobs() -> Vec<campaign::Job> {
+    let mut cfg = GridConfig::small(24).with_seed(BENCH_SEED);
+    cfg.workflows_per_node = 2;
+    let campaign = Campaign::from_config(cfg).expect("bench config is valid");
+    let points = [1usize, 2];
+    let scenarios = campaign
+        .derive(&points, |base, &lf| base.with_load_factor(lf))
+        .expect("derive succeeds");
+    campaign::cross(
+        &scenarios,
+        &[
+            AlgorithmConfig::paper_default(Algorithm::Dsmf),
+            AlgorithmConfig::paper_default(Algorithm::MinMin),
+            AlgorithmConfig::paper_default(Algorithm::Heft),
+            AlgorithmConfig::paper_default(Algorithm::MaxMin),
+        ],
+    )
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    if std::env::var_os("P2PGRID_BENCH_REDUCED").is_some() {
+        let campaign = Campaign::from_config(ExperimentScale::Reduced.base_config(BENCH_SEED))
+            .expect("bench config is valid");
+        let points = [1usize, 2, 3, 4];
+        let scenarios = campaign
+            .derive(&points, |base, &lf| base.with_load_factor(lf))
+            .expect("derive succeeds");
+        let jobs = campaign::cross(
+            &scenarios,
+            &[
+                AlgorithmConfig::paper_default(Algorithm::Dsmf),
+                AlgorithmConfig::paper_default(Algorithm::MinMin),
+            ],
+        );
+        let t = std::time::Instant::now();
+        let pooled = campaign::run(&jobs);
+        let t_pooled = t.elapsed();
+        let t = std::time::Instant::now();
+        let sequential = campaign::run_sequential(&jobs);
+        let t_sequential = t.elapsed();
+        assert_eq!(pooled.len(), sequential.len());
+        for (p, s) in pooled.iter().zip(&sequential) {
+            assert_eq!(p.completed, s.completed, "pooled run must match sequential");
+        }
+        println!(
+            "# campaign_sweep @ Reduced scale ({} jobs = 4 load factors x 2 algorithms, \
+             one shared topology): pooled {t_pooled:?} vs sequential {t_sequential:?} \
+             ({:.2}x speedup on {} workers)",
+            jobs.len(),
+            t_sequential.as_secs_f64() / t_pooled.as_secs_f64(),
+            rayon::current_num_threads()
+        );
+    }
+
+    let jobs = smoke_jobs();
+    let mut group = c.benchmark_group("campaign_sweep");
+    group.bench_function("pooled_8_jobs", |bencher| {
+        bencher.iter(|| black_box(campaign::run(&jobs).len()))
+    });
+    group.bench_function("sequential_8_jobs", |bencher| {
+        bencher.iter(|| black_box(campaign::run_sequential(&jobs).len()))
+    });
+    group.finish();
+}
+
+/// Deterministic CPU burn whose cost scales with `rounds`.
+fn burn(rounds: u64) -> f64 {
+    let mut acc = 1.000_000_1f64;
+    for i in 0..rounds {
+        acc = acc.mul_add(1.000_000_9, (i % 7) as f64 * 1e-9);
+    }
+    acc
+}
+
+fn bench_pool_balance(c: &mut Criterion) {
+    // 63 light items plus one 64x-heavy head: with the static per-core split, the chunk
+    // holding item 0 costs as much as all other chunks combined.
+    let rounds: Vec<u64> = (0..64u64)
+        .map(|i| if i == 0 { 2_560_000 } else { 40_000 })
+        .collect();
+    let mut group = c.benchmark_group("pool_balance");
+    group.bench_function("skewed_64_items_par", |bencher| {
+        bencher.iter(|| {
+            let out: Vec<f64> = rounds.par_iter().map(|&r| burn(r)).collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("skewed_64_items_sequential", |bencher| {
+        bencher.iter(|| {
+            let out: Vec<f64> = rounds.iter().map(|&r| burn(r)).collect();
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench_campaign, bench_pool_balance
+}
+criterion_main!(benches);

@@ -1,29 +1,67 @@
 //! Offline stand-in for the real `rayon` crate.
 //!
-//! The workspace builds without network access, so this shim implements the small slice of the
-//! rayon API the codebase uses — `slice.par_iter().map(f).collect()` and
-//! `range.into_par_iter().map(f).collect()` — on top of `std::thread::scope`.  Work is split
-//! into one contiguous chunk per available core, each chunk is mapped on its own OS thread, and
-//! the per-chunk outputs are concatenated, so result order matches the input order exactly as
-//! with real rayon.  Swap the path dependency for the crates.io release to get work stealing,
-//! adaptive splitting and the full combinator set; call sites need no changes.
+//! The workspace builds without network access, so this shim implements the slice of the
+//! rayon API the codebase uses — `slice.par_iter().map(f).collect()`,
+//! `range.into_par_iter().map(f).collect()`, [`join`] and scoped [`ThreadPool`]s — on top of
+//! a persistent work-stealing thread pool (see [`mod@self`] internals in `pool.rs`):
+//!
+//! * a **global pool** is created lazily on first use and reused by every parallel call for
+//!   the rest of the process (no more spawn-per-call);
+//! * each worker owns a LIFO deque and steals from random victims when idle, so uneven
+//!   per-item costs re-balance instead of serialising behind one static chunk per core;
+//! * `par_iter` splits work into **dynamic chunks** (several per worker) and writes results
+//!   by input index, so output order matches input order exactly as with real rayon;
+//! * the `P2PGRID_POOL_THREADS` environment variable overrides the global pool's worker
+//!   count (`1` forces fully sequential inline execution — results are identical either
+//!   way, which CI pins by running the test suite at `1` and `8`).
+//!
+//! Swap the path dependency for the crates.io release to get adaptive splitting and the
+//! full combinator set; call sites need no changes.
 
-use std::num::NonZeroUsize;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+mod pool;
+
+pub use pool::POOL_THREADS_ENV;
+use pool::{erase_job, BatchPanic, Latch, PoolState};
 
 /// The import surface (`use rayon::prelude::*`) mirroring rayon's prelude.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Number of worker threads used for a job of `len` independent items.
-fn worker_count(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(len).max(1)
+/// Number of worker threads in the current thread pool (the installed pool if inside a
+/// [`ThreadPool::install`] scope, otherwise the global pool).
+pub fn current_num_threads() -> usize {
+    pool::current_pool().worker_count()
 }
 
-/// Map `f` over `items` in parallel, preserving input order in the output.
+// ----- core parallel map -----------------------------------------------------------------
+
+/// A raw output cursor that may cross thread boundaries.  Each task writes a disjoint index
+/// range, so shared mutable access never overlaps.
+struct SendPtr<U>(*mut MaybeUninit<U>);
+
+impl<U> Clone for SendPtr<U> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<U> Copy for SendPtr<U> {}
+// Safety: the pointer is only ever written (never read) before the batch latch opens, and
+// every task writes a disjoint range of indices.
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+/// Map `f` over `items` on the current pool, preserving input order in the output.
+///
+/// Work is split into roughly `4 × workers` chunks so that uneven per-item costs re-balance
+/// via stealing; every chunk writes its results directly into the output vector at the
+/// item's original index.  Panics in `f` are caught, the batch is drained to completion
+/// (the latch must open before the stack frame holding the borrows unwinds), and the first
+/// panic payload is re-thrown on the calling thread.
 fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -31,35 +69,218 @@ where
     F: Fn(T) -> U + Sync,
 {
     let len = items.len();
-    if len <= 1 {
+    let pool = pool::current_pool();
+    if len <= 1 || pool.worker_count() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = worker_count(len);
-    if workers == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Split into `workers` contiguous chunks of near-equal size and map each on its own
-    // scoped thread; joining in spawn order restores the original ordering.
-    let chunk = len.div_ceil(workers);
-    let mut slots: Vec<Vec<T>> = Vec::with_capacity(workers);
+
+    // Several chunks per worker: small enough to re-balance skewed workloads by stealing,
+    // large enough to keep per-chunk overhead negligible.
+    let chunk_size = len.div_ceil(pool.worker_count() * 4).max(1);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(len.div_ceil(chunk_size));
     let mut items = items;
+    let mut consumed = 0usize;
     while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk));
-        slots.push(std::mem::replace(&mut items, rest));
+        let rest = items.split_off(items.len().min(chunk_size));
+        let chunk = std::mem::replace(&mut items, rest);
+        let start = consumed;
+        consumed += chunk.len();
+        chunks.push((start, chunk));
     }
+
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(len);
+    // Safety: MaybeUninit<U> needs no initialisation, and `out` is only transmuted to
+    // Vec<U> after every index has been written (the latch guarantees it).
+    unsafe { out.set_len(len) };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+
+    let latch = Latch::new(chunks.len());
+    let panics = BatchPanic::new();
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = slots
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for h in handles {
-            out.extend(h.join().expect("rayon-shim worker panicked"));
-        }
-        out
-    })
+    let latch_ref = &latch;
+    let tasks = chunks
+        .into_iter()
+        .map(|(start, chunk)| {
+            let panics = Arc::clone(&panics);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                // Rebind the wrapper so the closure captures `SendPtr` itself — 2021
+                // disjoint capture would otherwise grab the raw (non-Send) field.
+                let out_ptr = out_ptr;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for (offset, item) in chunk.into_iter().enumerate() {
+                        // Safety: indices [start, start + chunk.len()) are owned by this
+                        // task alone and lie inside the `len`-element allocation.
+                        unsafe { (*out_ptr.0.add(start + offset)).write(f(item)) };
+                    }
+                }));
+                if let Err(payload) = result {
+                    panics.record(payload);
+                }
+                latch_ref.count_down();
+            });
+            // Safety: run_batch below blocks this frame until the latch opens, i.e. until
+            // every job has finished running, so the erased borrows outlive the jobs.
+            unsafe { erase_job(job) }
+        })
+        .collect();
+    pool.run_batch(tasks, &latch);
+    // Re-throw a worker panic only after every sibling finished (all borrows are dead, and
+    // `out` drops as MaybeUninit — written elements leak, which is safe).
+    panics.propagate();
+
+    // Safety: the latch opened with no panic recorded, so all `len` elements are written.
+    unsafe {
+        let mut out = ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), len, out.capacity())
+    }
 }
+
+// ----- join ------------------------------------------------------------------------------
+
+/// Run `a` and `b` potentially in parallel and return both results.
+///
+/// `b` is offered to the current pool while the calling thread runs `a`; the caller then
+/// helps execute pool tasks until `b` completes (it runs `b` itself if no worker stole it).
+/// On a single-threaded pool this is exactly `(a(), b())`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = pool::current_pool();
+    if pool.worker_count() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+
+    let latch = Latch::new(1);
+    let panics = BatchPanic::new();
+    let mut slot_b: Option<RB> = None;
+    {
+        let slot_b = &mut slot_b;
+        let panics_b = Arc::clone(&panics);
+        let latch_ref = &latch;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            match catch_unwind(AssertUnwindSafe(b)) {
+                Ok(value) => *slot_b = Some(value),
+                Err(payload) => panics_b.record(payload),
+            }
+            latch_ref.count_down();
+        });
+        // Safety: help_until below keeps this frame alive until the latch opens, so the
+        // borrows of `slot_b`, `panics` and `latch` outlive the job.
+        let task = unsafe { erase_job(job) };
+        pool.push_task(task);
+    }
+
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    pool.help_until(&latch);
+    let ra = match ra {
+        Ok(value) => value,
+        Err(payload) => {
+            panics.record(payload);
+            panics.propagate();
+            unreachable!("join: recorded panic must have been propagated")
+        }
+    };
+    panics.propagate();
+    (
+        ra,
+        slot_b.expect("join: closure b completed without panicking"),
+    )
+}
+
+// ----- thread pools ----------------------------------------------------------------------
+
+/// Error returned by [`ThreadPoolBuilder::build`] (mirrors rayon's opaque error type; this
+/// shim's build can only fail if OS thread spawning fails, which panics instead).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an owned [`ThreadPool`], mirroring rayon's `ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count.  `0` (rayon convention) means "use the default", i.e. the
+    /// `P2PGRID_POOL_THREADS` override or the machine's available parallelism; `1` builds an
+    /// inline pool whose parallel operations run sequentially on the submitting thread.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = (num_threads > 0).then_some(num_threads);
+        self
+    }
+
+    /// Build the pool and spawn its workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let workers = self.num_threads.unwrap_or_else(pool::default_worker_count);
+        let (state, handles) = PoolState::spawn(workers);
+        Ok(ThreadPool { state, handles })
+    }
+}
+
+/// An owned work-stealing thread pool, independent of the global one.
+///
+/// Unlike real rayon, [`install`](Self::install) runs the closure on the *calling* thread
+/// with this pool made current — parallel operations inside route to this pool's workers,
+/// which is the observable contract the workspace relies on (e.g. to compare thread counts
+/// within one process).  Workers are shut down and joined when the pool is dropped.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool as the current pool for every parallel operation inside.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        pool::with_installed(&self.state, f)
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.state.worker_count()
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.state.worker_count())
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ----- parallel iterator surface ---------------------------------------------------------
 
 /// A not-yet-mapped parallel iterator over owned items.
 pub struct ParIter<T> {
@@ -173,6 +394,8 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, ThreadPoolBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -199,5 +422,112 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn join_runs_both_and_orders_results() {
+        let (a, b) = join(|| 2 + 2, || "right".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let totals: Vec<u64> = (0..16u64)
+            .into_par_iter()
+            .map(|i| {
+                (0..100u64)
+                    .into_par_iter()
+                    .map(|j| i * j)
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        for (i, &total) in totals.iter().enumerate() {
+            assert_eq!(total, i as u64 * (99 * 100 / 2));
+        }
+    }
+
+    #[test]
+    fn borrows_of_caller_stack_are_sound() {
+        let data: Vec<u64> = (0..500).collect();
+        let offset = 17u64;
+        let shifted: Vec<u64> = data.par_iter().map(|&x| x + offset).collect();
+        assert_eq!(shifted[499], 499 + 17);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let work = |n: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            pool.install(|| {
+                (0..256u64)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+                    .collect()
+            })
+        };
+        let one = work(1);
+        let four = work(4);
+        let eight = work(8);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn installed_pool_is_current() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn skewed_workloads_use_multiple_workers() {
+        // One item is ~100× more expensive than the rest; with dynamic chunks and stealing
+        // the cheap items must not all serialise behind it on a single worker.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let threads_used = pool.install(|| {
+            let ids: Vec<std::thread::ThreadId> = (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    let reps = if i == 0 { 4_000_000u64 } else { 40_000 };
+                    let mut acc = i as u64;
+                    for _ in 0..reps {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(acc);
+                    std::thread::current().id()
+                })
+                .collect();
+            ids.iter().collect::<std::collections::HashSet<_>>().len()
+        });
+        assert!(
+            threads_used >= 2,
+            "expected >= 2 distinct worker threads, saw {threads_used}"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_after_batch_completes() {
+        static COMPLETED: AtomicUsize = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _: Vec<usize> = (0..64usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 13 {
+                            panic!("boom");
+                        }
+                        COMPLETED.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                    .collect();
+            });
+        }));
+        assert!(outcome.is_err(), "panic in a mapped closure must propagate");
+        assert!(COMPLETED.load(Ordering::Relaxed) >= 1);
     }
 }

@@ -1,0 +1,381 @@
+//! The persistent work-stealing thread pool behind the shim's parallel operations.
+//!
+//! One global pool is created lazily on first use and lives for the rest of the process.
+//! Every worker owns a LIFO deque: it pushes and pops work at the back (hot, cache-friendly)
+//! while idle workers steal from the *front* of a random victim (oldest, largest-grained
+//! work first) or from the shared injector queue that external threads submit into.  Callers
+//! of a parallel operation never just block: they run tasks of the batch they are waiting on
+//! (or any other task of the same pool) until their completion latch opens, which is also
+//! what makes nested parallelism deadlock-free — a worker waiting on an inner batch drains
+//! its own deque and the deques of its peers while it waits.
+//!
+//! The queues are plain `Mutex<VecDeque>`s rather than lock-free Chase–Lev deques: every
+//! task this workspace submits is coarse (a Dijkstra sweep, a multi-second simulation
+//! session, a chunk of a `par_iter`), so queue operations are nowhere near the critical
+//! path and the simple implementation is easy to verify.  Swap in the real `rayon` for the
+//! lock-free machinery; the public surface is a drop-in subset.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable overriding the global pool's worker count (`>= 1`; `1` means every
+/// parallel operation runs inline on the calling thread, which is the fully deterministic
+/// sequential mode the CI matrix pins against `8`).
+pub const POOL_THREADS_ENV: &str = "P2PGRID_POOL_THREADS";
+
+/// One queued unit of work.  Jobs are lifetime-erased closures; the safety contract is that
+/// the submitting call frame blocks (in [`PoolState::run_batch`]) until every job of its
+/// batch has finished running, so the borrows inside never dangle.
+pub(crate) struct Task {
+    job: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Task {
+    pub(crate) fn run(self) {
+        (self.job)();
+    }
+}
+
+/// Countdown latch a batch submitter waits on while helping to drain the pool.
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    pub(crate) fn is_open(&self) -> bool {
+        *self.remaining.lock().expect("latch poisoned") == 0
+    }
+
+    /// Wait briefly for the latch to open.  The timeout bounds the staleness window between
+    /// "no stealable task found" and "a new task appeared", so the helping loop around this
+    /// call never deadlocks on a lost wakeup.
+    fn wait_brief(&self) {
+        let left = self.remaining.lock().expect("latch poisoned");
+        if *left > 0 {
+            let _ = self
+                .done
+                .wait_timeout(left, Duration::from_micros(500))
+                .expect("latch poisoned");
+        }
+    }
+}
+
+/// Shared state of one pool: the injector, the per-worker deques and the sleep machinery.
+pub struct PoolState {
+    /// FIFO queue external (non-worker) threads submit into.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: owner pushes/pops at the back, thieves steal from the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Number of tasks sitting in any queue (not yet popped) — a cheap "is there work?"
+    /// signal so sleeping workers do not have to scan every queue under lock.
+    queued: AtomicUsize,
+    /// Sleep support for idle workers.
+    sleeper_lock: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+thread_local! {
+    /// The pool context of the current thread: `(pool, worker index)`.  Worker threads set it
+    /// once at startup; [`crate::ThreadPool::install`] pushes a scoped entry with no worker
+    /// index (submissions go through the injector).
+    static CONTEXT: std::cell::RefCell<Vec<(Arc<PoolState>, Option<usize>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The pool the current thread's parallel operations run on: the innermost installed or
+/// worker-owned pool, falling back to the lazily-created global pool.
+pub(crate) fn current_pool() -> Arc<PoolState> {
+    CONTEXT
+        .with(|ctx| ctx.borrow().last().map(|(p, _)| Arc::clone(p)))
+        .unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Worker index of the current thread *in the given pool*, if it is one of its workers.
+fn worker_index_in(pool: &Arc<PoolState>) -> Option<usize> {
+    CONTEXT.with(|ctx| {
+        ctx.borrow()
+            .iter()
+            .rev()
+            .find(|(p, i)| i.is_some() && Arc::ptr_eq(p, pool))
+            .and_then(|(_, i)| *i)
+    })
+}
+
+/// Run `f` with `pool` installed as the current thread's pool.
+pub(crate) fn with_installed<R>(pool: &Arc<PoolState>, f: impl FnOnce() -> R) -> R {
+    CONTEXT.with(|ctx| ctx.borrow_mut().push((Arc::clone(pool), None)));
+    let result = f();
+    CONTEXT.with(|ctx| {
+        ctx.borrow_mut().pop();
+    });
+    result
+}
+
+/// The number of workers the global pool uses: `P2PGRID_POOL_THREADS` if set (clamped to at
+/// least 1), otherwise the machine's available parallelism.
+pub(crate) fn default_worker_count() -> usize {
+    if let Ok(value) = std::env::var(POOL_THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use and never torn down (its workers exit with
+/// the process).
+pub(crate) fn global_pool() -> &'static Arc<PoolState> {
+    static GLOBAL: OnceLock<Arc<PoolState>> = OnceLock::new();
+    GLOBAL.get_or_init(|| PoolState::spawn(default_worker_count()).0)
+}
+
+/// A tiny per-worker xorshift generator for victim selection.  Steal-order randomness has no
+/// bearing on results (outputs are written by index), only on contention.
+struct StealRng(u64);
+
+impl StealRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+impl PoolState {
+    /// Create the shared state and spawn `workers` OS threads (zero when `workers == 1`:
+    /// a single-threaded pool runs everything inline on the submitting thread).  The join
+    /// handles let an owned [`crate::ThreadPool`] reap its workers on drop; the global pool
+    /// discards them.
+    pub(crate) fn spawn(workers: usize) -> (Arc<PoolState>, Vec<std::thread::JoinHandle<()>>) {
+        let workers = workers.max(1);
+        let threads = if workers == 1 { 0 } else { workers };
+        let pool = Arc::new(PoolState {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            sleeper_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers,
+        });
+        let handles = (0..threads)
+            .map(|index| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("p2pgrid-pool-{index}"))
+                    .spawn(move || worker_loop(pool, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (pool, handles)
+    }
+
+    /// Number of worker threads (1 means "inline").
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit one lifetime-erased job.  Called from worker threads (own deque, LIFO) or
+    /// external threads (injector, FIFO).
+    pub(crate) fn push_task(self: &Arc<Self>, task: Task) {
+        match worker_index_in(self) {
+            Some(w) => self.deques[w]
+                .lock()
+                .expect("deque poisoned")
+                .push_back(task),
+            None => self
+                .injector
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task),
+        }
+        self.queued.fetch_add(1, Ordering::Release);
+        self.wakeup.notify_one();
+    }
+
+    /// Submit a whole batch at once (one lock round-trip, one wakeup broadcast).
+    fn push_batch(self: &Arc<Self>, tasks: Vec<Task>) {
+        let count = tasks.len();
+        match worker_index_in(self) {
+            Some(w) => self.deques[w].lock().expect("deque poisoned").extend(tasks),
+            None => self
+                .injector
+                .lock()
+                .expect("injector poisoned")
+                .extend(tasks),
+        }
+        self.queued.fetch_add(count, Ordering::Release);
+        self.wakeup.notify_all();
+    }
+
+    /// Pop or steal one task: own deque back (LIFO) if `worker` is set, then the injector
+    /// front, then the front of every other deque starting from a random victim.
+    fn find_task(&self, worker: Option<usize>, rng: &mut StealRng) -> Option<Task> {
+        if self.queued.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let grab = |task: Option<Task>| {
+            if task.is_some() {
+                self.queued.fetch_sub(1, Ordering::Release);
+            }
+            task
+        };
+        if let Some(w) = worker {
+            if let Some(t) = grab(self.deques[w].lock().expect("deque poisoned").pop_back()) {
+                return Some(t);
+            }
+        }
+        if let Some(t) = grab(self.injector.lock().expect("injector poisoned").pop_front()) {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let start = (rng.next() % n as u64) as usize;
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(t) = grab(
+                self.deques[victim]
+                    .lock()
+                    .expect("deque poisoned")
+                    .pop_front(),
+            ) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Submit `tasks` and run tasks of this pool on the calling thread until `latch` opens.
+    /// The caller participates instead of blocking, so a worker can submit nested batches
+    /// and a single-threaded pool degenerates to inline execution.
+    pub(crate) fn run_batch(self: &Arc<Self>, tasks: Vec<Task>, latch: &Latch) {
+        if self.deques.is_empty() {
+            // Inline pool: no workers to hand the tasks to.
+            for task in tasks {
+                task.run();
+            }
+            debug_assert!(latch.is_open());
+            return;
+        }
+        self.push_batch(tasks);
+        self.help_until(latch);
+    }
+
+    /// Run tasks of this pool on the calling thread until `latch` opens (stealing from the
+    /// workers when the caller's own queue is empty).
+    pub(crate) fn help_until(self: &Arc<Self>, latch: &Latch) {
+        let worker = worker_index_in(self);
+        let mut rng = StealRng(0x9e37_79b9_7f4a_7c15 ^ (worker.unwrap_or(usize::MAX) as u64));
+        while !latch.is_open() {
+            match self.find_task(worker, &mut rng) {
+                Some(task) => task.run(),
+                None => latch.wait_brief(),
+            }
+        }
+    }
+
+    /// Ask the workers to exit (used by [`crate::ThreadPool`]'s `Drop`; the global pool is
+    /// never shut down).
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _guard = self.sleeper_lock.lock().expect("sleeper lock poisoned");
+        self.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(pool: Arc<PoolState>, index: usize) {
+    CONTEXT.with(|ctx| ctx.borrow_mut().push((Arc::clone(&pool), Some(index))));
+    let mut rng = StealRng(0x853c_49e6_748f_ea9b ^ ((index as u64 + 1) << 17));
+    loop {
+        if let Some(task) = pool.find_task(Some(index), &mut rng) {
+            task.run();
+            continue;
+        }
+        if pool.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let guard = pool.sleeper_lock.lock().expect("sleeper lock poisoned");
+        // Re-check under the lock: a submitter that pushed between our scan and this lock
+        // has already notified, and the timeout bounds any remaining race.
+        if pool.queued.load(Ordering::Acquire) == 0 && !pool.shutdown.load(Ordering::Acquire) {
+            let _ = pool
+                .wakeup
+                .wait_timeout(guard, Duration::from_millis(10))
+                .expect("sleeper lock poisoned");
+        }
+    }
+}
+
+// ----- lifetime-erased batch execution ---------------------------------------------------
+
+/// Erase the lifetime of a job closure.
+///
+/// # Safety
+///
+/// The caller must not return (or unwind) before every erased job either ran to completion
+/// or was dropped — [`run_batch`](PoolState::run_batch) waiting on the batch latch is what
+/// guarantees it for every submission in this crate.
+pub(crate) unsafe fn erase_job<'env>(job: Box<dyn FnOnce() + Send + 'env>) -> Task {
+    let job: Box<dyn FnOnce() + Send + 'static> = std::mem::transmute::<
+        Box<dyn FnOnce() + Send + 'env>,
+        Box<dyn FnOnce() + Send + 'static>,
+    >(job);
+    Task { job }
+}
+
+/// Panic plumbing shared by one batch: the first payload wins and is re-thrown on the
+/// submitting thread once every sibling job has finished.
+pub(crate) struct BatchPanic {
+    slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl BatchPanic {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(BatchPanic {
+            slot: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.slot.lock().expect("panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    pub(crate) fn propagate(&self) {
+        let payload = self.slot.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

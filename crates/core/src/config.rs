@@ -264,6 +264,112 @@ impl ChurnConfig {
     }
 }
 
+/// The named RNG streams [`Scenario::build`](crate::scenario::Scenario::build) derives from
+/// the master seed, in sampling order.
+///
+/// Every stochastic component of the world draws from its own stream, so perturbing one
+/// (e.g. re-seeding the workflow draw) never shifts the randomness of the others.  The
+/// [`StreamSeeds`] overrides pin individual streams to a seed other than the master —
+/// the plumbing behind the copy-on-write `Scenario::with_*` derivation methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Waxman topology generation (node placement + edge sampling).
+    Topology,
+    /// Landmark selection for the bandwidth estimator.
+    Landmarks,
+    /// Per-node capacity sampling.
+    Capacity,
+    /// Per-node slot-count sampling (heterogeneous resource models).
+    Slots,
+    /// Workflow DAG generation.
+    Workflows,
+    /// Gossip protocol initialisation and per-cycle peer selection.
+    Gossip,
+    /// Churn arrival/departure draws.
+    Churn,
+}
+
+impl StreamKind {
+    /// All streams, in the order `Scenario::build` derives them.
+    pub const ALL: [StreamKind; 7] = [
+        StreamKind::Topology,
+        StreamKind::Landmarks,
+        StreamKind::Capacity,
+        StreamKind::Slots,
+        StreamKind::Workflows,
+        StreamKind::Gossip,
+        StreamKind::Churn,
+    ];
+
+    /// The `SimRng::derive` label of this stream (the same labels `Scenario::build` uses).
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKind::Topology => "topology",
+            StreamKind::Landmarks => "landmarks",
+            StreamKind::Capacity => "capacity",
+            StreamKind::Slots => "slots",
+            StreamKind::Workflows => "workflows",
+            StreamKind::Gossip => "gossip",
+            StreamKind::Churn => "churn",
+        }
+    }
+}
+
+/// Optional per-stream seed overrides (see [`StreamKind`]).
+///
+/// Every field defaults to `None`, meaning "derive this stream from the master
+/// [`GridConfig::seed`]" — the behaviour (and byte-exact sampling) of a config without
+/// overrides.  Setting a field pins that stream to the given seed independently of the
+/// master seed.  This is what lets [`Scenario::with_seed`](crate::scenario::Scenario::with_seed)
+/// re-seed the cheap streams of a derived world while the expensive topology/landmark
+/// streams stay pinned (and their `Arc`'d tables stay shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamSeeds {
+    /// Override for the topology stream.
+    pub topology: Option<u64>,
+    /// Override for the landmark-selection stream.
+    pub landmarks: Option<u64>,
+    /// Override for the capacity-sampling stream.
+    pub capacity: Option<u64>,
+    /// Override for the slot-sampling stream.
+    pub slots: Option<u64>,
+    /// Override for the workflow-generation stream.
+    pub workflows: Option<u64>,
+    /// Override for the gossip stream.
+    pub gossip: Option<u64>,
+    /// Override for the churn stream.
+    pub churn: Option<u64>,
+}
+
+impl StreamSeeds {
+    /// The override for `kind`, if any.
+    pub fn get(&self, kind: StreamKind) -> Option<u64> {
+        match kind {
+            StreamKind::Topology => self.topology,
+            StreamKind::Landmarks => self.landmarks,
+            StreamKind::Capacity => self.capacity,
+            StreamKind::Slots => self.slots,
+            StreamKind::Workflows => self.workflows,
+            StreamKind::Gossip => self.gossip,
+            StreamKind::Churn => self.churn,
+        }
+    }
+
+    /// Set the override for `kind`.
+    pub fn set(&mut self, kind: StreamKind, seed: u64) {
+        let slot = match kind {
+            StreamKind::Topology => &mut self.topology,
+            StreamKind::Landmarks => &mut self.landmarks,
+            StreamKind::Capacity => &mut self.capacity,
+            StreamKind::Slots => &mut self.slots,
+            StreamKind::Workflows => &mut self.workflows,
+            StreamKind::Gossip => &mut self.gossip,
+            StreamKind::Churn => &mut self.churn,
+        };
+        *slot = Some(seed);
+    }
+}
+
 /// Full configuration of one grid-simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridConfig {
@@ -293,6 +399,8 @@ pub struct GridConfig {
     pub churn: ChurnConfig,
     /// Master seed; every stochastic component derives its own stream from it.
     pub seed: u64,
+    /// Per-stream seed overrides (default: all derived from the master seed).
+    pub streams: StreamSeeds,
 }
 
 impl GridConfig {
@@ -316,6 +424,7 @@ impl GridConfig {
             horizon: SimDuration::from_hours(36),
             churn: ChurnConfig::none(),
             seed: 20100913, // ICPP 2010 started on 13 September 2010.
+            streams: StreamSeeds::default(),
         }
     }
 
@@ -382,6 +491,21 @@ impl GridConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Pin one RNG stream to its own seed, independent of the master seed (see
+    /// [`StreamSeeds`]).
+    pub fn with_stream_seed(mut self, kind: StreamKind, seed: u64) -> Self {
+        self.streams.set(kind, seed);
+        self
+    }
+
+    /// The effective seed of `kind`: its [`StreamSeeds`] override if set, else the master
+    /// seed.  `Scenario::build` seeds the stream as
+    /// `SimRng::seed_from_u64(stream_seed(kind)).derive(kind.label())`, so two configs with
+    /// equal effective seeds sample that stream byte-identically.
+    pub fn stream_seed(&self, kind: StreamKind) -> u64 {
+        self.streams.get(kind).unwrap_or(self.seed)
     }
 
     /// Check the whole configuration, reporting the first problem found.

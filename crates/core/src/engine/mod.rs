@@ -120,7 +120,7 @@ impl EngineState {
     pub(crate) fn from_scenario(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
         let world = scenario.world();
         let nodes = world.nodes.clone();
-        let mut workflows = world.workflows.clone();
+        let mut workflows = (*world.workflows).clone();
         let mut metrics = WorkflowMetrics::new(scheduler.label());
         for _ in 0..workflows.len() {
             metrics.record_submission();

@@ -97,6 +97,7 @@ pub mod worked_example;
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
 pub use config::{
     CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, SlotClass, SlotModel,
+    StreamKind, StreamSeeds,
 };
 pub use error::ConfigError;
 pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};

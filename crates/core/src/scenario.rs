@@ -28,7 +28,7 @@
 //! mid-experiment.
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
-use crate::config::GridConfig;
+use crate::config::{ChurnConfig, GridConfig, ResourceModel, StreamKind};
 use crate::engine::node::{NodeRuntime, ReadySet};
 use crate::engine::transfer::TransferModel;
 use crate::engine::workflow::WorkflowRuntime;
@@ -39,7 +39,9 @@ use crate::NodeId;
 use p2pgrid_gossip::MixedGossip;
 use p2pgrid_sim::{SimRng, SimTime};
 use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
-use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis, WorkflowGenerator};
+use p2pgrid_workflow::{
+    ExpectedCosts, WorkflowAnalysis, WorkflowGenerator, WorkflowGeneratorConfig,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -52,10 +54,13 @@ pub(crate) struct ScenarioWorld {
     pub(crate) transfer: Arc<TransferModel>,
     /// Landmark-based bandwidth estimates (read-only during runs).
     pub(crate) landmarks: Arc<LandmarkEstimator>,
+    /// Per-node mean bandwidth to the landmark set — a pure function of the topology tables,
+    /// shared (and skipped) by derived worlds that share them.
+    pub(crate) local_bw: Arc<Vec<f64>>,
     /// Pristine per-node runtime state: capacity, slots, churn role, empty queues.
     pub(crate) nodes: Vec<NodeRuntime>,
     /// Pristine per-workflow runtime state (no full-ahead plans; those are per-scheduler).
-    pub(crate) workflows: Vec<WorkflowRuntime>,
+    pub(crate) workflows: Arc<Vec<WorkflowRuntime>>,
     /// Workflow indices submitted at each home node.
     pub(crate) home_of: Arc<Vec<Vec<usize>>>,
     /// True system-wide averages, the efficiency baseline `eft(f)` and full-ahead input.
@@ -66,6 +71,79 @@ pub(crate) struct ScenarioWorld {
     pub(crate) gossip_rng: SimRng,
     /// The churn RNG stream (sessions clone it, so every run replays the same churn).
     pub(crate) churn_rng: SimRng,
+}
+
+/// Number of stable (never-churning, home-eligible) nodes under `config`.
+fn stable_count(config: &GridConfig) -> usize {
+    let n = config.nodes;
+    if config.churn.splits_population() {
+        ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
+    } else {
+        n
+    }
+}
+
+/// True when `a` and `b` would generate bit-identical topology tables (topology, pairwise
+/// metrics, landmarks): same node count, same Waxman parameters and the same effective seeds
+/// for the topology and landmark streams.
+fn topology_inputs_match(a: &GridConfig, b: &GridConfig) -> bool {
+    a.nodes == b.nodes
+        && a.waxman == b.waxman
+        && a.stream_seed(StreamKind::Topology) == b.stream_seed(StreamKind::Topology)
+        && a.stream_seed(StreamKind::Landmarks) == b.stream_seed(StreamKind::Landmarks)
+}
+
+/// True when `a` and `b` would generate bit-identical workflow runtimes *given that their
+/// topology tables already match*: same generator parameters, load factor and workflow
+/// stream, the same home-node set (stable count), and the same capacity draw (the analysis
+/// baseline `eft(f)` folds the capacity average in).
+fn workflow_inputs_match(a: &GridConfig, b: &GridConfig) -> bool {
+    a.workflow == b.workflow
+        && a.workflows_per_node == b.workflows_per_node
+        && a.stream_seed(StreamKind::Workflows) == b.stream_seed(StreamKind::Workflows)
+        && stable_count(a) == stable_count(b)
+        && a.capacity == b.capacity
+        && a.stream_seed(StreamKind::Capacity) == b.stream_seed(StreamKind::Capacity)
+}
+
+/// True when `a` and `b` would initialise bit-identical gossip state: same population, same
+/// protocol parameters, same gossip stream.
+fn gossip_inputs_match(a: &GridConfig, b: &GridConfig) -> bool {
+    a.nodes == b.nodes
+        && a.gossip == b.gossip
+        && a.stream_seed(StreamKind::Gossip) == b.stream_seed(StreamKind::Gossip)
+}
+
+/// The RNG stream `kind` under `config`: effective seed → root → labelled stream, exactly
+/// as `Scenario::build` has always derived it when no override is set.
+fn stream_rng(config: &GridConfig, kind: StreamKind) -> SimRng {
+    SimRng::seed_from_u64(config.stream_seed(kind)).derive(kind.label())
+}
+
+/// Per-node mean bandwidth to the landmark set (the node's "local average bandwidth" the
+/// gossip substrate seeds resource advertisements with).  Pure function of the topology
+/// tables, so derived worlds sharing those tables share this one too.
+fn compute_local_bw(transfer: &TransferModel, landmarks: &LandmarkEstimator, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if n > 1 {
+                let others: Vec<f64> = landmarks
+                    .landmarks()
+                    .iter()
+                    .filter(|&&l| l != i)
+                    .map(|&l| transfer.bandwidth_mbps(i, l))
+                    .filter(|b| b.is_finite() && *b > 0.0)
+                    .collect();
+                if others.is_empty() {
+                    transfer.average_bandwidth_mbps().max(1e-6)
+                } else {
+                    others.iter().sum::<f64>() / others.len() as f64
+                }
+            } else {
+                1.0
+            }
+        })
+        .collect()
 }
 
 /// A reusable, immutable, cheaply-cloneable world: build it once, run many schedulers on it.
@@ -85,55 +163,64 @@ impl Scenario {
     /// computation, landmark selection, capacity/slot sampling and workflow generation — and
     /// the reason the type exists: do it once, then share the result across a sweep.
     pub fn build(config: GridConfig) -> Result<Scenario, ConfigError> {
-        config.validate()?;
-        let root = SimRng::seed_from_u64(config.seed);
+        Scenario::build_with_reuse(config, None)
+    }
 
-        // Topology and ground-truth network metrics.
-        let mut topo_rng = root.derive("topology");
-        let topology = WaxmanGenerator::new(config.waxman).generate(&mut topo_rng);
-        let transfer = TransferModel::new(PairwiseMetrics::compute(&topology));
-        let mut landmark_rng = root.derive("landmarks");
-        let landmarks = LandmarkEstimator::build_default(transfer.metrics(), &mut landmark_rng);
+    /// The shared implementation of [`Scenario::build`] and the `with_*` derivation methods.
+    ///
+    /// When `reuse` is given, any world table whose generating inputs (stream seed + the
+    /// config slice it samples from) are unchanged is shared by `Arc` instead of recomputed;
+    /// everything else is re-sampled through exactly the code path a fresh build takes, so a
+    /// derived scenario is byte-identical to `Scenario::build` of the same config.
+    fn build_with_reuse(
+        config: GridConfig,
+        reuse: Option<&ScenarioWorld>,
+    ) -> Result<Scenario, ConfigError> {
+        config.validate()?;
+        let n = config.nodes;
+
+        // Topology and ground-truth network metrics — the dominant cost (the all-pairs
+        // sweep), shared whenever the generating inputs are unchanged.
+        let topology_shared = reuse.is_some_and(|old| topology_inputs_match(&old.config, &config));
+        let (transfer, landmarks, local_bw) = match reuse.filter(|_| topology_shared) {
+            Some(old) => (
+                Arc::clone(&old.transfer),
+                Arc::clone(&old.landmarks),
+                Arc::clone(&old.local_bw),
+            ),
+            None => {
+                let mut topo_rng = stream_rng(&config, StreamKind::Topology);
+                let topology = WaxmanGenerator::new(config.waxman).generate(&mut topo_rng);
+                let transfer = Arc::new(TransferModel::new(PairwiseMetrics::compute(&topology)));
+                let mut landmark_rng = stream_rng(&config, StreamKind::Landmarks);
+                let landmarks = Arc::new(LandmarkEstimator::build_default(
+                    transfer.metrics(),
+                    &mut landmark_rng,
+                ));
+                let local_bw = Arc::new(compute_local_bw(&transfer, &landmarks, n));
+                (transfer, landmarks, local_bw)
+            }
+        };
 
         // Node capacities, slots and roles.  Slot counts draw from their own derived stream,
         // so enabling heterogeneous distributions never perturbs capacities, workflows or
-        // gossip (and the uniform model draws nothing at all).
-        let mut cap_rng = root.derive("capacity");
-        let mut slot_rng = root.derive("slots");
-        let n = config.nodes;
-        let stable_count = if config.churn.splits_population() {
-            ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
-        } else {
-            n
-        };
+        // gossip (and the uniform model draws nothing at all).  Always re-sampled — the loop
+        // is O(n) and cheap next to everything above.
+        let mut cap_rng = stream_rng(&config, StreamKind::Capacity);
+        let mut slot_rng = stream_rng(&config, StreamKind::Slots);
+        let stable = stable_count(&config);
         let nodes: Vec<NodeRuntime> = (0..n)
             .map(|i| {
-                let local_bw = if n > 1 {
-                    let others: Vec<f64> = landmarks
-                        .landmarks()
-                        .iter()
-                        .filter(|&&l| l != i)
-                        .map(|&l| transfer.bandwidth_mbps(i, l))
-                        .filter(|b| b.is_finite() && *b > 0.0)
-                        .collect();
-                    if others.is_empty() {
-                        transfer.average_bandwidth_mbps().max(1e-6)
-                    } else {
-                        others.iter().sum::<f64>() / others.len() as f64
-                    }
-                } else {
-                    1.0
-                };
                 let slots = config.resource.slots.sample(&mut slot_rng);
                 NodeRuntime {
                     alive: true,
-                    churnable: i >= stable_count,
+                    churnable: i >= stable,
                     capacity_mips: config.capacity.sample(&mut cap_rng),
                     slots,
                     epoch: 0,
                     ready: ReadySet::new(),
                     running: Vec::with_capacity(slots),
-                    local_avg_bandwidth_mbps: local_bw,
+                    local_avg_bandwidth_mbps: local_bw[i],
                 }
             })
             .collect();
@@ -150,54 +237,163 @@ impl Scenario {
         let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
 
         // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
-        // home nodes (the paper excludes home nodes from churning).
-        let mut wf_rng = root.derive("workflows");
-        let generator = WorkflowGenerator::new(config.workflow.clone());
-        let home_candidates: Vec<NodeId> = (0..n).filter(|&i| !nodes[i].churnable).collect();
-        let mut workflows = Vec::new();
-        let mut home_of = vec![Vec::new(); n];
-        for &home in &home_candidates {
-            for _ in 0..config.workflows_per_node {
-                let workflow = generator.generate(&mut wf_rng);
-                let analysis = WorkflowAnalysis::new(&workflow, true_costs);
-                let static_rpm: Vec<f64> =
-                    workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
-                let wf = WorkflowRuntime {
-                    home,
-                    progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
-                    eft_secs: analysis.expected_finish_time_secs(),
-                    task_location: vec![None; workflow.task_count()],
-                    failed: false,
-                    completed: false,
-                    submitted_at: SimTime::ZERO,
-                    plan: None,
-                    static_ms_secs: analysis.expected_finish_time_secs(),
-                    static_rpm,
-                    workflow,
-                };
-                home_of[home].push(workflows.len());
-                workflows.push(wf);
+        // home nodes (the paper excludes home nodes from churning).  Reused when the home
+        // set, the generator inputs and the analysis baseline are unchanged.
+        let workflows_shared =
+            topology_shared && reuse.is_some_and(|old| workflow_inputs_match(&old.config, &config));
+        let (workflows, home_of) = match reuse.filter(|_| workflows_shared) {
+            Some(old) => (Arc::clone(&old.workflows), Arc::clone(&old.home_of)),
+            None => {
+                let mut wf_rng = stream_rng(&config, StreamKind::Workflows);
+                let generator = WorkflowGenerator::new(config.workflow.clone());
+                let home_candidates: Vec<NodeId> =
+                    (0..n).filter(|&i| !nodes[i].churnable).collect();
+                let mut workflows = Vec::new();
+                let mut home_of = vec![Vec::new(); n];
+                for &home in &home_candidates {
+                    for _ in 0..config.workflows_per_node {
+                        let workflow = generator.generate(&mut wf_rng);
+                        let analysis = WorkflowAnalysis::new(&workflow, true_costs);
+                        let static_rpm: Vec<f64> =
+                            workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
+                        let wf = WorkflowRuntime {
+                            home,
+                            progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
+                            eft_secs: analysis.expected_finish_time_secs(),
+                            task_location: vec![None; workflow.task_count()],
+                            failed: false,
+                            completed: false,
+                            submitted_at: SimTime::ZERO,
+                            plan: None,
+                            static_ms_secs: analysis.expected_finish_time_secs(),
+                            static_rpm,
+                            workflow,
+                        };
+                        home_of[home].push(workflows.len());
+                        workflows.push(wf);
+                    }
+                }
+                (Arc::new(workflows), Arc::new(home_of))
             }
-        }
+        };
 
-        let mut gossip_rng = root.derive("gossip");
-        let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
-        let churn_rng = root.derive("churn");
+        // Gossip state and the run-time RNG streams.
+        let (gossip, gossip_rng) =
+            match reuse.filter(|old| gossip_inputs_match(&old.config, &config)) {
+                Some(old) => (old.gossip.clone(), old.gossip_rng.clone()),
+                None => {
+                    let mut gossip_rng = stream_rng(&config, StreamKind::Gossip);
+                    let gossip = MixedGossip::new(n, config.gossip, &mut gossip_rng);
+                    (gossip, gossip_rng)
+                }
+            };
+        let churn_rng = stream_rng(&config, StreamKind::Churn);
 
         Ok(Scenario {
             world: Arc::new(ScenarioWorld {
                 config,
-                transfer: Arc::new(transfer),
-                landmarks: Arc::new(landmarks),
+                transfer,
+                landmarks,
+                local_bw,
                 nodes,
                 workflows,
-                home_of: Arc::new(home_of),
+                home_of,
                 true_costs,
                 gossip,
                 gossip_rng,
                 churn_rng,
             }),
         })
+    }
+
+    /// Derive a world with a new master seed, sharing this world's topology tables.
+    ///
+    /// The topology and landmark streams are pinned (via [`crate::StreamSeeds`]) to their
+    /// current effective seeds, so the derived config still describes the *same* network —
+    /// the `Arc`'d topology, `PairwiseMetrics` and landmark tables are shared, not rebuilt —
+    /// while the capacity, slot, workflow, gossip and churn streams all re-sample from
+    /// `seed`.  A 1000-point seed sweep therefore pays for one all-pairs Dijkstra sweep
+    /// total.  The result is byte-identical to `Scenario::build` of the equivalent config.
+    pub fn with_seed(&self, seed: u64) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.streams.topology = Some(config.stream_seed(StreamKind::Topology));
+        config.streams.landmarks = Some(config.stream_seed(StreamKind::Landmarks));
+        config.seed = seed;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with a different resource model (slot counts, preemption).
+    ///
+    /// Only the slot stream's *consumption* changes; the topology tables, workflow set and
+    /// gossip state are all shared.  Node runtimes are re-sampled (the slot model draws
+    /// differently), which is O(nodes) and cheap.
+    pub fn with_resource(&self, resource: ResourceModel) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.resource = resource;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with different workflow generator parameters (loads, data sizes, DAG
+    /// shapes — the CCR sweeps).
+    ///
+    /// Re-samples only the workflow stream; the topology tables, node population and gossip
+    /// state are shared/identical.
+    pub fn with_workflows(
+        &self,
+        workflow: WorkflowGeneratorConfig,
+    ) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.workflow = workflow;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with a different load factor (workflows per home node, Fig. 7/8).
+    ///
+    /// Like [`Scenario::with_workflows`]: only the workflow draw changes; every expensive
+    /// table is shared.
+    pub fn with_load_factor(&self, workflows_per_node: usize) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.workflows_per_node = workflows_per_node;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with a different churn model (Fig. 12–14 sweeps).
+    ///
+    /// Shares the topology tables and gossip state.  The node population is re-sampled with
+    /// the same capacity/slot streams (so capacities stay identical) but a new stable/
+    /// churnable split; when the split changes the home-node set, the workflow draw is
+    /// regenerated exactly as a fresh build would.
+    pub fn with_churn(&self, churn: ChurnConfig) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.churn = churn;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world that replays the *same* static substrate (topology, nodes, workflows)
+    /// under re-seeded run-time randomness: the gossip and churn streams are pinned to
+    /// `seed` while everything else keeps its current effective seed.
+    ///
+    /// This isolates algorithmic comparisons from gossip/churn luck: sweep `seed` to get
+    /// independent stochastic replicates of one fixed workload.
+    pub fn with_algorithm_streams(&self, seed: u64) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.streams.gossip = Some(seed);
+        config.streams.churn = Some(seed);
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// True when both scenarios share the same topology tables (`Arc` identity, not value
+    /// equality) — the derivation fast path actually fired.
+    pub fn shares_topology_with(&self, other: &Scenario) -> bool {
+        Arc::ptr_eq(&self.world.transfer, &other.world.transfer)
+            && Arc::ptr_eq(&self.world.landmarks, &other.world.landmarks)
+            && Arc::ptr_eq(&self.world.local_bw, &other.world.local_bw)
+    }
+
+    /// True when both scenarios share the same workflow set (`Arc` identity).
+    pub fn shares_workflows_with(&self, other: &Scenario) -> bool {
+        Arc::ptr_eq(&self.world.workflows, &other.world.workflows)
+            && Arc::ptr_eq(&self.world.home_of, &other.world.home_of)
     }
 
     pub(crate) fn world(&self) -> &ScenarioWorld {

@@ -3,10 +3,10 @@
 //! The paper uses four combinations of task-load and dependent-data ranges (CCR roughly 1.6,
 //! 0.16, 1.6 and 16) and compares the converged ACT and AE of all eight algorithms under each.
 
+use crate::campaign::{self, Campaign};
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
-use rayon::prelude::*;
+use p2pgrid_core::{Algorithm, SimulationReport};
 use std::ops::RangeInclusive;
 
 /// One load/data combination of Fig. 9/10.
@@ -55,45 +55,29 @@ pub struct CcrSweep {
     pub reports: Vec<Vec<SimulationReport>>,
 }
 
-/// Run the sweep (algorithms × cases, in parallel).  One world is built per load/data case
-/// and shared across all eight algorithms at that case.
+/// Run the sweep (algorithms × cases, across the pool).  The base world is built **once**;
+/// each load/data case is derived copy-on-write with [`Scenario::with_workflows`] — only the
+/// workflow stream re-samples, the topology and all-pairs metrics are shared by all four
+/// cases.
+///
+/// [`Scenario::with_workflows`]: p2pgrid_core::Scenario::with_workflows
 pub fn run(scale: ExperimentScale, seed: u64) -> CcrSweep {
     let cases = paper_cases();
-    let scenarios: Vec<Scenario> = cases
-        .par_iter()
-        .map(|case| {
-            let cfg = scale
-                .base_config(seed)
-                .with_load_and_data(case.load_mi.clone(), case.data_mb.clone());
-            Scenario::build(cfg)
-                .unwrap_or_else(|e| panic!("invalid CCR case '{}': {e}", case.label))
-        })
-        .collect();
-    let jobs: Vec<(usize, usize)> = (0..Algorithm::ALL.len())
-        .flat_map(|a| (0..cases.len()).map(move |c| (a, c)))
-        .collect();
-    let results: Vec<((usize, usize), SimulationReport)> = jobs
-        .par_iter()
-        .map(|&(a, c)| {
-            let alg = Algorithm::ALL[a];
-            let report = scenarios[c]
-                .simulate_config(AlgorithmConfig::paper_default(alg))
-                .run();
-            ((a, c), report)
-        })
-        .collect();
-    let mut reports: Vec<Vec<Option<SimulationReport>>> =
-        vec![vec![None; cases.len()]; Algorithm::ALL.len()];
-    for ((a, c), r) in results {
-        reports[a][c] = Some(r);
-    }
-    CcrSweep {
-        cases,
-        reports: reports
-            .into_iter()
-            .map(|row| row.into_iter().map(|r| r.expect("all jobs ran")).collect())
-            .collect(),
-    }
+    let campaign = Campaign::from_config(scale.base_config(seed))
+        .unwrap_or_else(|e| panic!("invalid CCR base configuration: {e}"));
+    let reports = campaign
+        .sweep(
+            &cases,
+            |base, case| {
+                let mut workflow = base.config().workflow.clone();
+                workflow.load_mi = case.load_mi.clone();
+                workflow.data_mb = case.data_mb.clone();
+                base.with_workflows(workflow)
+            },
+            &campaign::paper_algorithms(),
+        )
+        .unwrap_or_else(|e| panic!("invalid CCR case: {e}"));
+    CcrSweep { cases, reports }
 }
 
 impl CcrSweep {

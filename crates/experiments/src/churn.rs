@@ -6,11 +6,11 @@
 //! while the finish time and efficiency of the workflows that *do* finish stay roughly stable
 //! for `df ≤ 0.2`.
 
+use crate::campaign::{self, Campaign};
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
 use crate::static_comparison::series_points;
-use p2pgrid_core::{Algorithm, ChurnConfig, Scenario, SimulationReport};
-use rayon::prelude::*;
+use p2pgrid_core::{Algorithm, AlgorithmConfig, ChurnConfig, SimulationReport};
 
 /// Results of the churn sweep (DSMF only, as in the paper).
 #[derive(Debug, Clone)]
@@ -30,23 +30,29 @@ pub fn run(scale: ExperimentScale, seed: u64) -> ChurnSweep {
 
 /// Run the sweep, optionally enabling the paper's future-work extension that re-schedules tasks
 /// lost to churn instead of failing their workflow.
+///
+/// The base world is built **once**; each dynamic factor is derived copy-on-write with
+/// [`Scenario::with_churn`], sharing the topology tables and gossip state across the sweep.
+///
+/// [`Scenario::with_churn`]: p2pgrid_core::Scenario::with_churn
 pub fn run_with_rescheduling(scale: ExperimentScale, seed: u64, rescheduling: bool) -> ChurnSweep {
     let dynamic_factors = scale.dynamic_factor_sweep();
-    let reports: Vec<SimulationReport> = dynamic_factors
-        .par_iter()
-        .map(|&df| {
+    let campaign = Campaign::from_config(scale.base_config(seed))
+        .unwrap_or_else(|e| panic!("invalid churn base configuration: {e}"));
+    let scenarios = campaign
+        .derive(&dynamic_factors, |base, &df| {
             let mut churn = ChurnConfig::with_dynamic_factor(df);
             churn.reschedule_lost_tasks = rescheduling;
-            let cfg = scale.base_config(seed).with_churn(churn);
-            Scenario::build(cfg)
-                .unwrap_or_else(|e| panic!("invalid churn df={df} configuration: {e}"))
-                .simulate_algorithm(Algorithm::Dsmf)
-                .run()
+            base.with_churn(churn)
         })
-        .collect();
+        .unwrap_or_else(|e| panic!("invalid churn sweep point: {e}"));
+    let jobs = campaign::cross(
+        &scenarios,
+        &[AlgorithmConfig::paper_default(Algorithm::Dsmf)],
+    );
     ChurnSweep {
         dynamic_factors,
-        reports,
+        reports: campaign::run(&jobs),
         rescheduling,
     }
 }

@@ -7,11 +7,11 @@
 //! target is the *direction* of that comparison (the paper rules beat or match FCFS), not the
 //! absolute values.
 
+use crate::campaign;
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
 use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use p2pgrid_metrics::format_table;
-use rayon::prelude::*;
 
 /// The algorithms the paper runs through the ablation.
 pub const ABLATED_ALGORITHMS: [Algorithm; 4] = [
@@ -40,23 +40,20 @@ pub struct FcfsAblation {
     pub pairs: Vec<AblationPair>,
 }
 
-/// Run the ablation (eight simulations, in parallel, all sharing one pre-built world).
+/// Run the ablation (eight simulations across the pool, all sharing one pre-built world).
 pub fn run(scale: ExperimentScale, seed: u64) -> FcfsAblation {
     let scenario = Scenario::build(scale.base_config(seed))
         .unwrap_or_else(|e| panic!("invalid ablation configuration: {e}"));
-    let configs: Vec<(Algorithm, AlgorithmConfig)> = ABLATED_ALGORITHMS
+    let configs: Vec<AlgorithmConfig> = ABLATED_ALGORITHMS
         .iter()
         .flat_map(|&alg| {
             [
-                (alg, AlgorithmConfig::paper_default(alg)),
-                (alg, AlgorithmConfig::with_fcfs_second_phase(alg)),
+                AlgorithmConfig::paper_default(alg),
+                AlgorithmConfig::with_fcfs_second_phase(alg),
             ]
         })
         .collect();
-    let reports: Vec<SimulationReport> = configs
-        .par_iter()
-        .map(|&(_, ac)| scenario.simulate_config(ac).run())
-        .collect();
+    let reports = campaign::run(&campaign::cross(std::slice::from_ref(&scenario), &configs));
     let pairs = ABLATED_ALGORITHMS
         .iter()
         .enumerate()

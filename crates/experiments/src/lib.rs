@@ -17,10 +17,16 @@
 //! the substrate is a reimplementation, not the authors' testbed — but the *shape* of every
 //! figure (who wins, by roughly what factor, where the crossovers fall) is the reproduction
 //! target, and `EXPERIMENTS.md` records both sides.
+//!
+//! All runners execute through the [`campaign`] module: sweep points are derived
+//! copy-on-write from one base world (`Scenario::with_*`), so a whole sweep pays for a
+//! single topology/all-pairs-metrics build, and the resulting jobs run across the shared
+//! work-stealing pool with reports returned in input order.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod ccr;
 pub mod churn;
 pub mod fcfs_ablation;
@@ -30,5 +36,6 @@ pub mod scalability;
 pub mod scale;
 pub mod static_comparison;
 
+pub use campaign::Campaign;
 pub use figures::{FigureData, Series};
 pub use scale::ExperimentScale;

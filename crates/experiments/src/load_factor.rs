@@ -1,10 +1,10 @@
 //! The resource-competition experiment of Fig. 7 / Fig. 8: sweep the *load factor* (average
 //! number of workflows submitted per node) from 1 to 8 and compare converged ACT and AE.
 
+use crate::campaign::{self, Campaign};
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
-use rayon::prelude::*;
+use p2pgrid_core::{Algorithm, SimulationReport};
 
 /// Results of the load-factor sweep: `reports[algorithm][sweep point]`.
 #[derive(Debug, Clone)]
@@ -15,42 +15,26 @@ pub struct LoadFactorSweep {
     pub reports: Vec<Vec<SimulationReport>>,
 }
 
-/// Run the sweep (algorithms × load factors, in parallel).  One world is built per load
-/// factor (the workload changes with it) and shared across all eight algorithms at that
-/// sweep point.
+/// Run the sweep (algorithms × load factors, across the pool).  The base world is built
+/// **once**; each sweep point is derived copy-on-write with [`Scenario::with_load_factor`]
+/// (only the workflow draw changes), so the whole sweep pays for a single topology and
+/// all-pairs-metrics computation.
+///
+/// [`Scenario::with_load_factor`]: p2pgrid_core::Scenario::with_load_factor
 pub fn run(scale: ExperimentScale, seed: u64) -> LoadFactorSweep {
     let load_factors = scale.load_factor_sweep();
-    let scenarios: Vec<Scenario> = load_factors
-        .par_iter()
-        .map(|&lf| {
-            Scenario::build(scale.base_config(seed).with_load_factor(lf))
-                .unwrap_or_else(|e| panic!("invalid load-factor={lf} configuration: {e}"))
-        })
-        .collect();
-    let jobs: Vec<(usize, usize)> = (0..Algorithm::ALL.len())
-        .flat_map(|a| (0..load_factors.len()).map(move |l| (a, l)))
-        .collect();
-    let results: Vec<((usize, usize), SimulationReport)> = jobs
-        .par_iter()
-        .map(|&(a, l)| {
-            let alg = Algorithm::ALL[a];
-            let report = scenarios[l]
-                .simulate_config(AlgorithmConfig::paper_default(alg))
-                .run();
-            ((a, l), report)
-        })
-        .collect();
-    let mut reports: Vec<Vec<Option<SimulationReport>>> =
-        vec![vec![None; load_factors.len()]; Algorithm::ALL.len()];
-    for ((a, l), r) in results {
-        reports[a][l] = Some(r);
-    }
+    let campaign = Campaign::from_config(scale.base_config(seed))
+        .unwrap_or_else(|e| panic!("invalid load-factor base configuration: {e}"));
+    let reports = campaign
+        .sweep(
+            &load_factors,
+            |base, &lf| base.with_load_factor(lf),
+            &campaign::paper_algorithms(),
+        )
+        .unwrap_or_else(|e| panic!("invalid load-factor sweep point: {e}"));
     LoadFactorSweep {
         load_factors,
-        reports: reports
-            .into_iter()
-            .map(|row| row.into_iter().map(|r| r.expect("all jobs ran")).collect())
-            .collect(),
+        reports,
     }
 }
 

@@ -4,9 +4,10 @@
 //!   (the average `RSS` size) stays below ~30 even at 2 000 nodes.
 //! * Fig. 11(b)/(c): DSMF's average efficiency and average finish time stay stable with scale.
 
+use crate::campaign;
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, Scenario, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
 use rayon::prelude::*;
 
 /// Results of the scalability sweep (DSMF only, as in the paper).
@@ -18,22 +19,28 @@ pub struct ScalabilitySweep {
     pub reports: Vec<SimulationReport>,
 }
 
-/// Run the sweep (one DSMF run per system scale, in parallel).
+/// Run the sweep (one DSMF run per system scale, across the pool).
+///
+/// This is the one sweep that cannot derive its points copy-on-write: every point has a
+/// different node count and therefore a genuinely different topology.  The worlds are built
+/// in parallel, then the sessions run through the same [`campaign`] path as every other
+/// experiment.
 pub fn run(scale: ExperimentScale, seed: u64) -> ScalabilitySweep {
     let node_counts = scale.scalability_sweep();
-    let reports: Vec<SimulationReport> = node_counts
+    let scenarios: Vec<Scenario> = node_counts
         .par_iter()
         .map(|&n| {
-            let cfg = scale.base_config(seed).with_nodes(n);
-            Scenario::build(cfg)
+            Scenario::build(scale.base_config(seed).with_nodes(n))
                 .unwrap_or_else(|e| panic!("invalid {n}-node configuration: {e}"))
-                .simulate_algorithm(Algorithm::Dsmf)
-                .run()
         })
         .collect();
+    let jobs = campaign::cross(
+        &scenarios,
+        &[AlgorithmConfig::paper_default(Algorithm::Dsmf)],
+    );
     ScalabilitySweep {
         node_counts,
-        reports,
+        reports: campaign::run(&jobs),
     }
 }
 

@@ -1,11 +1,11 @@
 //! The headline static-environment comparison: Fig. 4 (throughput), Fig. 5 (ACT), Fig. 6 (AE)
 //! and the abstract's 20–60 % / 37.5–90 % claims.
 
+use crate::campaign;
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, Scenario, SimulationReport};
+use p2pgrid_core::{Algorithm, Scenario, SimulationReport};
 use p2pgrid_metrics::{format_table, TimeSeries};
-use rayon::prelude::*;
 
 /// Results of running all eight algorithms on the same static workload.
 #[derive(Debug, Clone)]
@@ -31,17 +31,15 @@ pub fn run(scale: ExperimentScale, seed: u64) -> StaticComparison {
     run_on(&scenario)
 }
 
-/// Run the eight algorithms (in parallel) on one pre-built shared [`Scenario`].
+/// Run the eight algorithms (across the pool) on one pre-built shared [`Scenario`].
 pub fn run_on(scenario: &Scenario) -> StaticComparison {
-    let reports: Vec<SimulationReport> = Algorithm::ALL
-        .par_iter()
-        .map(|&alg| {
-            scenario
-                .simulate_config(AlgorithmConfig::paper_default(alg))
-                .run()
-        })
-        .collect();
-    StaticComparison { reports }
+    let jobs = campaign::cross(
+        std::slice::from_ref(scenario),
+        &campaign::paper_algorithms(),
+    );
+    StaticComparison {
+        reports: campaign::run(&jobs),
+    }
 }
 
 /// The abstract's headline claims, recomputed from a comparison run.

@@ -68,9 +68,10 @@ pub mod prelude {
     pub use p2pgrid_core::{
         Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, ConfigError, GridConfig,
         GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase, Simulation,
-        SimulationReport, SlotClass, SlotModel, TimeSeriesProbe, TraceEvent, TraceRecorder,
+        SimulationReport, SlotClass, SlotModel, StreamKind, StreamSeeds, TimeSeriesProbe,
+        TraceEvent, TraceRecorder,
     };
-    pub use p2pgrid_experiments::ExperimentScale;
+    pub use p2pgrid_experiments::{Campaign, ExperimentScale};
     pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};
     pub use p2pgrid_sim::{SimDuration, SimRng, SimTime};
     pub use p2pgrid_topology::{Topology, WaxmanConfig, WaxmanGenerator};

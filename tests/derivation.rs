@@ -1,0 +1,206 @@
+//! Copy-on-write scenario derivation pins.
+//!
+//! Every `Scenario::with_*` method promises two things at once:
+//!
+//! 1. **Byte identity** — the derived world behaves exactly like `Scenario::build` of the
+//!    equivalent `GridConfig`.  Sharing the `Arc`'d topology/metrics/landmark tables is an
+//!    optimisation, never a semantic change: a DSMF run on the derived world must produce a
+//!    byte-identical `SimulationReport` to a run on the from-scratch rebuild.
+//! 2. **Actual sharing** — the expensive tables really are shared (`Arc` identity, checked
+//!    through `shares_topology_with` / `shares_workflows_with`), so a whole sweep pays for
+//!    one topology + all-pairs-metrics + landmark computation.
+//!
+//! A third pin covers the execution layer: running a campaign through the work-stealing pool
+//! must not perturb any report — pool sizes 1 and 8 and the sequential path all agree bit
+//! for bit.
+
+use p2pgrid::experiments::campaign;
+use p2pgrid::prelude::*;
+
+fn config(seed: u64) -> GridConfig {
+    let mut cfg = GridConfig::small(20).with_seed(seed);
+    cfg.workflows_per_node = 2;
+    cfg.workflow.tasks = 2..=10;
+    cfg
+}
+
+/// One sampled series as exact bits: `(time in ms, f64 bit pattern)` per point.
+type SeriesBits = Vec<(u64, u64)>;
+
+/// Every externally observable field of a report, flattened for exact comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    act_bits: u64,
+    ae_bits: u64,
+    throughput: SeriesBits,
+    act_series: SeriesBits,
+    ae_series: SeriesBits,
+}
+
+fn fingerprint(report: &SimulationReport) -> Fingerprint {
+    let exact = |series: &p2pgrid::metrics::TimeSeries| -> SeriesBits {
+        series
+            .points()
+            .iter()
+            .map(|&(t, v)| (t.as_millis(), v.to_bits()))
+            .collect()
+    };
+    Fingerprint {
+        submitted: report.submitted,
+        completed: report.completed,
+        failed: report.failed,
+        act_bits: report.act_secs().to_bits(),
+        ae_bits: report.average_efficiency().to_bits(),
+        throughput: exact(report.metrics.throughput_series()),
+        act_series: exact(report.metrics.act_series()),
+        ae_series: exact(report.metrics.ae_series()),
+    }
+}
+
+fn dsmf(scenario: &Scenario) -> Fingerprint {
+    fingerprint(&scenario.simulate_algorithm(Algorithm::Dsmf).run())
+}
+
+/// The derived world must be byte-identical to `Scenario::build` of its own config — the
+/// config each `with_*` method constructed internally, including any pinned stream seeds.
+fn assert_matches_fresh_build(derived: &Scenario) {
+    let rebuilt = Scenario::build(derived.config().clone()).unwrap();
+    let d = dsmf(derived);
+    assert!(d.completed > 0, "run must make progress to pin anything");
+    assert_eq!(d, dsmf(&rebuilt));
+}
+
+#[test]
+fn with_seed_matches_fresh_build_and_shares_topology() {
+    let base = Scenario::build(config(91)).unwrap();
+    let derived = base.with_seed(4242).unwrap();
+    assert!(derived.shares_topology_with(&base));
+    // The workload re-samples from the new master seed, so it must differ...
+    assert!(!derived.shares_workflows_with(&base));
+    assert_ne!(dsmf(&base), dsmf(&derived));
+    // ...while still matching a from-scratch build of the equivalent config.
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn with_resource_matches_fresh_build_and_shares_workflows() {
+    let base = Scenario::build(config(92)).unwrap();
+    let derived = base.with_resource(ResourceModel::multi_core(4)).unwrap();
+    assert!(derived.shares_topology_with(&base));
+    assert!(derived.shares_workflows_with(&base));
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn with_workflows_matches_fresh_build() {
+    let base = Scenario::build(config(93)).unwrap();
+    let mut workflow = base.config().workflow.clone();
+    workflow.load_mi = 100.0..=10_000.0;
+    workflow.data_mb = 100.0..=10_000.0;
+    let derived = base.with_workflows(workflow).unwrap();
+    assert!(derived.shares_topology_with(&base));
+    assert!(!derived.shares_workflows_with(&base));
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn with_load_factor_matches_fresh_build() {
+    let base = Scenario::build(config(94)).unwrap();
+    let derived = base.with_load_factor(4).unwrap();
+    assert!(derived.shares_topology_with(&base));
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn with_churn_matches_fresh_build() {
+    let base = Scenario::build(config(95)).unwrap();
+    let derived = base
+        .with_churn(ChurnConfig::with_dynamic_factor(0.2))
+        .unwrap();
+    assert!(derived.shares_topology_with(&base));
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn with_algorithm_streams_matches_fresh_build_and_keeps_the_workload() {
+    let base = Scenario::build(config(96)).unwrap();
+    let derived = base.with_algorithm_streams(777).unwrap();
+    // The static substrate is untouched: same topology tables, same workflow set.
+    assert!(derived.shares_topology_with(&base));
+    assert!(derived.shares_workflows_with(&base));
+    assert_matches_fresh_build(&derived);
+}
+
+#[test]
+fn derivations_chain_without_rebuilding_the_topology() {
+    let base = Scenario::build(config(97)).unwrap();
+    let step1 = base.with_load_factor(3).unwrap();
+    let step2 = step1
+        .with_churn(ChurnConfig::with_dynamic_factor(0.1))
+        .unwrap();
+    let step3 = step2.with_seed(1234).unwrap();
+    for derived in [&step1, &step2, &step3] {
+        assert!(derived.shares_topology_with(&base));
+    }
+    assert_matches_fresh_build(&step3);
+}
+
+#[test]
+fn a_32_point_sweep_pays_for_exactly_one_topology_build() {
+    // The acceptance criterion: a single-parameter sweep built via `with_seed` performs one
+    // topology/PairwiseMetrics/landmark computation total — every derived world points at
+    // the base's tables (`Arc` identity), no matter the sweep size.
+    let base = Scenario::build(config(98)).unwrap();
+    let points: Vec<Scenario> = (0..32)
+        .map(|s| base.with_seed(10_000 + s).unwrap())
+        .collect();
+    for (i, derived) in points.iter().enumerate() {
+        assert!(
+            derived.shares_topology_with(&base),
+            "sweep point {i} rebuilt the topology tables"
+        );
+    }
+    // And the sweep points are genuinely different worlds, not 32 copies of one.
+    let a = dsmf(&points[0]);
+    let b = dsmf(&points[31]);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn pooled_campaign_matches_sequential_and_any_pool_size() {
+    // Scheduling across threads must never leak into the simulation: the same job list run
+    // sequentially, on a 1-worker pool and on an 8-worker pool produces byte-identical
+    // reports in the same order.  (CI additionally runs the whole suite under
+    // P2PGRID_POOL_THREADS=1 and =8 to pin the global pool path.)
+    let campaign_base = Campaign::from_config(config(99)).unwrap();
+    let points = [1usize, 2, 3];
+    let scenarios = campaign_base
+        .derive(&points, |base, &lf| base.with_load_factor(lf))
+        .unwrap();
+    let jobs = campaign::cross(
+        &scenarios,
+        &[
+            AlgorithmConfig::paper_default(Algorithm::Dsmf),
+            AlgorithmConfig::paper_default(Algorithm::MinMin),
+        ],
+    );
+    let sequential: Vec<Fingerprint> = campaign::run_sequential(&jobs)
+        .iter()
+        .map(fingerprint)
+        .collect();
+    for workers in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap();
+        let pooled: Vec<Fingerprint> =
+            pool.install(|| campaign::run(&jobs).iter().map(fingerprint).collect());
+        assert_eq!(
+            pooled, sequential,
+            "{workers}-worker pool diverged from the sequential reference"
+        );
+    }
+}
