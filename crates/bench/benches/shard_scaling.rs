@@ -1,0 +1,182 @@
+//! Sharded event-loop scaling: events/second as a function of the shard count, plus the
+//! observer fast-path pin.
+//!
+//! Criterion times full DSMF runs at smoke scale for S ∈ {1, 2, 4, 8}; setting
+//! `P2PGRID_BENCH_REDUCED=1` additionally runs a one-shot wall-clock sweep at the experiments'
+//! Reduced scale (120 nodes, 36 h) and prints events/second per shard count together with the
+//! window structure (windows, events per window, max width, cross-shard share) — the numbers
+//! recorded in EXPERIMENTS.md.  The worker-pool width is whatever `P2PGRID_POOL_THREADS` gave
+//! this process (printed alongside), so run the sweep once with `=1` and once with `=8` to
+//! compare the serial and pooled loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pgrid_bench::bench_criterion_config;
+use p2pgrid_core::observer::GridSample;
+use p2pgrid_core::{Algorithm, GridConfig, Observer, Scenario, ShardStats, SimulationReport};
+use p2pgrid_sim::SimTime;
+use p2pgrid_workflow::TaskId;
+use std::hint::black_box;
+
+fn smoke_config(shards: usize) -> GridConfig {
+    let mut cfg = GridConfig::small(32)
+        .with_seed(20100913)
+        .with_shards(shards);
+    cfg.workflows_per_node = 2;
+    cfg
+}
+
+/// Drive one session to the horizon, returning the report and the window statistics.
+fn run_with_stats(cfg: GridConfig) -> (SimulationReport, ShardStats) {
+    let scenario = Scenario::build(cfg).expect("bench config is valid");
+    let mut session = scenario.simulate_algorithm(Algorithm::Dsmf);
+    while session.step().is_some() {}
+    let stats = session.shard_stats();
+    (session.finish(), stats)
+}
+
+fn describe(stats: &ShardStats, elapsed: std::time::Duration) -> String {
+    let events_per_sec = stats.events as f64 / elapsed.as_secs_f64();
+    let events_per_window = stats.events as f64 / (stats.windows.max(1)) as f64;
+    let cross_pct = 100.0 * stats.cross_shard_events as f64 / (stats.events.max(1)) as f64;
+    format!(
+        "S={}: {:.0} events/s ({} events over {} windows, {:.2} events/window, \
+         max width {}, {:.1}% cross-shard, min cross-shard delay {:?})",
+        stats.shards,
+        events_per_sec,
+        stats.events,
+        stats.windows,
+        events_per_window,
+        stats.max_window_width,
+        cross_pct,
+        stats.min_cross_shard_delay,
+    )
+}
+
+/// Criterion sweep at smoke scale: one full run per iteration, per shard count.
+fn bench_shard_scaling(c: &mut Criterion) {
+    // One-shot Reduced-scale sweep with honest per-window statistics, opt-in because a single
+    // run takes seconds.  Results are identical across S by construction (asserted), so this
+    // measures pure event-loop overhead/speedup.
+    if std::env::var_os("P2PGRID_BENCH_REDUCED").is_some() {
+        use p2pgrid_experiments::ExperimentScale;
+        const REPS: usize = 3;
+        println!(
+            "# shard_scaling @ Reduced scale (120 nodes, 36 h, DSMF, min of {REPS}), \
+             pool threads = {}:",
+            rayon::current_num_threads()
+        );
+        let mut baseline = None;
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = ExperimentScale::Reduced
+                .base_config(20100913)
+                .with_shards(shards);
+            let mut best: Option<(std::time::Duration, ShardStats, u64)> = None;
+            for _ in 0..REPS {
+                let t = std::time::Instant::now();
+                let (report, stats) = run_with_stats(cfg.clone());
+                let elapsed = t.elapsed();
+                if best.as_ref().is_none_or(|(d, _, _)| elapsed < *d) {
+                    best = Some((elapsed, stats, report.completed));
+                }
+            }
+            let (elapsed, stats, completed) = best.expect("at least one repetition ran");
+            assert_eq!(
+                *baseline.get_or_insert(completed),
+                completed,
+                "shard count must not change the results"
+            );
+            println!("{} — wall {:?}", describe(&stats, elapsed), elapsed);
+        }
+    }
+
+    let mut group = c.benchmark_group("shard_scaling");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("dsmf_smoke_run", shards),
+            &shards,
+            |bencher, &shards| {
+                bencher.iter(|| black_box(run_with_stats(smoke_config(shards)).0.completed))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A minimal observer that forces the engine onto the observing slow path (buffer + replay)
+/// while doing almost nothing per event.
+#[derive(Default)]
+struct CountingObserver {
+    events: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_task_dispatched(&mut self, _: SimTime, _: usize, _: TaskId, _: usize) {
+        self.events += 1;
+    }
+    fn on_task_started(&mut self, _: SimTime, _: usize, _: TaskId, _: usize) {
+        self.events += 1;
+    }
+    fn on_task_finished(&mut self, _: SimTime, _: usize, _: TaskId, _: usize) {
+        self.events += 1;
+    }
+    fn on_sample(&mut self, _: SimTime, _: &GridSample) {
+        self.events += 1;
+    }
+}
+
+/// The observer fast path (PR 7 satellite): with no observers registered, the engine must skip
+/// event buffering and payload construction entirely.  Pinned with a wall-clock assert — the
+/// unobserved run may not be slower than the observed one beyond noise — plus criterion
+/// timings of both variants for the record.
+fn bench_observer_fast_path(c: &mut Criterion) {
+    let scenario = Scenario::build(smoke_config(4)).expect("bench config is valid");
+    let unobserved = || {
+        let r = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+        black_box(r.completed)
+    };
+    let observed = || {
+        let mut probe = CountingObserver::default();
+        let r = scenario
+            .simulate_algorithm(Algorithm::Dsmf)
+            .observe(&mut probe)
+            .run();
+        black_box((r.completed, probe.events)).0
+    };
+
+    // The pin: min-of-N wall clocks, interleaved.  The fast path does strictly less work
+    // (no buffering, no canonical merge-sort, no callback dispatch), so even with generous
+    // noise allowance the unobserved run must not come out slower.
+    const REPS: usize = 5;
+    let mut t_unobserved = std::time::Duration::MAX;
+    let mut t_observed = std::time::Duration::MAX;
+    for _ in 0..REPS {
+        let t = std::time::Instant::now();
+        unobserved();
+        t_unobserved = t_unobserved.min(t.elapsed());
+        let t = std::time::Instant::now();
+        observed();
+        t_observed = t_observed.min(t.elapsed());
+    }
+    println!(
+        "# observer_fast_path: unobserved {t_unobserved:?} vs counting observer {t_observed:?}"
+    );
+    assert!(
+        t_unobserved.as_secs_f64() <= t_observed.as_secs_f64() * 1.10,
+        "observer fast path regressed: unobserved run {t_unobserved:?} \
+         is slower than the observed run {t_observed:?} beyond the 10% noise band"
+    );
+
+    let mut group = c.benchmark_group("observer_fast_path");
+    group.bench_function("dsmf_smoke_unobserved", |bencher| bencher.iter(unobserved));
+    group.bench_function("dsmf_smoke_counting_observer", |bencher| {
+        bencher.iter(observed)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_criterion_config();
+    targets = bench_shard_scaling, bench_observer_fast_path
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Window-barrier bookkeeping for the sharded event loop.
+//!
+//! While a time window executes, shards run concurrently and must not touch shared state
+//! (workflow progress, metrics) or call observers — both would make results depend on shard
+//! count and interleaving.  Instead each shard records what happened into two per-shard
+//! buffers, and the barrier replays them in a *canonical* order that no partitioning can
+//! perturb:
+//!
+//! * [`CompletionNotice`]s — task completions that must update workflow state — are merged and
+//!   sorted by `(time, workflow, task)` before being applied, so the floating-point
+//!   accumulation order inside the metrics is identical for every shard count;
+//! * [`BufferedEvent`]s — observer callbacks — are merged and sorted by
+//!   `(time, node, per-shard emission sequence)`.  A node's events are always processed by
+//!   exactly one shard in a causally fixed order, so the per-shard sequence preserves each
+//!   node's relative order while the global node id canonicalises the order *across* nodes.
+
+use crate::NodeId;
+use p2pgrid_sim::SimTime;
+use p2pgrid_workflow::TaskId;
+
+/// A task completion recorded inside a window, applied to workflow state at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CompletionNotice {
+    /// Completion instant.
+    pub time: SimTime,
+    /// Global workflow index.
+    pub wf: usize,
+    /// The completed task.
+    pub task: TaskId,
+    /// Node the task ran on (becomes the task's output location).
+    pub node: NodeId,
+}
+
+/// Sort notices into the canonical application order: `(time, workflow, task)`.
+///
+/// Within one window a `(workflow, task)` pair completes at most once — re-dispatch of lost
+/// tasks only happens at scheduling cycles, which run at barriers — so the key is unique and
+/// the order total.
+pub(crate) fn sort_notices(notices: &mut [CompletionNotice]) {
+    notices.sort_unstable_by_key(|n| (n.time, n.wf, n.task));
+}
+
+/// Which observer hook a buffered event replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BufferedKind {
+    /// A task occupied an execution slot (`on_task_started`).
+    Started {
+        /// Global workflow index.
+        wf: usize,
+        /// The started task.
+        task: TaskId,
+    },
+    /// A task finished executing (`on_task_finished`, possibly followed by
+    /// `on_workflow_completed` for the exit task).
+    Finished {
+        /// Global workflow index.
+        wf: usize,
+        /// The finished task.
+        task: TaskId,
+    },
+    /// A running task was displaced by a higher-priority arrival (`on_task_displaced`).
+    Displaced {
+        /// Global workflow index.
+        wf: usize,
+        /// The displaced task.
+        task: TaskId,
+    },
+}
+
+/// One observer callback recorded during a window, replayed at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BufferedEvent {
+    /// Virtual time the transition happened.
+    pub time: SimTime,
+    /// The node it happened on.
+    pub node: NodeId,
+    /// The emitting shard's monotone emission counter; orders events of the *same node*
+    /// (a node's events all carry the same shard's counter, so the order is shard-count
+    /// independent).
+    pub seq: u64,
+    /// Which hook to replay.
+    pub kind: BufferedKind,
+}
+
+/// Sort buffered observations into the canonical replay order: `(time, node, seq)`.
+pub(crate) fn sort_observations(events: &mut [BufferedEvent]) {
+    events.sort_unstable_by_key(|e| (e.time, e.node, e.seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notices_sort_by_time_then_workflow_then_task() {
+        let t = SimTime::from_secs;
+        let mut notices = vec![
+            CompletionNotice {
+                time: t(5),
+                wf: 1,
+                task: TaskId(0),
+                node: 3,
+            },
+            CompletionNotice {
+                time: t(2),
+                wf: 9,
+                task: TaskId(4),
+                node: 0,
+            },
+            CompletionNotice {
+                time: t(5),
+                wf: 0,
+                task: TaskId(2),
+                node: 1,
+            },
+            CompletionNotice {
+                time: t(5),
+                wf: 0,
+                task: TaskId(1),
+                node: 2,
+            },
+        ];
+        sort_notices(&mut notices);
+        let order: Vec<(u64, usize, TaskId)> = notices
+            .iter()
+            .map(|n| (n.time.as_millis() / 1000, n.wf, n.task))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (2, 9, TaskId(4)),
+                (5, 0, TaskId(1)),
+                (5, 0, TaskId(2)),
+                (5, 1, TaskId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn observations_interleave_nodes_canonically_but_keep_per_node_order() {
+        let t = SimTime::from_secs(1);
+        // Node 7's events carry seqs from a "large" shard, node 2's from a singleton shard;
+        // the merge must order by node id first, then by each node's own sequence.
+        let mut events = vec![
+            BufferedEvent {
+                time: t,
+                node: 7,
+                seq: 11,
+                kind: BufferedKind::Finished {
+                    wf: 0,
+                    task: TaskId(0),
+                },
+            },
+            BufferedEvent {
+                time: t,
+                node: 2,
+                seq: 1,
+                kind: BufferedKind::Started {
+                    wf: 1,
+                    task: TaskId(1),
+                },
+            },
+            BufferedEvent {
+                time: t,
+                node: 7,
+                seq: 4,
+                kind: BufferedKind::Started {
+                    wf: 0,
+                    task: TaskId(0),
+                },
+            },
+            BufferedEvent {
+                time: SimTime::ZERO,
+                node: 9,
+                seq: 99,
+                kind: BufferedKind::Displaced {
+                    wf: 2,
+                    task: TaskId(2),
+                },
+            },
+        ];
+        sort_observations(&mut events);
+        let order: Vec<(NodeId, u64)> = events.iter().map(|e| (e.node, e.seq)).collect();
+        assert_eq!(order, vec![(9, 99), (2, 1), (7, 4), (7, 11)]);
+    }
+}

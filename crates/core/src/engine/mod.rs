@@ -1,4 +1,5 @@
-//! The grid engine: the event loop driving one end-to-end P2P-grid simulation.
+//! The grid engine: a sharded, conservative time-window event loop driving one end-to-end
+//! P2P-grid simulation.
 //!
 //! One engine run reproduces the paper's experimental procedure:
 //!
@@ -21,10 +22,35 @@
 //!    (or are re-scheduled if the future-work flag is enabled).
 //! 7. Throughput, ACT and AE are sampled hourly, exactly like the paper's figures.
 //!
+//! # The sharded event loop
+//!
+//! Instead of one global event queue, [`ShardedEngine`] partitions the nodes over `S` shards
+//! (a deterministic hash of the node id — see [`ShardSpec`](crate::config::ShardSpec)), each
+//! with its own queue and RNG stream, and advances all shards in lockstep **conservative time
+//! windows** of width [`Scenario::lookahead`] — the minimum cross-node interaction delay,
+//! known at build time from the topology's smallest pairwise latency and the gossip cadence.
+//! Within a window, every shard-local event (data arrivals, task completions, slot refills) is
+//! independent of every other shard by construction: nodes interact only through dispatches,
+//! which originate at the serial scheduling cadence and arrive no earlier than one lookahead
+//! away.  Shards therefore execute their windows concurrently on the worker pool, and the
+//! result is *identical* to serial execution — parallelism is a pure performance knob.
+//!
+//! At each window barrier the engine, serially and in canonical order (see `barrier.rs`):
+//!
+//! 1. applies the shards' buffered completion notices to workflow state and metrics, sorted by
+//!    `(time, workflow, task)` so floating-point accumulation never depends on the partition;
+//! 2. replays the shards' buffered observer callbacks, merged by `(time, node, emission seq)`,
+//!    splicing `on_workflow_completed` right after the matching exit-task finish;
+//! 3. pops the grid-wide cadence events (gossip, scheduling, metrics) due exactly at the
+//!    window's end — windows always close *at* the next cadence instant, so the serial phases
+//!    observe every node in a settled state.
+//!
+//! Reports are byte-identical for every shard count and pool size; only wall-clock changes.
+//!
 //! Steps 1–2 (and every other seed-derived sample) live in
 //! [`Scenario::build`](crate::scenario::Scenario::build) so a sweep pays for them once; the
-//! event loop itself runs inside a crate-private session type, which the public
-//! [`Simulation`](crate::simulation::Simulation) handle drives one event at a time.  Every
+//! window loop itself runs inside a crate-private session type, which the public
+//! [`Simulation`](crate::simulation::Simulation) handle drives one window at a time.  Every
 //! externally meaningful transition is mirrored to the session's registered
 //! [`Observer`](crate::observer)s — [`node`] (the indexed ready set and slot
 //! runtime) and [`transfer`] are exported for benches and tooling; everything else stays
@@ -33,6 +59,11 @@
 pub mod node;
 pub mod transfer;
 pub(crate) mod workflow;
+
+mod barrier;
+mod shard;
+
+pub use shard::ShardStats;
 
 use crate::config::GridConfig;
 use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
@@ -44,17 +75,21 @@ use crate::report::SimulationReport;
 use crate::scenario::Scenario;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
+use barrier::{sort_notices, sort_observations, BufferedEvent, BufferedKind, CompletionNotice};
 use node::{NodeRuntime, ReadyEntry};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip};
 use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
-use p2pgrid_sim::{EventHandler, SimControl, SimDuration, SimRng, SimTime, Simulator};
+use p2pgrid_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use p2pgrid_topology::LandmarkEstimator;
 use p2pgrid_workflow::{ExpectedCosts, TaskId, WorkflowAnalysis};
+use shard::{run_shards, Shard, ShardEvent, ShardMap, WindowCtx};
+use std::collections::HashSet;
 use std::sync::Arc;
 use transfer::TransferModel;
 use workflow::WorkflowRuntime;
 
-/// Events of the grid simulation.
+/// Grid-wide cadence events.  These are the only events on the engine's serial queue; all
+/// node-local traffic lives on the per-shard queues as [`ShardEvent`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GridEvent {
     /// Run one mixed-gossip cycle on every alive node.
@@ -63,23 +98,6 @@ enum GridEvent {
     SchedulingCycle,
     /// Sample throughput / ACT / AE.
     MetricsSample,
-    /// All input data of a dispatched task has arrived at its resource node.
-    DataReady {
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-    },
-    /// A running task finished on its resource node.
-    TaskCompleted {
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-        /// Run generation the completion belongs to; a preemption of the same task bumps the
-        /// generation, turning the displaced run's in-flight completion event stale.
-        run: u64,
-    },
 }
 
 /// The observers registered on one session, passed down the engine call tree so every hook
@@ -89,14 +107,32 @@ enum GridEvent {
 pub(crate) struct Observers<'a, 'obs>(pub(crate) &'a mut [&'obs mut dyn Observer]);
 
 impl Observers<'_, '_> {
+    /// True when no observer is registered — callers on hot paths skip building event payloads
+    /// entirely (the observer fast path; pinned by the `observer_overhead` bench).
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
     fn emit(&mut self, mut f: impl FnMut(&mut dyn Observer)) {
+        if self.0.is_empty() {
+            return;
+        }
         for o in self.0.iter_mut() {
             f(&mut **o);
         }
     }
 }
 
-pub(crate) struct EngineState {
+/// The sharded event loop of one simulation run.
+///
+/// Owns the node partition (one `Shard` per partition class with its own event queue and RNG
+/// stream), the serial grid-wide cadence queue, and all cross-shard state (workflows, metrics,
+/// gossip).  Advanced one conservative time window at a time by the crate-private session /
+/// [`Simulation`](crate::simulation::Simulation) machinery; the public surface of this type is
+/// read-only statistics plus the per-shard RNG seam.
+///
+/// See the [module docs](self) for the window/barrier protocol and its determinism argument.
+pub struct ShardedEngine {
     config: GridConfig,
     scheduler: Box<dyn Scheduler>,
     transfer: Arc<TransferModel>,
@@ -104,22 +140,39 @@ pub(crate) struct EngineState {
     gossip: MixedGossip,
     gossip_rng: SimRng,
     churn_rng: SimRng,
-    nodes: Vec<NodeRuntime>,
+    /// Reused gossip-state scratch buffer (filled in global node order every cycle), so the
+    /// five-minute cadence stops allocating a fresh vector per cycle.
+    gossip_scratch: Vec<LocalNodeState>,
+    shards: Vec<Shard>,
+    map: ShardMap,
     workflows: Vec<WorkflowRuntime>,
     home_of: Arc<Vec<Vec<usize>>>,
     metrics: WorkflowMetrics,
+    globals: EventQueue<GridEvent>,
+    lookahead: SimDuration,
+    now: SimTime,
+    horizon: SimTime,
     next_seq: u64,
-    next_run: u64,
     dispatched_tasks: u64,
-    executed_tasks: u64,
+    windows: u64,
+    max_window_width: SimDuration,
+    cross_shard_events: u64,
+    min_cross_shard_delay: Option<SimDuration>,
+    /// Barrier scratch: merged completion notices of the current window.
+    notices: Vec<CompletionNotice>,
+    /// Barrier scratch: merged buffered observations of the current window.
+    observations: Vec<BufferedEvent>,
+    /// Barrier scratch: exit tasks that completed their workflow this window, so the
+    /// observation replay can splice `on_workflow_completed` after the matching finish.
+    completed_markers: HashSet<(usize, TaskId)>,
 }
 
-impl EngineState {
-    /// Clone the scenario's mutable runtime state into a fresh session state and run the
+impl ShardedEngine {
+    /// Clone the scenario's mutable runtime state into a fresh engine — partitioning the nodes
+    /// into shards per the config's [`ShardSpec`](crate::config::ShardSpec) — and run the
     /// scheduler's full-ahead planning pass (HEFT / SMF plan centrally before execution).
     pub(crate) fn from_scenario(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
         let world = scenario.world();
-        let nodes = world.nodes.clone();
         let mut workflows = (*world.workflows).clone();
         let mut metrics = WorkflowMetrics::new(scheduler.label());
         for _ in 0..workflows.len() {
@@ -134,7 +187,8 @@ impl EngineState {
                     workflow: &w.workflow,
                 })
                 .collect();
-            let candidates: Vec<CandidateNode> = nodes
+            let candidates: Vec<CandidateNode> = world
+                .nodes
                 .iter()
                 .enumerate()
                 .map(|(i, nd)| CandidateNode {
@@ -165,7 +219,19 @@ impl EngineState {
             }
         }
 
-        EngineState {
+        let shard_count = world.config.shards.resolve(world.nodes.len());
+        let (map, members) = ShardMap::new(world.nodes.len(), shard_count);
+        let shards: Vec<Shard> = members
+            .into_iter()
+            .enumerate()
+            .map(|(id, node_ids)| {
+                let nodes = node_ids.iter().map(|&n| world.nodes[n].clone()).collect();
+                Shard::new(id, node_ids, nodes, world.config.seed)
+            })
+            .collect();
+
+        let horizon = SimTime::ZERO + world.config.horizon;
+        ShardedEngine {
             config: world.config.clone(),
             scheduler,
             transfer: Arc::clone(&world.transfer),
@@ -173,34 +239,116 @@ impl EngineState {
             gossip: world.gossip.clone(),
             gossip_rng: world.gossip_rng.clone(),
             churn_rng: world.churn_rng.clone(),
-            nodes,
+            gossip_scratch: Vec::with_capacity(map.len()),
+            shards,
+            map,
             workflows,
             home_of: Arc::clone(&world.home_of),
             metrics,
+            globals: EventQueue::new(),
+            lookahead: world.lookahead,
+            now: SimTime::ZERO,
+            horizon,
             next_seq: 0,
-            next_run: 0,
             dispatched_tasks: 0,
-            executed_tasks: 0,
+            windows: 0,
+            max_window_width: SimDuration::ZERO,
+            cross_shard_events: 0,
+            min_cross_shard_delay: None,
+            notices: Vec::new(),
+            observations: Vec::new(),
+            completed_markers: HashSet::new(),
         }
+    }
+
+    // ----- public read-only surface --------------------------------------------------------
+
+    /// Aggregate counters of the sharded run so far: window count and widths, per-shard event
+    /// totals and cross-shard traffic.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards.len(),
+            windows: self.windows,
+            max_window_width: self.max_window_width,
+            events: self.shards.iter().map(|s| s.events_processed).sum(),
+            cross_shard_events: self.cross_shard_events,
+            min_cross_shard_delay: self.min_cross_shard_delay,
+        }
+    }
+
+    /// Number of shards the node population is partitioned into (the resolved
+    /// [`ShardSpec`](crate::config::ShardSpec)).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative time-window width: no cross-shard event can arrive sooner than this,
+    /// so shards within a window are independent.  See [`Scenario::lookahead`].
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Mutable access to one shard's dedicated RNG stream.
+    ///
+    /// The stream is split deterministically from the master seed by shard index, so draws in
+    /// one shard never perturb any other shard (or any other component).  The engine itself
+    /// draws nothing from it today; it is the seam for stochastic *in-shard* models — e.g.
+    /// per-node failure injection — that future substrates can consume without threading a new
+    /// RNG through the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_rng_mut(&mut self, shard: usize) -> &mut SimRng {
+        &mut self.shards[shard].rng
+    }
+
+    /// Task executions started so far, summed over the per-shard counters.  Can exceed
+    /// [`ShardedEngine::dispatched_tasks`] on preemptive substrates, where displaced tasks
+    /// restart from scratch.
+    pub fn executed_tasks(&self) -> u64 {
+        self.shards.iter().map(|s| s.executed).sum()
+    }
+
+    /// Tasks dispatched by the first scheduling phase so far.
+    pub fn dispatched_tasks(&self) -> u64 {
+        self.dispatched_tasks
     }
 
     // ----- helpers -------------------------------------------------------------------------
 
-    fn local_gossip_states(&self, now: SimTime) -> Vec<LocalNodeState> {
-        self.nodes
-            .iter()
-            .map(|nd| LocalNodeState {
+    fn node(&self, id: NodeId) -> &NodeRuntime {
+        &self.shards[self.map.shard_of[id]].nodes[self.map.local_of[id]]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
+        &mut self.shards[self.map.shard_of[id]].nodes[self.map.local_of[id]]
+    }
+
+    /// Refill the reusable gossip-state buffer, iterating nodes in *global* id order so the
+    /// gossip protocol (and its floating-point averages) never see the shard partition.
+    fn fill_gossip_scratch(&mut self, now: SimTime) {
+        let Self {
+            shards,
+            map,
+            gossip_scratch,
+            ..
+        } = self;
+        gossip_scratch.clear();
+        for id in 0..map.len() {
+            let nd = &shards[map.shard_of[id]].nodes[map.local_of[id]];
+            gossip_scratch.push(LocalNodeState {
                 alive: nd.alive,
                 capacity_mips: nd.advertised_capacity_mips(),
                 slots: nd.slots,
                 total_load_mi: nd.total_load_mi(now),
                 local_avg_bandwidth_mbps: nd.local_avg_bandwidth_mbps,
-            })
-            .collect()
+            });
+        }
     }
 
     /// One aggregate snapshot over the alive population, built from the per-node `O(1)`
-    /// accessors — `O(nodes)` total, no heap walks.
+    /// accessors in global node order — `O(nodes)` total, no heap walks.
     fn grid_sample(&self) -> GridSample {
         let mut sample = GridSample {
             alive_nodes: 0,
@@ -209,7 +357,8 @@ impl EngineState {
             running_tasks: 0,
             queued_load_mi: 0.0,
         };
-        for nd in &self.nodes {
+        for id in 0..self.map.len() {
+            let nd = self.node(id);
             if !nd.alive {
                 continue;
             }
@@ -244,10 +393,10 @@ impl EngineState {
     /// checkpointing/rescheduling extension (the paper's future work) its workflow can no
     /// longer finish and is recorded as failed.
     fn handle_departure(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
-        if !self.nodes[node].alive {
+        if !self.node(node).alive {
             return;
         }
-        let (waiting, running) = self.nodes[node].depart();
+        let (waiting, running) = self.node_mut(node).depart();
         for (wf, task) in waiting {
             if self.workflows[wf].is_active() {
                 self.workflows[wf].progress.unmark_dispatched(task);
@@ -267,8 +416,8 @@ impl EngineState {
     }
 
     fn handle_join(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
-        if !self.nodes[node].alive {
-            self.nodes[node].join();
+        if !self.node(node).alive {
+            self.node_mut(node).join();
             obs.emit(|o| o.on_node_joined(now, node));
         }
     }
@@ -278,15 +427,22 @@ impl EngineState {
         if df <= 0.0 {
             return;
         }
-        let churn_count = ((self.nodes.len() as f64) * df).round() as usize;
+        let total = self.map.len();
+        let churn_count = ((total as f64) * df).round() as usize;
         if churn_count == 0 {
             return;
         }
-        let alive_churnable: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].churnable && self.nodes[i].alive)
+        let alive_churnable: Vec<NodeId> = (0..total)
+            .filter(|&i| {
+                let nd = self.node(i);
+                nd.churnable && nd.alive
+            })
             .collect();
-        let dead_churnable: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].churnable && !self.nodes[i].alive)
+        let dead_churnable: Vec<NodeId> = (0..total)
+            .filter(|&i| {
+                let nd = self.node(i);
+                nd.churnable && !nd.alive
+            })
             .collect();
         let leaving: Vec<NodeId> = self
             .churn_rng
@@ -310,31 +466,22 @@ impl EngineState {
 
     // ----- first phase ---------------------------------------------------------------------
 
-    fn scheduling_phase_one(
-        &mut self,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        let home_nodes: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].alive && !self.home_of[i].is_empty())
+    fn scheduling_phase_one(&mut self, now: SimTime, obs: &mut Observers<'_, '_>) {
+        let home_nodes: Vec<NodeId> = (0..self.map.len())
+            .filter(|&i| self.node(i).alive && !self.home_of[i].is_empty())
             .collect();
         for home in home_nodes {
             if self.workflows[self.home_of[home][0]].plan.is_some() {
-                self.dispatch_full_ahead(home, ctl, obs);
+                self.dispatch_full_ahead(home, now, obs);
             } else {
-                self.dispatch_just_in_time(home, ctl, obs);
+                self.dispatch_just_in_time(home, now, obs);
             }
         }
     }
 
     /// Dispatch every current schedule point of a full-ahead plan to its pre-planned node
     /// (falling back to the home node if the planned node has churned away).
-    fn dispatch_full_ahead(
-        &mut self,
-        home: NodeId,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
+    fn dispatch_full_ahead(&mut self, home: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         let wf_indices = self.home_of[home].clone();
         for wf in wf_indices {
             if !self.workflows[wf].is_active() {
@@ -347,7 +494,7 @@ impl EngineState {
             for task in sps {
                 let planned =
                     self.workflows[wf].plan.as_ref().expect("full-ahead plan")[task.index()];
-                let target = if self.nodes[planned].alive {
+                let target = if self.node(planned).alive {
                     planned
                 } else {
                     home
@@ -356,18 +503,13 @@ impl EngineState {
                     let w = &self.workflows[wf];
                     (w.static_rpm[task.index()], w.static_ms_secs, 0.0)
                 };
-                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, ctl, obs);
+                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, now, obs);
             }
         }
     }
 
     /// Algorithm 1 (and its competitor orderings) at one home node.
-    fn dispatch_just_in_time(
-        &mut self,
-        home: NodeId,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
+    fn dispatch_just_in_time(&mut self, home: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         // The home node's estimates of the system-wide averages come from the aggregation
         // gossip; its candidate set comes from the epidemic gossip's RSS.
         let (avg_cap, avg_bw) = self.gossip.expected_costs(home);
@@ -420,7 +562,7 @@ impl EngineState {
             .gossip
             .rss(home)
             .records()
-            .filter(|r| self.nodes[r.node].alive)
+            .filter(|r| self.node(r.node).alive)
             .map(|r| CandidateNode {
                 node: r.node,
                 capacity_mips: r.capacity_mips,
@@ -431,9 +573,9 @@ impl EngineState {
         if candidates.is_empty() {
             candidates.push(CandidateNode {
                 node: home,
-                capacity_mips: self.nodes[home].advertised_capacity_mips(),
-                slots: self.nodes[home].slots,
-                total_load_mi: self.nodes[home].total_load_mi(ctl.now()),
+                capacity_mips: self.node(home).advertised_capacity_mips(),
+                slots: self.node(home).slots,
+                total_load_mi: self.node(home).total_load_mi(now),
             });
         }
 
@@ -458,14 +600,20 @@ impl EngineState {
                 rpm,
                 ms,
                 d.sufferage_secs,
-                ctl,
+                now,
                 obs,
             );
         }
     }
 
     /// Migrate a task to its chosen resource node: mark it dispatched, enqueue it in the ready
-    /// set and schedule the completion of its (true) data transfers.
+    /// set and schedule the completion of its (true) data transfers into the target's shard.
+    ///
+    /// This is the **only** place events enter a shard queue from outside the shard, and it
+    /// runs at window barriers (the scheduling cadence).  For a cross-shard dispatch the
+    /// transfer delay includes at least one network hop's latency, which lower-bounds it by
+    /// the engine's lookahead — the conservative-PDES soundness invariant tracked in
+    /// [`ShardStats::min_cross_shard_delay`].
     #[allow(clippy::too_many_arguments)]
     fn dispatch_task(
         &mut self,
@@ -476,10 +624,10 @@ impl EngineState {
         rpm_secs: f64,
         ms_secs: f64,
         sufferage_secs: f64,
-        ctl: &mut SimControl<GridEvent>,
+        now: SimTime,
         obs: &mut Observers<'_, '_>,
     ) {
-        if !self.nodes[target].alive {
+        if !self.node(target).alive {
             // A stale RSS record pointed at a node that just churned away; the migration fails
             // before any computation happens, so the task simply stays a schedule point and is
             // retried at the next scheduling cycle.
@@ -507,207 +655,227 @@ impl EngineState {
         let view = ReadyTaskView {
             workflow_ms_secs: ms_secs,
             rpm_secs,
-            exec_secs: self.nodes[target].execution_secs(load_mi),
+            exec_secs: self.node(target).execution_secs(load_mi),
             sufferage_secs,
             enqueued_seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.nodes[target].ready.insert(ReadyEntry {
-            wf,
-            task,
-            load_mi,
-            key: self.scheduler.ready_key(&view),
-            view,
-            data_ready: false,
-        });
-        obs.emit(|o| o.on_task_dispatched(ctl.now(), wf, task, target));
-        ctl.schedule_in(
-            SimDuration::from_secs_f64(transfer_secs),
-            GridEvent::DataReady {
-                node: target,
-                epoch: self.nodes[target].epoch,
+        let key = self.scheduler.ready_key(&view);
+        let target_shard = self.map.shard_of[target];
+        let local = self.map.local_of[target];
+        self.shards[target_shard].nodes[local]
+            .ready
+            .insert(ReadyEntry {
+                wf,
+                task,
+                load_mi,
+                key,
+                view,
+                data_ready: false,
+            });
+        obs.emit(|o| o.on_task_dispatched(now, wf, task, target));
+        let delay = SimDuration::from_secs_f64(transfer_secs);
+        if self.map.shard_of[home] != target_shard {
+            self.cross_shard_events += 1;
+            self.min_cross_shard_delay = Some(match self.min_cross_shard_delay {
+                Some(d) if d <= delay => d,
+                _ => delay,
+            });
+        }
+        let epoch = self.shards[target_shard].nodes[local].epoch;
+        self.shards[target_shard].queue.schedule(
+            now + delay,
+            ShardEvent::DataReady {
+                local,
+                epoch,
                 wf,
                 task,
             },
         );
     }
 
-    // ----- second phase --------------------------------------------------------------------
+    // ----- the window loop -------------------------------------------------------------------
 
-    /// Occupy one slot of `node` with `chosen` and schedule its completion.
-    fn start_task(
-        &mut self,
-        node: NodeId,
-        chosen: &ReadyEntry,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        let run = self.next_run;
-        self.next_run += 1;
-        let finish_at = self.nodes[node].start(chosen, ctl.now(), run);
-        self.executed_tasks += 1;
-        obs.emit(|o| o.on_task_started(ctl.now(), chosen.wf, chosen.task, node));
-        ctl.schedule_at(
-            finish_at,
-            GridEvent::TaskCompleted {
-                node,
-                epoch: self.nodes[node].epoch,
-                wf: chosen.wf,
-                task: chosen.task,
-                run,
-            },
-        );
+    /// Bounds of the next conservative window: `start` is the earliest pending event anywhere,
+    /// `end` caps it at one lookahead, clipped to the next grid-wide cadence instant and the
+    /// horizon.  `None` when the run is over (no pending event at or before the horizon).
+    fn next_window(&self) -> Option<(SimTime, SimTime)> {
+        let local_min = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+        let global_min = self.globals.peek_time();
+        let start = match (local_min, global_min) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        if start > self.horizon {
+            return None;
+        }
+        let mut end = start + self.lookahead;
+        if let Some(g) = global_min {
+            end = end.min(g);
+        }
+        end = end.min(self.horizon);
+        Some((start, end))
     }
 
-    /// Algorithm 2: while the node has free execution slots, pick the next data-complete ready
-    /// task (smallest scheduler key) and run it.  Under the time-sliced preemptive substrate a
-    /// remaining ready task that outranks the lowest-priority running task then displaces it —
-    /// the victim re-enters the ready heap with its residual load and resumes later.
-    fn try_start_tasks(
-        &mut self,
-        node: NodeId,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        if !self.nodes[node].alive {
-            return;
-        }
-        while self.nodes[node].has_free_slot() {
-            let Some(chosen) = self.nodes[node].ready.pop_next() else {
-                break;
-            };
-            self.start_task(node, &chosen, ctl, obs);
-        }
-        if !self.config.resource.is_preemptive() {
-            return;
-        }
-        // Each round swaps a strictly higher-priority ready task into a slot, so the worst
-        // running key strictly improves and the loop terminates.
-        while let Some((key, _seq)) = self.nodes[node].ready.peek_next() {
-            let Some(mut displaced) = self.nodes[node].preempt_lowest_priority(key, ctl.now())
-            else {
-                break;
-            };
-            let chosen = self.nodes[node]
-                .ready
-                .pop_next()
-                .expect("peeked entry must still be queued");
-            obs.emit(|o| o.on_task_displaced(ctl.now(), displaced.wf, displaced.task, node));
-            // Re-key the displaced task against its updated view: rules keyed on exec time
-            // now see the *remaining* time (shortest-remaining-time semantics), while
-            // ms/rpm-based rules and FCFS recompute the same key as before.
-            displaced.key = self.scheduler.ready_key(&displaced.view);
-            self.nodes[node].ready.insert(displaced);
-            self.start_task(node, &chosen, ctl, obs);
-        }
-    }
-
-    fn on_data_ready(
-        &mut self,
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        if !self.nodes[node].alive || self.nodes[node].epoch != epoch {
-            return;
-        }
-        self.nodes[node].ready.mark_data_ready(wf, task);
-        self.try_start_tasks(node, ctl, obs);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_task_completed(
-        &mut self,
-        node: NodeId,
-        epoch: u64,
-        wf: usize,
-        task: TaskId,
-        run: u64,
-        ctl: &mut SimControl<GridEvent>,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        if self.nodes[node].epoch != epoch || !self.nodes[node].alive {
-            return;
-        }
-        if !self.nodes[node].complete(wf, task, run) {
-            return;
-        }
-        let now = ctl.now();
-        obs.emit(|o| o.on_task_finished(now, wf, task, node));
+    /// Execute one conservative time window: run every shard (in parallel when the pool and the
+    /// partition allow), then run the barrier — apply completion notices, replay observations,
+    /// handle the grid-wide cadences due at the window's end.  Returns the window's end, or
+    /// `None` when the run is over.
+    fn advance_window(&mut self, observers: &mut [&mut dyn Observer]) -> Option<SimTime> {
+        let (start, end) = self.next_window()?;
         {
-            let w = &mut self.workflows[wf];
-            if w.is_active() {
-                w.task_location[task.index()] = Some(node);
-                w.progress.mark_finished(&w.workflow, task);
-                if task == w.workflow.exit() {
-                    w.completed = true;
-                    self.metrics.record_completion(WorkflowRecord {
-                        submitted_at: w.submitted_at,
-                        completed_at: now,
-                        expected_finish_secs: w.eft_secs,
-                        outcome: WorkflowOutcome::Completed,
-                    });
-                    obs.emit(|o| o.on_workflow_completed(now, wf));
+            let Self {
+                shards,
+                scheduler,
+                config,
+                ..
+            } = self;
+            let ctx = WindowCtx {
+                scheduler: &**scheduler,
+                preemptive: config.resource.is_preemptive(),
+                observing: !observers.is_empty(),
+            };
+            run_shards(shards, end, &ctx);
+        }
+        self.now = end;
+        self.windows += 1;
+        let width = end.saturating_duration_since(start);
+        if width > self.max_window_width {
+            self.max_window_width = width;
+        }
+        self.apply_notices();
+        self.flush_observations(observers);
+        self.handle_globals(end, observers);
+        Some(end)
+    }
+
+    /// Barrier step 1: merge the shards' completion notices, sort them canonically and apply
+    /// them to workflow state and metrics.  Runs unconditionally — workflow progress is engine
+    /// state, not an observation.
+    fn apply_notices(&mut self) {
+        let Self {
+            shards,
+            notices,
+            workflows,
+            metrics,
+            completed_markers,
+            ..
+        } = self;
+        notices.clear();
+        completed_markers.clear();
+        for s in shards.iter_mut() {
+            notices.append(&mut s.outbox);
+        }
+        if notices.is_empty() {
+            return;
+        }
+        sort_notices(notices);
+        for n in notices.iter() {
+            let w = &mut workflows[n.wf];
+            if !w.is_active() {
+                continue;
+            }
+            if w.apply_completion(n.task, n.node) {
+                w.completed = true;
+                metrics.record_completion(WorkflowRecord {
+                    submitted_at: w.submitted_at,
+                    completed_at: n.time,
+                    expected_finish_secs: w.eft_secs,
+                    outcome: WorkflowOutcome::Completed,
+                });
+                completed_markers.insert((n.wf, n.task));
+            }
+        }
+    }
+
+    /// Barrier step 2: merge the shards' buffered observer callbacks and replay them in the
+    /// canonical `(time, node, seq)` order, splicing `on_workflow_completed` right after the
+    /// exit task's finish — exactly where the monolithic loop emitted it.
+    fn flush_observations(&mut self, observers: &mut [&mut dyn Observer]) {
+        if observers.is_empty() {
+            return;
+        }
+        let Self {
+            shards,
+            observations,
+            completed_markers,
+            ..
+        } = self;
+        observations.clear();
+        for s in shards.iter_mut() {
+            observations.append(&mut s.obs_buf);
+        }
+        sort_observations(observations);
+        let mut obs = Observers(observers);
+        for e in observations.iter() {
+            match e.kind {
+                BufferedKind::Started { wf, task } => {
+                    obs.emit(|o| o.on_task_started(e.time, wf, task, e.node));
+                }
+                BufferedKind::Displaced { wf, task } => {
+                    obs.emit(|o| o.on_task_displaced(e.time, wf, task, e.node));
+                }
+                BufferedKind::Finished { wf, task } => {
+                    obs.emit(|o| o.on_task_finished(e.time, wf, task, e.node));
+                    if completed_markers.remove(&(wf, task)) {
+                        obs.emit(|o| o.on_workflow_completed(e.time, wf));
+                    }
                 }
             }
         }
-        self.try_start_tasks(node, ctl, obs);
     }
 
-    fn handle_event(
-        &mut self,
-        ctl: &mut SimControl<GridEvent>,
-        event: GridEvent,
-        obs: &mut Observers<'_, '_>,
-    ) {
-        match event {
-            GridEvent::GossipCycle => {
-                let cycle = self.gossip.stats().cycles;
-                let local = self.local_gossip_states(ctl.now());
-                let mut rng = self.gossip_rng.clone();
-                self.gossip.run_cycle(ctl.now(), &local, &mut rng);
-                self.gossip_rng = rng;
-                obs.emit(|o| o.on_gossip_cycle(ctl.now(), cycle));
-                ctl.schedule_in(self.config.gossip_interval, GridEvent::GossipCycle);
-            }
-            GridEvent::SchedulingCycle => {
-                self.churn_step(ctl.now(), obs);
-                self.scheduling_phase_one(ctl, obs);
-                ctl.schedule_in(self.config.scheduling_interval, GridEvent::SchedulingCycle);
-            }
-            GridEvent::MetricsSample => {
-                self.metrics.sample(ctl.now());
-                let sample = self.grid_sample();
-                obs.emit(|o| o.on_sample(ctl.now(), &sample));
-                ctl.schedule_in(self.config.metrics_interval, GridEvent::MetricsSample);
-            }
-            GridEvent::DataReady {
-                node,
-                epoch,
-                wf,
-                task,
-            } => {
-                self.on_data_ready(node, epoch, wf, task, ctl, obs);
-            }
-            GridEvent::TaskCompleted {
-                node,
-                epoch,
-                wf,
-                task,
-                run,
-            } => {
-                self.on_task_completed(node, epoch, wf, task, run, ctl, obs);
+    /// Barrier step 3: pop and handle every grid-wide cadence event due at the window's end.
+    /// Windows always close at the next cadence instant, so by construction these fire exactly
+    /// at `end`, over a fully settled grid.
+    fn handle_globals(&mut self, end: SimTime, observers: &mut [&mut dyn Observer]) {
+        while self.globals.peek_time().is_some_and(|t| t <= end) {
+            let ev = self.globals.pop().expect("peeked event must pop");
+            debug_assert_eq!(ev.time, end, "cadence events fire only at window barriers");
+            match ev.event {
+                GridEvent::GossipCycle => {
+                    let cycle = self.gossip.stats().cycles;
+                    self.fill_gossip_scratch(end);
+                    {
+                        // Disjoint-field borrows: the protocol reads the scratch states while
+                        // advancing its own RNG stream in place (no clone-and-store-back).
+                        let Self {
+                            gossip,
+                            gossip_scratch,
+                            gossip_rng,
+                            ..
+                        } = self;
+                        gossip.run_cycle(end, gossip_scratch, gossip_rng);
+                    }
+                    Observers(observers).emit(|o| o.on_gossip_cycle(end, cycle));
+                    self.globals
+                        .schedule(end + self.config.gossip_interval, GridEvent::GossipCycle);
+                }
+                GridEvent::SchedulingCycle => {
+                    self.churn_step(end, &mut Observers(observers));
+                    self.scheduling_phase_one(end, &mut Observers(observers));
+                    self.globals.schedule(
+                        end + self.config.scheduling_interval,
+                        GridEvent::SchedulingCycle,
+                    );
+                }
+                GridEvent::MetricsSample => {
+                    self.metrics.sample(end);
+                    let sample = self.grid_sample();
+                    Observers(observers).emit(|o| o.on_sample(end, &sample));
+                    self.globals
+                        .schedule(end + self.config.metrics_interval, GridEvent::MetricsSample);
+                }
             }
         }
     }
 
     fn finish(mut self, end_time: SimTime) -> SimulationReport {
         self.metrics.sample(end_time);
-        let local = self.local_gossip_states(end_time);
-        let avg_rss_size = self.gossip.average_rss_size(&local);
+        self.fill_gossip_scratch(end_time);
+        let avg_rss_size = self.gossip.average_rss_size(&self.gossip_scratch);
         SimulationReport {
             algorithm: self.scheduler.label(),
             gossip_stats: self.gossip.stats(),
@@ -722,75 +890,59 @@ impl EngineState {
     }
 }
 
-/// Adapter handing each delivered event to the engine together with the session's observers.
-struct Driver<'a, 'obs> {
-    state: &'a mut EngineState,
-    observers: &'a mut [&'obs mut dyn Observer],
-}
-
-impl EventHandler<GridEvent> for Driver<'_, '_> {
-    fn handle(&mut self, ctl: &mut SimControl<GridEvent>, event: GridEvent) {
-        self.state
-            .handle_event(ctl, event, &mut Observers(&mut *self.observers));
-    }
-}
-
-/// One in-flight run: the engine state plus its event queue, stepped one event at a time.
+/// One in-flight run: the sharded engine stepped one conservative window at a time.
 /// The public face of this type is [`Simulation`](crate::simulation::Simulation), which owns
 /// the observer list; the session only borrows observers per step so the engine stays free of
 /// observer lifetimes.
 pub(crate) struct EngineSession {
-    state: EngineState,
-    sim: Simulator<GridEvent>,
-    horizon: SimTime,
+    state: ShardedEngine,
 }
 
 impl EngineSession {
     pub(crate) fn new(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
-        let state = EngineState::from_scenario(scenario, scheduler);
-        let horizon = SimTime::ZERO + state.config.horizon;
-        let mut sim: Simulator<GridEvent> = Simulator::new().with_horizon(horizon);
-        sim.schedule_at(SimTime::ZERO, GridEvent::GossipCycle);
-        sim.schedule_at(SimTime::ZERO, GridEvent::MetricsSample);
-        sim.schedule_at(SimTime::ZERO, GridEvent::SchedulingCycle);
-        EngineSession {
-            state,
-            sim,
-            horizon,
-        }
+        let mut state = ShardedEngine::from_scenario(scenario, scheduler);
+        state
+            .globals
+            .schedule(SimTime::ZERO, GridEvent::GossipCycle);
+        state
+            .globals
+            .schedule(SimTime::ZERO, GridEvent::MetricsSample);
+        state
+            .globals
+            .schedule(SimTime::ZERO, GridEvent::SchedulingCycle);
+        EngineSession { state }
     }
 
-    /// Announce the time-zero workflow submissions (fires once, before the first event).
+    /// Announce the time-zero workflow submissions (fires once, before the first window).
     pub(crate) fn announce_submissions(&self, observers: &mut [&mut dyn Observer]) {
         let mut obs = Observers(observers);
+        if obs.is_empty() {
+            return;
+        }
         for (wf, w) in self.state.workflows.iter().enumerate() {
             let home = w.home;
             obs.emit(|o| o.on_workflow_submitted(SimTime::ZERO, wf, home));
         }
     }
 
-    /// Deliver exactly one event and return its timestamp, or `None` when the run is over
-    /// (queue drained or every remaining event lies beyond the horizon).
+    /// Execute exactly one conservative time window and return its end instant, or `None` when
+    /// the run is over (queues drained or every remaining event lies beyond the horizon).
     pub(crate) fn step(&mut self, observers: &mut [&mut dyn Observer]) -> Option<SimTime> {
-        let mut driver = Driver {
-            state: &mut self.state,
-            observers,
-        };
-        self.sim.step(&mut driver)
+        self.state.advance_window(observers)
     }
 
-    /// Timestamp of the next event [`EngineSession::step`] would deliver.
+    /// Start instant of the window [`EngineSession::step`] would execute next.
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.sim.peek_time()
+        self.state.next_window().map(|(start, _)| start)
     }
 
-    /// Current virtual time (the timestamp of the last delivered event).
+    /// Current virtual time (the end of the last executed window).
     pub(crate) fn now(&self) -> SimTime {
-        self.sim.now()
+        self.state.now
     }
 
     pub(crate) fn horizon(&self) -> SimTime {
-        self.horizon
+        self.state.horizon
     }
 
     pub(crate) fn grid_sample(&self) -> GridSample {
@@ -801,15 +953,18 @@ impl EngineSession {
         self.state.scheduler.label()
     }
 
+    pub(crate) fn shard_stats(&self) -> ShardStats {
+        self.state.stats()
+    }
+
     /// Close the session: take the final metrics sample (at the horizon if the run completed,
     /// at the current time if it was cut short), mirror it to the observers, and build the
-    /// report.  A fully-stepped session produces a report byte-identical to the legacy
-    /// one-shot run.
+    /// report.  A fully-stepped session produces a report byte-identical to the one-shot run.
     pub(crate) fn finish(self, observers: &mut [&mut dyn Observer]) -> SimulationReport {
         let end_time = if self.peek_time().is_none() {
-            self.horizon
+            self.state.horizon
         } else {
-            self.now()
+            self.state.now
         };
         let sample = self.state.grid_sample();
         Observers(observers).emit(|o| o.on_sample(end_time, &sample));
@@ -839,9 +994,9 @@ mod tests {
             .simulate_algorithm(algorithm)
     }
 
-    /// Run a session to the horizon and hand back the internal engine state, for white-box
-    /// tests asserting on dispatch/execution counters.
-    fn run_session(cfg: GridConfig, algo: AlgorithmConfig) -> EngineState {
+    /// Run a session to the horizon and hand back the internal engine, for white-box tests
+    /// asserting on dispatch/execution counters.
+    fn run_session(cfg: GridConfig, algo: AlgorithmConfig) -> ShardedEngine {
         let scenario = Scenario::build(cfg).expect("test config is valid");
         let mut session = EngineSession::new(&scenario, Box::new(algo));
         while session.step(&mut []).is_some() {}
@@ -893,6 +1048,62 @@ mod tests {
             a.completed != c.completed || a.act_secs() != c.act_secs(),
             "different seeds should produce different runs"
         );
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        let run_at = |shards: usize, seed: u64| {
+            let cfg = tiny_config(seed).with_shards(shards);
+            let scenario = Scenario::build(cfg).unwrap();
+            let r = scenario.simulate_algorithm(Algorithm::Dsmf).run();
+            (
+                r.completed,
+                r.failed,
+                r.act_secs().to_bits(),
+                r.average_efficiency().to_bits(),
+                r.avg_rss_size.to_bits(),
+            )
+        };
+        for seed in [1, 3] {
+            let base = run_at(1, seed);
+            for shards in [2, 4, 8] {
+                assert_eq!(
+                    run_at(shards, seed),
+                    base,
+                    "seed {seed}: {shards} shards diverged from the single-shard run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_invariants_hold_over_a_full_run() {
+        let cfg = tiny_config(1).with_shards(4);
+        let scenario = Scenario::build(cfg).unwrap();
+        let lookahead = scenario.lookahead();
+        let mut session = EngineSession::new(
+            &scenario,
+            Box::new(AlgorithmConfig::paper_default(Algorithm::Dsmf)),
+        );
+        while session.step(&mut []).is_some() {}
+        let stats = session.shard_stats();
+        assert_eq!(stats.shards, 4);
+        assert!(stats.windows > 0);
+        assert!(stats.events > 0);
+        assert!(
+            stats.max_window_width <= lookahead,
+            "window width {} exceeds the lookahead {}",
+            stats.max_window_width,
+            lookahead
+        );
+        // Conservative-PDES soundness: nothing ever crossed a shard boundary faster than the
+        // lookahead the windows were sized by.
+        if let Some(d) = stats.min_cross_shard_delay {
+            assert!(
+                d >= lookahead,
+                "a cross-shard event was delivered after {d}, below the lookahead {lookahead}"
+            );
+        }
     }
 
     #[test]
@@ -960,8 +1171,8 @@ mod tests {
             .iter()
             .map(|w| w.workflow.task_count())
             .sum();
-        assert!(state.executed_tasks <= state.dispatched_tasks);
-        assert!(state.dispatched_tasks as usize <= total_tasks);
+        assert!(state.executed_tasks() <= state.dispatched_tasks());
+        assert!(state.dispatched_tasks() as usize <= total_tasks);
         // Completed workflows really finished every one of their tasks.
         for w in &state.workflows {
             if w.completed {
@@ -1097,7 +1308,7 @@ mod tests {
         };
         let preempted_somewhere = (20..26).any(|seed| {
             let state = preempt(seed);
-            state.executed_tasks > state.dispatched_tasks
+            state.executed_tasks() > state.dispatched_tasks()
         });
         assert!(
             preempted_somewhere,

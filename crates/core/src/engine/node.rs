@@ -233,6 +233,13 @@ impl NodeRuntime {
         self.running.len() < self.slots
     }
 
+    /// True when the node is alive in the given churn epoch — the guard every in-flight event
+    /// (data arrival, task completion) passes before touching node state.  An event carrying an
+    /// older epoch raced a departure: everything it refers to was lost with the node.
+    pub fn accepts(&self, epoch: u64) -> bool {
+        self.alive && self.epoch == epoch
+    }
+
     /// Execution time of `load_mi` on one slot of this node, seconds.
     pub fn execution_secs(&self, load_mi: f64) -> f64 {
         load_mi / self.capacity_mips

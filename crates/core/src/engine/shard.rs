@@ -1,0 +1,391 @@
+//! One shard of the sharded event loop: a node partition with its own event queue, RNG stream
+//! and run counters.
+//!
+//! The engine partitions the grid's nodes over `S` shards by a deterministic hash of the node
+//! id (so the assignment is independent of scenario content and stable across runs).  Within a
+//! conservative time window every shard drains its own queue independently — node state lives
+//! *inside* its shard, so shards can execute on the worker pool without sharing anything
+//! mutable.  Whatever must cross the shard boundary (workflow-state updates, observer
+//! callbacks) is buffered into the per-shard [`CompletionNotice`] outbox and observation
+//! buffer and merged canonically at the window barrier (see [`super::barrier`]).
+
+use super::barrier::{BufferedEvent, BufferedKind, CompletionNotice};
+use super::node::NodeRuntime;
+use crate::scheduler::Scheduler;
+use crate::NodeId;
+use p2pgrid_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use p2pgrid_workflow::TaskId;
+
+/// Deterministic node → shard assignment: a splitmix64-style avalanche of the node id, reduced
+/// modulo the shard count.  Content-independent, so deriving a scenario or changing the
+/// workload never re-partitions the grid.
+pub(crate) fn shard_of_node(node: NodeId, shards: usize) -> usize {
+    let mut z = (node as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// The global-id ↔ shard-local index mapping, precomputed at engine construction.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMap {
+    /// `shard_of[node]` — which shard owns the node.
+    pub shard_of: Vec<usize>,
+    /// `local_of[node]` — the node's index inside its shard's `nodes` vector.
+    pub local_of: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Build the assignment for `nodes` nodes over `shards` shards; also returns each shard's
+    /// member list in ascending global-id order (which is exactly the shard-local index order).
+    pub fn new(nodes: usize, shards: usize) -> (Self, Vec<Vec<NodeId>>) {
+        let mut shard_of = vec![0usize; nodes];
+        let mut local_of = vec![0usize; nodes];
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        for id in 0..nodes {
+            let s = shard_of_node(id, shards);
+            shard_of[id] = s;
+            local_of[id] = members[s].len();
+            members[s].push(id);
+        }
+        (Self { shard_of, local_of }, members)
+    }
+
+    /// Total number of nodes in the grid.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+}
+
+/// Shard-local events: everything that happens *at* one resource node.
+///
+/// Both variants carry the node's global id (for notices and observations) and its shard-local
+/// index (so handlers never need a lookup).  The grid-wide cadences (gossip, scheduling,
+/// metrics) are *not* shard events — they run serially at window barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardEvent {
+    /// All input data of a dispatched task has arrived at its resource node.
+    DataReady {
+        /// Shard-local node index.
+        local: usize,
+        /// Churn epoch the dispatch belongs to.
+        epoch: u64,
+        /// Global workflow index.
+        wf: usize,
+        /// The task whose inputs arrived.
+        task: TaskId,
+    },
+    /// A running task finished on its resource node.
+    TaskCompleted {
+        /// Shard-local node index.
+        local: usize,
+        /// Churn epoch the execution belongs to.
+        epoch: u64,
+        /// Global workflow index.
+        wf: usize,
+        /// The finished task.
+        task: TaskId,
+        /// Run generation the completion belongs to; a preemption of the same task bumps the
+        /// generation, turning the displaced run's in-flight completion event stale.
+        run: u64,
+    },
+}
+
+/// The read-only context a shard needs while executing a window: the scheduler (consulted,
+/// never mutated — hence the `Send + Sync` supertrait on [`Scheduler`]), the substrate's
+/// preemption flag and whether any observer is attached (when not, shards skip building
+/// observation records entirely — the observer fast path).
+pub(crate) struct WindowCtx<'a> {
+    /// The scheduler, for re-keying ready tasks.
+    pub scheduler: &'a dyn Scheduler,
+    /// True under the time-sliced preemptive substrate.
+    pub preemptive: bool,
+    /// True when at least one observer is registered on the session.
+    pub observing: bool,
+}
+
+/// One shard: a partition of the grid's nodes plus everything needed to advance them through a
+/// time window without touching any other shard.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// Global ids of the member nodes, ascending; `node_ids[local]` is the global id.
+    pub node_ids: Vec<NodeId>,
+    /// Member node runtimes, indexed shard-locally.
+    pub nodes: Vec<NodeRuntime>,
+    /// The shard's own event queue (`(time, seq)` min-order).
+    pub queue: EventQueue<ShardEvent>,
+    /// The shard's dedicated RNG stream, split deterministically from the master seed.
+    /// Reserved for stochastic in-shard models (exposed through
+    /// [`ShardedEngine::shard_rng_mut`](super::ShardedEngine::shard_rng_mut)).
+    pub rng: SimRng,
+    /// Completions recorded this window, drained at the barrier.
+    pub outbox: Vec<CompletionNotice>,
+    /// Observer callbacks recorded this window, drained at the barrier.
+    pub obs_buf: Vec<BufferedEvent>,
+    /// Monotone run-generation counter; unique per shard, hence per node.
+    next_run: u64,
+    /// Monotone observation-emission counter (the per-node order key in the barrier merge).
+    emit_seq: u64,
+    /// Task executions started on this shard (the engine's `executed_tasks` contribution).
+    pub executed: u64,
+    /// Events popped from this shard's queue over the whole run.
+    pub events_processed: u64,
+}
+
+impl Shard {
+    /// Create shard `id` over the given member nodes.  The RNG stream is split from the master
+    /// `seed` by shard index, so shard `i`'s draws are identical for every shard count in which
+    /// shard `i` exists — and adding draws in one shard never perturbs another.
+    pub fn new(id: usize, node_ids: Vec<NodeId>, nodes: Vec<NodeRuntime>, seed: u64) -> Self {
+        Shard {
+            node_ids,
+            nodes,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from_u64(seed).derive_indexed("shard", id as u64),
+            outbox: Vec::new(),
+            obs_buf: Vec::new(),
+            next_run: 0,
+            emit_seq: 0,
+            executed: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Drain and handle every queued event with a timestamp `<= end` (the window's inclusive
+    /// upper bound).  Events scheduled *during* the window at instants still `<= end` — e.g. a
+    /// zero-length execution's completion — are drained too, exactly like the monolithic loop.
+    pub fn run_window(&mut self, end: SimTime, ctx: &WindowCtx<'_>) {
+        while self.queue.peek_time().is_some_and(|t| t <= end) {
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.events_processed += 1;
+            match ev.event {
+                ShardEvent::DataReady {
+                    local,
+                    epoch,
+                    wf,
+                    task,
+                } => self.on_data_ready(local, epoch, wf, task, ev.time, ctx),
+                ShardEvent::TaskCompleted {
+                    local,
+                    epoch,
+                    wf,
+                    task,
+                    run,
+                } => self.on_task_completed(local, epoch, wf, task, run, ev.time, ctx),
+            }
+        }
+    }
+
+    /// Record one observer callback (skipped entirely when no observer is attached).
+    fn buffer(&mut self, time: SimTime, local: usize, kind: BufferedKind, ctx: &WindowCtx<'_>) {
+        if !ctx.observing {
+            return;
+        }
+        self.obs_buf.push(BufferedEvent {
+            time,
+            node: self.node_ids[local],
+            seq: self.emit_seq,
+            kind,
+        });
+        self.emit_seq += 1;
+    }
+
+    fn on_data_ready(
+        &mut self,
+        local: usize,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+        now: SimTime,
+        ctx: &WindowCtx<'_>,
+    ) {
+        if !self.nodes[local].accepts(epoch) {
+            return;
+        }
+        self.nodes[local].ready.mark_data_ready(wf, task);
+        self.try_start_tasks(local, now, ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_task_completed(
+        &mut self,
+        local: usize,
+        epoch: u64,
+        wf: usize,
+        task: TaskId,
+        run: u64,
+        now: SimTime,
+        ctx: &WindowCtx<'_>,
+    ) {
+        if !self.nodes[local].accepts(epoch) {
+            return;
+        }
+        if !self.nodes[local].complete(wf, task, run) {
+            return;
+        }
+        self.buffer(now, local, BufferedKind::Finished { wf, task }, ctx);
+        self.outbox.push(CompletionNotice {
+            time: now,
+            wf,
+            task,
+            node: self.node_ids[local],
+        });
+        self.try_start_tasks(local, now, ctx);
+    }
+
+    /// Occupy one slot of the node with `chosen` and schedule its completion — always into
+    /// this shard's own queue, so no within-window event ever crosses a shard boundary.
+    fn start_task(
+        &mut self,
+        local: usize,
+        chosen: &super::node::ReadyEntry,
+        now: SimTime,
+        ctx: &WindowCtx<'_>,
+    ) {
+        let run = self.next_run;
+        self.next_run += 1;
+        let finish_at = self.nodes[local].start(chosen, now, run);
+        self.executed += 1;
+        self.buffer(
+            now,
+            local,
+            BufferedKind::Started {
+                wf: chosen.wf,
+                task: chosen.task,
+            },
+            ctx,
+        );
+        self.queue.schedule(
+            finish_at,
+            ShardEvent::TaskCompleted {
+                local,
+                epoch: self.nodes[local].epoch,
+                wf: chosen.wf,
+                task: chosen.task,
+                run,
+            },
+        );
+    }
+
+    /// Algorithm 2: while the node has free execution slots, pick the next data-complete ready
+    /// task (smallest scheduler key) and run it.  Under the time-sliced preemptive substrate a
+    /// remaining ready task that outranks the lowest-priority running task then displaces it —
+    /// the victim re-enters the ready heap with its residual load and resumes later.
+    fn try_start_tasks(&mut self, local: usize, now: SimTime, ctx: &WindowCtx<'_>) {
+        if !self.nodes[local].alive {
+            return;
+        }
+        while self.nodes[local].has_free_slot() {
+            let Some(chosen) = self.nodes[local].ready.pop_next() else {
+                break;
+            };
+            self.start_task(local, &chosen, now, ctx);
+        }
+        if !ctx.preemptive {
+            return;
+        }
+        // Each round swaps a strictly higher-priority ready task into a slot, so the worst
+        // running key strictly improves and the loop terminates.
+        while let Some((key, _seq)) = self.nodes[local].ready.peek_next() {
+            let Some(mut displaced) = self.nodes[local].preempt_lowest_priority(key, now) else {
+                break;
+            };
+            let chosen = self.nodes[local]
+                .ready
+                .pop_next()
+                .expect("peeked entry must still be queued");
+            self.buffer(
+                now,
+                local,
+                BufferedKind::Displaced {
+                    wf: displaced.wf,
+                    task: displaced.task,
+                },
+                ctx,
+            );
+            // Re-key the displaced task against its updated view: rules keyed on exec time
+            // now see the *remaining* time (shortest-remaining-time semantics), while
+            // ms/rpm-based rules and FCFS recompute the same key as before.
+            displaced.key = ctx.scheduler.ready_key(&displaced.view);
+            self.nodes[local].ready.insert(displaced);
+            self.start_task(local, &chosen, now, ctx);
+        }
+    }
+}
+
+/// Run every shard through the window ending at `end` — on the worker pool when both the shard
+/// count and the pool size allow it, serially otherwise.  Shards share nothing mutable, so the
+/// parallel execution is *result-identical* to the serial one; only wall-clock changes.
+pub(crate) fn run_shards(shards: &mut [Shard], end: SimTime, ctx: &WindowCtx<'_>) {
+    if shards.len() <= 1 || rayon::current_num_threads() <= 1 {
+        for shard in shards.iter_mut() {
+            shard.run_window(end, ctx);
+        }
+        return;
+    }
+    let mid = shards.len() / 2;
+    let (a, b) = shards.split_at_mut(mid);
+    rayon::join(|| run_shards(a, end, ctx), || run_shards(b, end, ctx));
+}
+
+/// Aggregate counters of one sharded run, exposed through
+/// [`Simulation::shard_stats`](crate::simulation::Simulation::shard_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards the event loop ran with.
+    pub shards: usize,
+    /// Conservative time windows executed.
+    pub windows: u64,
+    /// Width of the widest window (bounded above by the scenario's lookahead).
+    pub max_window_width: SimDuration,
+    /// Shard-local events processed, summed over all shards.
+    pub events: u64,
+    /// Events scheduled across a shard boundary (dispatches whose home and resource node live
+    /// in different shards).
+    pub cross_shard_events: u64,
+    /// The smallest delivery delay of any cross-shard event — conservative-PDES soundness
+    /// requires this to be at least the scenario's lookahead.  `None` until the first
+    /// cross-shard event.
+    pub min_cross_shard_delay: Option<SimDuration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_assignment_is_deterministic_and_total() {
+        let (map, members) = ShardMap::new(100, 4);
+        assert_eq!(map.len(), 100);
+        assert_eq!(members.len(), 4);
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 100);
+        for (s, list) in members.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "members ascend");
+            for (local, &id) in list.iter().enumerate() {
+                assert_eq!(map.shard_of[id], s);
+                assert_eq!(map.local_of[id], local);
+            }
+        }
+        // The hash is a pure function of the node id: a second build agrees.
+        let (map2, _) = ShardMap::new(100, 4);
+        assert_eq!(map.shard_of, map2.shard_of);
+        // Single shard degenerates to the identity partition.
+        let (map1, members1) = ShardMap::new(10, 1);
+        assert!(map1.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(members1[0], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_spreads_nodes_reasonably() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for id in 0..10_000 {
+            counts[shard_of_node(id, shards)] += 1;
+        }
+        // splitmix64 avalanche: every shard should land near 10_000/8 = 1250.
+        for &c in &counts {
+            assert!((1000..1500).contains(&c), "skewed shard population: {c}");
+        }
+    }
+}

@@ -35,6 +35,8 @@ pub enum ConfigError {
     EmptySlotClasses,
     /// A slot-class weight is non-positive or non-finite.
     InvalidSlotWeight(f64),
+    /// A fixed shard count of zero was requested.
+    ZeroShards,
 }
 
 impl fmt::Display for ConfigError {
@@ -69,6 +71,9 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidSlotWeight(w) => {
                 write!(f, "slot class weights must be positive and finite, got {w}")
             }
+            ConfigError::ZeroShards => {
+                write!(f, "the event loop needs at least one shard")
+            }
         }
     }
 }
@@ -95,5 +100,6 @@ mod tests {
             .contains("gossip"));
         let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroSlots);
         assert!(boxed.to_string().contains("execution slot"));
+        assert!(ConfigError::ZeroShards.to_string().contains("shard"));
     }
 }

@@ -72,7 +72,7 @@
 //! | [`config`]    | experiment configuration (Table I defaults, [`config::ResourceModel`] slots, churn, load factor, CCR) |
 //! | [`error`]     | the typed [`ConfigError`] returned by validation and [`Scenario::build`] |
 //! | [`scenario`]  | the reusable pre-sampled world ([`Scenario`]) |
-//! | [`engine`]    | the grid engine: per-node / per-workflow runtime, transfer model, event loop |
+//! | [`engine`]    | the sharded grid engine: per-node / per-workflow runtime, transfer model, conservative time-window event loop |
 //! | [`simulation`]| [`Simulation`] sessions and the deprecated [`GridSimulation`] shim |
 //! | [`observer`]  | the [`Observer`] seam, [`TimeSeriesProbe`] and [`TraceRecorder`] |
 //! | [`worked_example`] | the two-workflow scenario of Fig. 3 used by tests and `repro --fig 3` |
@@ -96,9 +96,10 @@ pub mod worked_example;
 
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
 pub use config::{
-    CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, SlotClass, SlotModel,
-    StreamKind, StreamSeeds,
+    CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, ShardSpec, SlotClass,
+    SlotModel, StreamKind, StreamSeeds,
 };
+pub use engine::ShardStats;
 pub use error::ConfigError;
 pub use estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
 pub use observer::{GridSample, Observer, TimeSeriesProbe, TraceEvent, TraceRecorder};

@@ -28,7 +28,12 @@ use crate::NodeId;
 use p2pgrid_workflow::ExpectedCosts;
 
 /// A complete dual-phase scheduling policy, pluggable into the grid engine.
-pub trait Scheduler {
+///
+/// `Send + Sync` is a supertrait because the sharded event loop executes each time window's
+/// shards on the worker pool, and every shard reads the scheduler's [`Scheduler::ready_key`]
+/// concurrently.  Schedulers are consulted, never mutated, during a window, so any stateless
+/// policy (like the built-in [`AlgorithmConfig`]) satisfies the bound for free.
+pub trait Scheduler: Send + Sync {
     /// Label used in reports and figure legends (e.g. `"DSMF"`, `"min-min+FCFS"`).
     fn label(&self) -> String;
 

@@ -2,10 +2,10 @@
 //!
 //! A [`Simulation`] is one in-flight run of a scheduler on a pre-built world.  Unlike the
 //! legacy consume-on-run [`GridSimulation`] facade it can be driven incrementally —
-//! [`Simulation::step`] delivers one event, [`Simulation::run_until`] advances to a virtual
-//! instant, [`Simulation::run`] drives to the horizon — and it carries the observer seam:
-//! any number of [`Observer`]s registered via [`Simulation::observe`] receive every externally
-//! meaningful engine event as it happens.
+//! [`Simulation::step`] executes one conservative time window of the sharded engine,
+//! [`Simulation::run_until`] advances to a virtual instant, [`Simulation::run`] drives to the
+//! horizon — and it carries the observer seam: any number of [`Observer`]s registered via
+//! [`Simulation::observe`] receive every externally meaningful engine event as it happens.
 //!
 //! ```
 //! use p2pgrid_core::scenario::Scenario;
@@ -25,7 +25,7 @@
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
 use crate::config::GridConfig;
-use crate::engine::EngineSession;
+use crate::engine::{EngineSession, ShardStats};
 use crate::observer::{GridSample, Observer};
 use crate::report::SimulationReport;
 use crate::scenario::Scenario;
@@ -75,15 +75,19 @@ impl<'obs> Simulation<'obs> {
         }
     }
 
-    /// Deliver exactly one event and return its timestamp, or `None` when the run is over
-    /// (event queue drained, or every remaining event lies beyond the horizon).
+    /// Execute exactly one conservative time window (all events within one engine
+    /// [`lookahead`](Scenario::lookahead), across every shard) and return the window's end,
+    /// or `None` when the run is over (event queues drained, or every remaining event lies
+    /// beyond the horizon).
     pub fn step(&mut self) -> Option<SimTime> {
         self.ensure_started();
         self.session.step(&mut self.observers)
     }
 
-    /// Deliver every event with a timestamp `<= until` and return how many were delivered.
-    /// Events exactly at `until` are included, matching the horizon's inclusive semantics.
+    /// Execute every window *starting* at or before `until` and return how many windows ran.
+    /// Because steps are window-granular, the session may stop up to one lookahead past
+    /// `until`; events exactly at `until` are always included, matching the horizon's
+    /// inclusive semantics.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
         self.ensure_started();
         let mut delivered = 0;
@@ -112,13 +116,13 @@ impl<'obs> Simulation<'obs> {
         self.session.finish(&mut self.observers)
     }
 
-    /// Current virtual time: the timestamp of the last delivered event.
+    /// Current virtual time: the end of the last executed window.
     pub fn now(&self) -> SimTime {
         self.session.now()
     }
 
-    /// Timestamp of the event the next [`Simulation::step`] would deliver, or `None` when the
-    /// run is over.
+    /// Start instant of the window the next [`Simulation::step`] would execute, or `None`
+    /// when the run is over.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.session.peek_time()
     }
@@ -137,6 +141,19 @@ impl<'obs> Simulation<'obs> {
     /// Label of the scheduler driving this session (e.g. `"DSMF"`).
     pub fn algorithm(&self) -> String {
         self.session.label()
+    }
+
+    /// Number of shards this session's event loop runs on (the resolved
+    /// [`ShardSpec`](crate::config::ShardSpec)).
+    pub fn shard_count(&self) -> usize {
+        self.session.shard_stats().shards
+    }
+
+    /// Live counters of the sharded event loop: windows executed so far, window widths,
+    /// per-shard event totals and cross-shard traffic.  Purely diagnostic — reports are
+    /// byte-identical for every shard count.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.session.shard_stats()
     }
 }
 

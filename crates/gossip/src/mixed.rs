@@ -12,6 +12,12 @@
 //!
 //! The schedulers later read [`MixedGossip::rss`] to pick candidate resource nodes
 //! (Formula 9) and [`MixedGossip::expected_costs`] to estimate RPM / `eft` (Eq. 1, 7, 8).
+//!
+//! [`MixedGossip::run_cycle`] borrows the snapshot slice and advances the caller's RNG stream
+//! in place; the scheduling core reuses one scratch buffer for the snapshot across cycles
+//! (filled in global node order, so the per-node state the protocol sees is independent of how
+//! the core's event loop is sharded).  The gossip interval also caps the engine's conservative
+//! window width, so every cycle runs at a window barrier over a settled grid.
 
 use crate::aggregation::{AggregationConfig, AggregationGossip};
 use crate::epidemic::{EpidemicConfig, EpidemicGossip, LocalAdvertisement};

@@ -67,9 +67,9 @@ pub mod prelude {
     pub use p2pgrid_core::GridSimulation;
     pub use p2pgrid_core::{
         Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, ConfigError, GridConfig,
-        GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase, Simulation,
-        SimulationReport, SlotClass, SlotModel, StreamKind, StreamSeeds, TimeSeriesProbe,
-        TraceEvent, TraceRecorder,
+        GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase, ShardSpec,
+        ShardStats, Simulation, SimulationReport, SlotClass, SlotModel, StreamKind, StreamSeeds,
+        TimeSeriesProbe, TraceEvent, TraceRecorder,
     };
     pub use p2pgrid_experiments::{Campaign, ExperimentScale};
     pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};
