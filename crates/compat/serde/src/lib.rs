@@ -176,6 +176,301 @@ pub mod json {
         }
     }
 
+    /// A parse failure with the 1-based source position where it happened.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// 1-based line of the offending character.
+        pub line: usize,
+        /// 1-based column (in characters) of the offending character.
+        pub column: usize,
+        message: String,
+    }
+
+    impl fmt::Display for ParseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "{} at line {}, column {}",
+                self.message, self.line, self.column
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parse a JSON document into a [`Value`] (the `serde_json::from_str` analogue).
+    ///
+    /// Accepts exactly the grammar the writer emits — `null`, booleans, numbers (parsed as
+    /// `f64`), strings with the standard escapes incl. `\uXXXX` surrogate pairs, arrays and
+    /// objects — and rejects everything else with a [`ParseError`] carrying the 1-based
+    /// line/column of the offending character.  Trailing non-whitespace after the document is
+    /// an error; object keys keep their input order (duplicates are preserved verbatim).
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Nesting depth above which [`parse`] bails out instead of risking stack exhaustion.
+    const MAX_DEPTH: usize = 128;
+
+    struct Parser<'a> {
+        input: &'a str,
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn error(&self, message: impl Into<String>) -> ParseError {
+            let consumed = &self.input[..self.pos.min(self.input.len())];
+            let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+            let column = consumed
+                .rsplit_once('\n')
+                .map_or(consumed, |(_, tail)| tail)
+                .chars()
+                .count()
+                + 1;
+            ParseError {
+                line,
+                column,
+                message: message.into(),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.error(format!("expected '{}'", byte as char)))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(self.error(format!("expected '{word}'")))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+            if depth > MAX_DEPTH {
+                return Err(self.error("maximum nesting depth exceeded"));
+            }
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(depth),
+                Some(b'{') => self.object(depth),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(_) => Err(self.error("expected a JSON value")),
+                None => Err(self.error("unexpected end of input")),
+            }
+        }
+
+        fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.error("expected ',' or ']' in array")),
+                }
+            }
+        }
+
+        fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                if self.peek() != Some(b'"') {
+                    return Err(self.error("expected a string object key"));
+                }
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value(depth + 1)?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.error("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, ParseError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let rest = &self.input[self.pos..];
+                let mut chars = rest.char_indices();
+                let (_, c) = chars
+                    .next()
+                    .ok_or_else(|| self.error("unterminated string"))?;
+                match c {
+                    '"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    '\\' => {
+                        self.pos += 1;
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| self.error("unterminated escape sequence"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hi = self.hex_escape()?;
+                                let c = if (0xD800..0xDC00).contains(&hi) {
+                                    // High surrogate: a \uXXXX low surrogate must follow.
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.error("unpaired surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.error("unpaired surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let lo = self.hex_escape()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                } else {
+                                    char::from_u32(hi)
+                                        .ok_or_else(|| self.error("unpaired surrogate"))?
+                                };
+                                out.push(c);
+                            }
+                            _ => {
+                                self.pos -= 1;
+                                return Err(self.error("invalid escape character"));
+                            }
+                        }
+                    }
+                    c if (c as u32) < 0x20 => {
+                        return Err(self.error("unescaped control character in string"));
+                    }
+                    c => {
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex_escape(&mut self) -> Result<u32, ParseError> {
+            let end = self.pos + 4;
+            let digits = self
+                .bytes
+                .get(self.pos..end)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let code = u32::from_str_radix(digits, 16)
+                .map_err(|_| self.error("invalid \\u escape digits"))?;
+            self.pos = end;
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Value, ParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            match self.peek() {
+                Some(b'0') => self.pos += 1,
+                Some(b'1'..=b'9') => {
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Err(self.error("expected a digit")),
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error("expected a digit after the decimal point"));
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error("expected a digit in the exponent"));
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = &self.input[start..self.pos];
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| self.error("number out of range"))
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -206,6 +501,62 @@ pub mod json {
                 "{\n  \"xs\": [\n    1,\n    2\n  ]\n}"
             );
             assert_eq!(Value::Null.to_string_pretty(), "null");
+        }
+
+        #[test]
+        fn parse_round_trips_writer_output() {
+            let v = Value::object([
+                ("id", Value::from("fig4")),
+                ("n", Value::from(3usize)),
+                ("pi", Value::from(3.5f64)),
+                ("neg", Value::from(-1.25e-3f64)),
+                ("flag", Value::from(true)),
+                ("none", Value::Null),
+                ("points", Value::array([(0.0f64, 1.0f64), (1.0, 2.5)])),
+                ("quote", Value::from("a\"b\\c\nd\ttab \u{1F600} ok")),
+                ("empty", Value::Array(Vec::new())),
+                ("nested", Value::object([("k", Value::from("v"))])),
+            ]);
+            assert_eq!(parse(&v.to_string()).unwrap(), v);
+            assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
+        }
+
+        #[test]
+        fn parse_handles_escapes_and_surrogate_pairs() {
+            assert_eq!(
+                parse(r#""\u0041\u00e9\ud83d\ude00\/""#).unwrap(),
+                Value::String("A\u{e9}\u{1F600}/".to_string())
+            );
+            assert_eq!(parse("  [ 1 , 2.5e2 , -0 ]  ").unwrap(), {
+                Value::Array(vec![
+                    Value::Number(1.0),
+                    Value::Number(250.0),
+                    Value::Number(-0.0),
+                ])
+            });
+        }
+
+        #[test]
+        fn parse_reports_error_positions() {
+            // Unquoted identifier on line 2, column 8.
+            let err = parse("{\n  \"a\": nope\n}").unwrap_err();
+            assert_eq!((err.line, err.column), (2, 8));
+            assert!(err.to_string().contains("line 2, column 8"));
+
+            let err = parse("[1, 2,]").unwrap_err();
+            assert_eq!((err.line, err.column), (1, 7));
+
+            assert!(parse("").is_err());
+            assert!(parse("[1] extra").is_err());
+            assert!(parse("{\"a\" 1}").is_err());
+            assert!(parse("\"unterminated").is_err());
+            assert!(parse("01").is_err());
+            assert!(parse("1.").is_err());
+            assert!(parse("\"\\q\"").is_err());
+            assert!(parse("\"\\ud800\"").is_err());
+            assert!(parse("nul").is_err());
+            let deep = "[".repeat(200) + &"]".repeat(200);
+            assert!(parse(&deep).is_err());
         }
     }
 }

@@ -6,9 +6,9 @@
 
 use crate::error::ConfigError;
 use p2pgrid_gossip::MixedGossipConfig;
-use p2pgrid_sim::{SimDuration, SimRng};
+use p2pgrid_sim::{SimDuration, SimRng, SimTime};
 use p2pgrid_topology::WaxmanConfig;
-use p2pgrid_workflow::WorkflowGeneratorConfig;
+use p2pgrid_workflow::{WorkflowGeneratorConfig, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// How node capacities are assigned.
@@ -414,6 +414,245 @@ impl StreamSeeds {
     }
 }
 
+/// Where a scenario's workflows come from.
+///
+/// The default [`Synthetic`](WorkloadSource::Synthetic) source reproduces the paper: every
+/// home node submits `workflows_per_node` randomly generated DAGs, sampled from the
+/// [`StreamKind::Workflows`] RNG stream.  A [`Trace`](WorkloadSource::Trace) source replays a
+/// serialized [`WorkloadSpec`] instead (e.g. a checked-in artifact from `workloads/`): each
+/// entry names its DAG, its arrival time and its home-node policy, and `workflows_per_node`
+/// is ignored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSource {
+    /// Randomly generated workflows (the paper's Table I model).
+    Synthetic(WorkflowGeneratorConfig),
+    /// A deserialized trace workload replayed verbatim.
+    Trace(WorkloadSpec),
+}
+
+impl Default for WorkloadSource {
+    fn default() -> Self {
+        WorkloadSource::Synthetic(WorkflowGeneratorConfig::default())
+    }
+}
+
+impl WorkloadSource {
+    /// The synthetic generator configuration, if this source is synthetic.
+    pub fn generator(&self) -> Option<&WorkflowGeneratorConfig> {
+        match self {
+            WorkloadSource::Synthetic(g) => Some(g),
+            WorkloadSource::Trace(_) => None,
+        }
+    }
+
+    /// Mutable access to the synthetic generator configuration.
+    ///
+    /// Panics on a [`Trace`](WorkloadSource::Trace) source — this is the convenience used by
+    /// tests and examples that tweak generator ranges on the (synthetic) default config.
+    pub fn generator_mut(&mut self) -> &mut WorkflowGeneratorConfig {
+        match self {
+            WorkloadSource::Synthetic(g) => g,
+            WorkloadSource::Trace(_) => {
+                panic!("generator_mut() called on a trace workload source")
+            }
+        }
+    }
+
+    /// The trace workload, if this source is a trace.
+    pub fn trace(&self) -> Option<&WorkloadSpec> {
+        match self {
+            WorkloadSource::Synthetic(_) => None,
+            WorkloadSource::Trace(spec) => Some(spec),
+        }
+    }
+}
+
+/// When synthetic workflows arrive at their home nodes.
+///
+/// All variants other than the default [`Batch`](ArrivalProcess::Batch) draw their arrival
+/// times from the tail of the [`StreamKind::Workflows`] stream (after the DAGs themselves), so
+/// enabling an arrival process never perturbs topology, capacities or gossip.  `Batch` draws
+/// nothing at all — the default configuration samples byte-identically to the pre-arrival
+/// engine.  Arrival times may exceed the horizon; such workflows never enter the system and
+/// are not counted as submitted.
+///
+/// Trace workloads ([`WorkloadSource::Trace`]) carry explicit per-entry arrival times; for
+/// them a non-`Batch` process *overrides* those times (same DAGs, resampled arrivals), which
+/// is what lets a checked-in workload be replayed under, say, a flash crowd.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Every workflow is submitted at its workload-defined time (time zero for synthetic
+    /// workloads — the paper's model).  Samples no randomness.
+    #[default]
+    Batch,
+    /// A homogeneous Poisson process: independent exponential inter-arrival times.
+    Poisson {
+        /// Mean arrivals per simulated hour (> 0).
+        rate_per_hour: f64,
+    },
+    /// A diurnal (sinusoidally modulated) Poisson process, sampled by thinning: the rate
+    /// swings between `base_rate_per_hour` (trough, at time zero) and `peak_rate_per_hour`
+    /// once per `period`.
+    Diurnal {
+        /// Trough arrival rate per hour (>= 0).
+        base_rate_per_hour: f64,
+        /// Peak arrival rate per hour (>= base, > 0).
+        peak_rate_per_hour: f64,
+        /// Length of one day (one full swing); must be positive.
+        period: SimDuration,
+    },
+    /// A bursty / flash-crowd process: burst instants form a Poisson process and each burst
+    /// submits a heavy-tailed (Pareto) number of workflows simultaneously.
+    Bursty {
+        /// Mean bursts per simulated hour (> 0).
+        bursts_per_hour: f64,
+        /// Mean number of workflows per burst (>= 1).
+        mean_burst_size: f64,
+        /// Pareto tail index of the burst size (> 1 so the mean exists; smaller = heavier
+        /// tail.  The classic flash-crowd regime is 1 < shape <= 2: finite mean, infinite
+        /// variance).
+        pareto_shape: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Check every rate/shape parameter, reporting the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |what: &'static str, value: f64| {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::InvalidArrival { what, value })
+            }
+        };
+        match self {
+            ArrivalProcess::Batch => Ok(()),
+            ArrivalProcess::Poisson { rate_per_hour } => positive("rate_per_hour", *rate_per_hour),
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour,
+                peak_rate_per_hour,
+                period,
+            } => {
+                if !base_rate_per_hour.is_finite() || *base_rate_per_hour < 0.0 {
+                    return Err(ConfigError::InvalidArrival {
+                        what: "base_rate_per_hour",
+                        value: *base_rate_per_hour,
+                    });
+                }
+                positive("peak_rate_per_hour", *peak_rate_per_hour)?;
+                if peak_rate_per_hour < base_rate_per_hour {
+                    return Err(ConfigError::InvalidArrival {
+                        what: "peak_rate_per_hour (must be >= base)",
+                        value: *peak_rate_per_hour,
+                    });
+                }
+                if period.is_zero() {
+                    return Err(ConfigError::InvalidArrival {
+                        what: "period",
+                        value: 0.0,
+                    });
+                }
+                Ok(())
+            }
+            ArrivalProcess::Bursty {
+                bursts_per_hour,
+                mean_burst_size,
+                pareto_shape,
+            } => {
+                positive("bursts_per_hour", *bursts_per_hour)?;
+                if !mean_burst_size.is_finite() || *mean_burst_size < 1.0 {
+                    return Err(ConfigError::InvalidArrival {
+                        what: "mean_burst_size",
+                        value: *mean_burst_size,
+                    });
+                }
+                if !pareto_shape.is_finite() || *pareto_shape <= 1.0 {
+                    return Err(ConfigError::InvalidArrival {
+                        what: "pareto_shape",
+                        value: *pareto_shape,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True when this process never moves an arrival away from its workload-defined time
+    /// (and consumes no randomness).
+    pub fn is_batch(&self) -> bool {
+        matches!(self, ArrivalProcess::Batch)
+    }
+
+    /// Sample `n` arrival times in submission order.
+    ///
+    /// `Batch` returns all zeros without touching `rng`; every other process consumes draws
+    /// from `rng` only (deterministic per stream seed).  Times are monotonically
+    /// non-decreasing.
+    pub(crate) fn sample_times(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut times = Vec::with_capacity(n);
+        match self {
+            ArrivalProcess::Batch => times.resize(n, SimTime::ZERO),
+            ArrivalProcess::Poisson { rate_per_hour } => {
+                let rate_per_sec = rate_per_hour / 3600.0;
+                let mut t = 0.0f64;
+                for _ in 0..n {
+                    t += exponential(rng, rate_per_sec);
+                    times.push(SimTime::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour,
+                peak_rate_per_hour,
+                period,
+            } => {
+                // Thinning (Lewis & Shedler): candidates at the peak rate, each kept with
+                // probability rate(t) / peak.  rate(t) swings base -> peak -> base over one
+                // period, trough at t = 0.
+                let peak_per_sec = peak_rate_per_hour / 3600.0;
+                let base_per_sec = base_rate_per_hour / 3600.0;
+                let period_secs = period.as_secs_f64();
+                let mut t = 0.0f64;
+                while times.len() < n {
+                    t += exponential(rng, peak_per_sec);
+                    let phase = (t / period_secs) * std::f64::consts::TAU;
+                    let rate =
+                        base_per_sec + (peak_per_sec - base_per_sec) * 0.5 * (1.0 - phase.cos());
+                    if rng.gen_f64() < rate / peak_per_sec {
+                        times.push(SimTime::from_secs_f64(t));
+                    }
+                }
+            }
+            ArrivalProcess::Bursty {
+                bursts_per_hour,
+                mean_burst_size,
+                pareto_shape,
+            } => {
+                let rate_per_sec = bursts_per_hour / 3600.0;
+                // Pareto(xm, a) has mean xm * a / (a - 1); scale xm so the mean burst size
+                // comes out as configured.
+                let xm = mean_burst_size * (pareto_shape - 1.0) / pareto_shape;
+                let mut t = 0.0f64;
+                while times.len() < n {
+                    t += exponential(rng, rate_per_sec);
+                    let u = (1.0 - rng.gen_f64()).max(f64::MIN_POSITIVE);
+                    let size = (xm * u.powf(-1.0 / pareto_shape)).round().max(1.0) as usize;
+                    let when = SimTime::from_secs_f64(t);
+                    for _ in 0..size.min(n - times.len()) {
+                        times.push(when);
+                    }
+                }
+            }
+        }
+        times
+    }
+}
+
+/// One exponential inter-arrival draw with the given rate (events per second).
+fn exponential(rng: &mut SimRng, rate_per_sec: f64) -> f64 {
+    let u = (1.0 - rng.gen_f64()).max(f64::MIN_POSITIVE);
+    -u.ln() / rate_per_sec
+}
+
 /// Full configuration of one grid-simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridConfig {
@@ -425,8 +664,10 @@ pub struct GridConfig {
     pub capacity: CapacityModel,
     /// Per-node execution substrate (slot count; the paper's single CPU by default).
     pub resource: ResourceModel,
-    /// Workflow generator parameters.
-    pub workflow: WorkflowGeneratorConfig,
+    /// Where workflows come from: the synthetic Table I generator (default) or a trace.
+    pub workload: WorkloadSource,
+    /// When synthetic workflows arrive (default: all at time zero, as in the paper).
+    pub arrivals: ArrivalProcess,
     /// WAN topology parameters.
     pub waxman: WaxmanConfig,
     /// Mixed gossip protocol parameters.
@@ -459,10 +700,11 @@ impl GridConfig {
             workflows_per_node: 3,
             capacity: CapacityModel::default(),
             resource: ResourceModel::default(),
-            workflow: WorkflowGeneratorConfig {
+            workload: WorkloadSource::Synthetic(WorkflowGeneratorConfig {
                 data_mb: 10.0..=1000.0,
                 ..WorkflowGeneratorConfig::default()
-            },
+            }),
+            arrivals: ArrivalProcess::Batch,
             waxman: WaxmanConfig::with_nodes(1000),
             gossip: MixedGossipConfig::default(),
             scheduling_interval: SimDuration::from_mins(15),
@@ -482,11 +724,11 @@ impl GridConfig {
         GridConfig {
             nodes,
             workflows_per_node: 2,
-            workflow: WorkflowGeneratorConfig {
+            workload: WorkloadSource::Synthetic(WorkflowGeneratorConfig {
                 tasks: 2..=12,
                 data_mb: 10.0..=500.0,
                 ..WorkflowGeneratorConfig::default()
-            },
+            }),
             waxman: WaxmanConfig::with_nodes(nodes),
             horizon: SimDuration::from_hours(12),
             ..GridConfig::paper_default()
@@ -507,13 +749,32 @@ impl GridConfig {
     }
 
     /// Override the per-task load and per-edge data ranges, as swept in Fig. 9/10 (CCR).
+    ///
+    /// Only meaningful for the (default) synthetic workload source; panics on a trace.
     pub fn with_load_and_data(
         mut self,
         load_mi: std::ops::RangeInclusive<f64>,
         data_mb: std::ops::RangeInclusive<f64>,
     ) -> Self {
-        self.workflow.load_mi = load_mi;
-        self.workflow.data_mb = data_mb;
+        let generator = self.workload.generator_mut();
+        generator.load_mi = load_mi;
+        generator.data_mb = data_mb;
+        self
+    }
+
+    /// Replay a serialized trace workload instead of generating synthetic workflows.
+    ///
+    /// Each entry of the trace names its DAG, arrival time and home-node policy;
+    /// `workflows_per_node` is ignored.  See [`WorkloadSource::Trace`].
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = WorkloadSource::Trace(workload);
+        self
+    }
+
+    /// Override the arrival process (see [`ArrivalProcess`]; the default `Batch` reproduces
+    /// the paper's submit-everything-at-time-zero model).
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
         self
     }
 
@@ -597,6 +858,30 @@ impl GridConfig {
         if self.metrics_interval.is_zero() {
             return Err(ConfigError::ZeroInterval("metrics"));
         }
+        match &self.workload {
+            WorkloadSource::Synthetic(generator) => generator
+                .validate()
+                .map_err(|e| ConfigError::InvalidWorkload(e.to_string()))?,
+            WorkloadSource::Trace(spec) => {
+                // Full structural validation (cycles, unknown references, ...) happens when
+                // the entries are resolved in `Scenario::build`; here we reject the cases
+                // that are knowable without building the DAGs.
+                if spec.entry_count() == 0 {
+                    return Err(ConfigError::EmptyTrace);
+                }
+                for entry in &spec.entries {
+                    if let p2pgrid_workflow::HomePolicy::Node(node) = entry.home {
+                        if node >= self.nodes {
+                            return Err(ConfigError::TraceHomeOutOfRange {
+                                node,
+                                nodes: self.nodes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.arrivals.validate()?;
         Ok(())
     }
 }
@@ -617,8 +902,13 @@ mod tests {
         assert_eq!(cfg.gossip_interval, SimDuration::from_mins(5));
         assert_eq!(cfg.horizon, SimDuration::from_hours(36));
         assert_eq!(cfg.capacity.mean(), 6.2);
-        assert_eq!(*cfg.workflow.tasks.start(), 2);
-        assert_eq!(*cfg.workflow.tasks.end(), 30);
+        let generator = cfg
+            .workload
+            .generator()
+            .expect("paper default is synthetic");
+        assert_eq!(*generator.tasks.start(), 2);
+        assert_eq!(*generator.tasks.end(), 30);
+        assert!(cfg.arrivals.is_batch());
     }
 
     #[test]
@@ -648,7 +938,7 @@ mod tests {
         assert_eq!(cfg.workflows_per_node, 4);
         assert_eq!(cfg.churn.dynamic_factor, 0.2);
         assert_eq!(cfg.seed, 7);
-        assert_eq!(*cfg.workflow.data_mb.end(), 10_000.0);
+        assert_eq!(*cfg.workload.generator().unwrap().data_mb.end(), 10_000.0);
     }
 
     #[test]
@@ -669,7 +959,7 @@ mod tests {
         use crate::scenario::Scenario;
         let mut cfg = GridConfig::small(12).with_seed(3);
         cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=4;
+        cfg.workload.generator_mut().tasks = 2..=4;
         cfg.horizon = p2pgrid_sim::SimDuration::from_hours(6);
         let all_homes = Scenario::build(cfg.clone())
             .unwrap()
@@ -831,5 +1121,156 @@ mod tests {
         assert_eq!(cfg.validate(), Err(ConfigError::EmptyCapacitySet));
         cfg.capacity = CapacityModel::Uniform(-1.0);
         assert_eq!(cfg.validate(), Err(ConfigError::InvalidCapacity(-1.0)));
+    }
+
+    #[test]
+    fn batch_arrivals_draw_nothing_and_return_zeros() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let untouched = rng.clone();
+        let times = ArrivalProcess::Batch.sample_times(5, &mut rng);
+        assert_eq!(times, vec![SimTime::ZERO; 5]);
+        // Batch consumed no randomness — the generator is still in lock-step with its clone.
+        assert_eq!(rng.gen_u64(), untouched.clone().gen_u64());
+    }
+
+    #[test]
+    fn stochastic_arrival_processes_are_monotone_and_deterministic() {
+        let processes = [
+            ArrivalProcess::Poisson {
+                rate_per_hour: 60.0,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour: 5.0,
+                peak_rate_per_hour: 120.0,
+                period: SimDuration::from_hours(24),
+            },
+            ArrivalProcess::Bursty {
+                bursts_per_hour: 10.0,
+                mean_burst_size: 4.0,
+                pareto_shape: 1.5,
+            },
+        ];
+        for process in &processes {
+            process.validate().unwrap();
+            assert!(!process.is_batch());
+            let mut a = SimRng::seed_from_u64(42);
+            let mut b = SimRng::seed_from_u64(42);
+            let first = process.sample_times(64, &mut a);
+            let second = process.sample_times(64, &mut b);
+            assert_eq!(first, second, "same seed must give the same arrivals");
+            assert_eq!(first.len(), 64);
+            assert!(first.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+            assert!(
+                first[0] > SimTime::ZERO,
+                "stochastic arrivals start after 0"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_share_burst_instants() {
+        let process = ArrivalProcess::Bursty {
+            bursts_per_hour: 2.0,
+            mean_burst_size: 8.0,
+            pareto_shape: 1.2,
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let times = process.sample_times(200, &mut rng);
+        let distinct: std::collections::BTreeSet<_> = times.iter().collect();
+        // Heavy-tailed bursts: far fewer distinct instants than arrivals.
+        assert!(distinct.len() < times.len() / 2);
+    }
+
+    #[test]
+    fn arrival_process_validation_rejects_bad_parameters() {
+        let bad = [
+            ArrivalProcess::Poisson { rate_per_hour: 0.0 },
+            ArrivalProcess::Poisson {
+                rate_per_hour: f64::NAN,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour: -1.0,
+                peak_rate_per_hour: 10.0,
+                period: SimDuration::from_hours(24),
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour: 20.0,
+                peak_rate_per_hour: 10.0,
+                period: SimDuration::from_hours(24),
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_hour: 1.0,
+                peak_rate_per_hour: 10.0,
+                period: SimDuration::ZERO,
+            },
+            ArrivalProcess::Bursty {
+                bursts_per_hour: 5.0,
+                mean_burst_size: 0.5,
+                pareto_shape: 1.5,
+            },
+            ArrivalProcess::Bursty {
+                bursts_per_hour: 5.0,
+                mean_burst_size: 4.0,
+                pareto_shape: 1.0,
+            },
+        ];
+        for process in &bad {
+            let err = process.validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidArrival { .. }),
+                "{process:?} should fail with InvalidArrival, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_generator_ranges_are_validated_through_the_config() {
+        let mut cfg = GridConfig::small(8);
+        cfg.workload.generator_mut().tasks = 0..=5;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidWorkload(_)));
+        assert!(err.to_string().contains("task count"));
+
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            let mut cfg = GridConfig::small(8);
+            cfg.workload.generator_mut().load_mi = 100.0..=10.0;
+            assert!(matches!(
+                cfg.validate().unwrap_err(),
+                ConfigError::InvalidWorkload(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn trace_workloads_are_checked_for_homes_and_emptiness() {
+        use p2pgrid_workflow::{shapes, HomePolicy, WorkflowSpec, WorkloadEntry, WorkloadSpec};
+        let wf = shapes::diamond(100.0, 500.0, 10.0);
+        let spec = WorkflowSpec::from_workflow("diamond", &wf).unwrap();
+
+        let mut trace = WorkloadSpec {
+            name: "t".into(),
+            workflows: vec![spec],
+            entries: Vec::new(),
+        };
+        let empty = GridConfig::small(8).with_workload(trace.clone());
+        assert_eq!(empty.validate(), Err(ConfigError::EmptyTrace));
+
+        trace.entries.push(WorkloadEntry {
+            workflow: "diamond".into(),
+            submit_at_ms: 0,
+            home: HomePolicy::Node(99),
+        });
+        let out_of_range = GridConfig::small(8).with_workload(trace.clone());
+        assert_eq!(
+            out_of_range.validate(),
+            Err(ConfigError::TraceHomeOutOfRange { node: 99, nodes: 8 })
+        );
+
+        trace.entries[0].home = HomePolicy::Auto;
+        GridConfig::small(8)
+            .with_workload(trace)
+            .validate()
+            .unwrap();
     }
 }

@@ -6,6 +6,9 @@
 //! buffers, and the barrier replays them in a *canonical* order that no partitioning can
 //! perturb:
 //!
+//! * [`ArrivalNotice`]s — workflow arrivals that must flip the workflow's `arrived` flag and
+//!   count a submission — are merged and sorted by `(time, workflow)` and applied *before* the
+//!   window's completion notices (nothing completes before it arrives);
 //! * [`CompletionNotice`]s — task completions that must update workflow state — are merged and
 //!   sorted by `(time, workflow, task)` before being applied, so the floating-point
 //!   accumulation order inside the metrics is identical for every shard count;
@@ -17,6 +20,23 @@
 use crate::NodeId;
 use p2pgrid_sim::SimTime;
 use p2pgrid_workflow::TaskId;
+
+/// A workflow arrival recorded inside a window (its `WorkflowArrival` event fired on the home
+/// node's shard), applied to workflow state and metrics at the barrier — before any completion
+/// notice of the same window, since nothing can complete before it arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArrivalNotice {
+    /// Arrival instant.
+    pub time: SimTime,
+    /// Global workflow index.
+    pub wf: usize,
+}
+
+/// Sort arrival notices into the canonical application order: `(time, workflow)`.  Each
+/// workflow arrives exactly once, so the key is unique and the order total.
+pub(crate) fn sort_arrivals(arrivals: &mut [ArrivalNotice]) {
+    arrivals.sort_unstable_by_key(|a| (a.time, a.wf));
+}
 
 /// A task completion recorded inside a window, applied to workflow state at the barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +85,13 @@ pub(crate) enum BufferedKind {
         /// The displaced task.
         task: TaskId,
     },
+    /// A workflow arrived at its home node (`on_workflow_submitted`; the event's `node` is the
+    /// home node).  Only emitted for arrivals after time zero — time-zero submissions are
+    /// announced before the first window, as in the paper's batch model.
+    Submitted {
+        /// Global workflow index.
+        wf: usize,
+    },
 }
 
 /// One observer callback recorded during a window, replayed at the barrier.
@@ -90,6 +117,19 @@ pub(crate) fn sort_observations(events: &mut [BufferedEvent]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arrivals_sort_by_time_then_workflow() {
+        let t = SimTime::from_secs;
+        let mut arrivals = vec![
+            ArrivalNotice { time: t(9), wf: 0 },
+            ArrivalNotice { time: t(2), wf: 5 },
+            ArrivalNotice { time: t(2), wf: 1 },
+        ];
+        sort_arrivals(&mut arrivals);
+        let order: Vec<usize> = arrivals.iter().map(|a| a.wf).collect();
+        assert_eq!(order, vec![1, 5, 0]);
+    }
 
     #[test]
     fn notices_sort_by_time_then_workflow_then_task() {

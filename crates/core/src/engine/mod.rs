@@ -75,7 +75,10 @@ use crate::report::SimulationReport;
 use crate::scenario::Scenario;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
-use barrier::{sort_notices, sort_observations, BufferedEvent, BufferedKind, CompletionNotice};
+use barrier::{
+    sort_arrivals, sort_notices, sort_observations, ArrivalNotice, BufferedEvent, BufferedKind,
+    CompletionNotice,
+};
 use node::{NodeRuntime, ReadyEntry};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip};
 use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
@@ -158,6 +161,8 @@ pub struct ShardedEngine {
     max_window_width: SimDuration,
     cross_shard_events: u64,
     min_cross_shard_delay: Option<SimDuration>,
+    /// Barrier scratch: merged workflow arrivals of the current window.
+    arrivals: Vec<ArrivalNotice>,
     /// Barrier scratch: merged completion notices of the current window.
     notices: Vec<CompletionNotice>,
     /// Barrier scratch: merged buffered observations of the current window.
@@ -174,9 +179,16 @@ impl ShardedEngine {
     pub(crate) fn from_scenario(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> Self {
         let world = scenario.world();
         let mut workflows = (*world.workflows).clone();
+        let horizon = SimTime::ZERO + world.config.horizon;
+        // Workflows arriving at time zero (all of them under the paper's batch model) are
+        // counted as submitted right away, exactly as the pre-arrival engine did.  Later
+        // arrivals are counted when their `WorkflowArrival` event applies at a window
+        // barrier; arrivals beyond the horizon never enter the system at all.
         let mut metrics = WorkflowMetrics::new(scheduler.label());
-        for _ in 0..workflows.len() {
-            metrics.record_submission();
+        for w in &workflows {
+            if w.arrived {
+                metrics.record_submission();
+            }
         }
 
         {
@@ -221,7 +233,7 @@ impl ShardedEngine {
 
         let shard_count = world.config.shards.resolve(world.nodes.len());
         let (map, members) = ShardMap::new(world.nodes.len(), shard_count);
-        let shards: Vec<Shard> = members
+        let mut shards: Vec<Shard> = members
             .into_iter()
             .enumerate()
             .map(|(id, node_ids)| {
@@ -230,7 +242,21 @@ impl ShardedEngine {
             })
             .collect();
 
-        let horizon = SimTime::ZERO + world.config.horizon;
+        // Schedule the deferred arrivals into their home nodes' shard queues, in workflow
+        // order.  This runs before any window, so every arrival is among the first insertions
+        // of its shard's queue and per-node event order stays shard-count independent.
+        // Arrivals beyond the horizon are dropped here — those workflows never enter the
+        // system and are never counted as submitted.
+        for (wf, w) in workflows.iter().enumerate() {
+            if !w.arrived && w.submitted_at <= horizon {
+                let shard = map.shard_of[w.home];
+                let local = map.local_of[w.home];
+                shards[shard]
+                    .queue
+                    .schedule(w.submitted_at, ShardEvent::WorkflowArrival { local, wf });
+            }
+        }
+
         ShardedEngine {
             config: world.config.clone(),
             scheduler,
@@ -255,6 +281,7 @@ impl ShardedEngine {
             max_window_width: SimDuration::ZERO,
             cross_shard_events: 0,
             min_cross_shard_delay: None,
+            arrivals: Vec::new(),
             notices: Vec::new(),
             observations: Vec::new(),
             completed_markers: HashSet::new(),
@@ -745,10 +772,37 @@ impl ShardedEngine {
         if width > self.max_window_width {
             self.max_window_width = width;
         }
+        self.apply_arrivals();
         self.apply_notices();
         self.flush_observations(observers);
         self.handle_globals(end, observers);
         Some(end)
+    }
+
+    /// Barrier step 0: merge the shards' workflow arrivals, sort them canonically by
+    /// `(time, workflow)` and apply them — the workflow becomes visible to scheduling (its
+    /// next chance is the scheduling cadence) and the submission is counted.  Runs before
+    /// [`ShardedEngine::apply_notices`]: nothing can complete before it arrives.
+    fn apply_arrivals(&mut self) {
+        let Self {
+            shards,
+            arrivals,
+            workflows,
+            metrics,
+            ..
+        } = self;
+        arrivals.clear();
+        for s in shards.iter_mut() {
+            arrivals.append(&mut s.arrivals);
+        }
+        if arrivals.is_empty() {
+            return;
+        }
+        sort_arrivals(arrivals);
+        for a in arrivals.iter() {
+            workflows[a.wf].arrived = true;
+            metrics.record_submission();
+        }
     }
 
     /// Barrier step 1: merge the shards' completion notices, sort them canonically and apply
@@ -822,6 +876,9 @@ impl ShardedEngine {
                     if completed_markers.remove(&(wf, task)) {
                         obs.emit(|o| o.on_workflow_completed(e.time, wf));
                     }
+                }
+                BufferedKind::Submitted { wf } => {
+                    obs.emit(|o| o.on_workflow_submitted(e.time, wf, e.node));
                 }
             }
         }
@@ -914,12 +971,17 @@ impl EngineSession {
     }
 
     /// Announce the time-zero workflow submissions (fires once, before the first window).
+    /// Workflows with later arrival times are announced when their `WorkflowArrival` event
+    /// replays at a window barrier instead.
     pub(crate) fn announce_submissions(&self, observers: &mut [&mut dyn Observer]) {
         let mut obs = Observers(observers);
         if obs.is_empty() {
             return;
         }
         for (wf, w) in self.state.workflows.iter().enumerate() {
+            if !w.arrived {
+                continue;
+            }
             let home = w.home;
             obs.emit(|o| o.on_workflow_submitted(SimTime::ZERO, wf, home));
         }
@@ -983,7 +1045,7 @@ mod tests {
     fn tiny_config(seed: u64) -> GridConfig {
         let mut cfg = GridConfig::small(12).with_seed(seed);
         cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=6;
+        cfg.workload.generator_mut().tasks = 2..=6;
         cfg.horizon = SimDuration::from_hours(20);
         cfg
     }
@@ -1154,7 +1216,7 @@ mod tests {
         let mut cfg = GridConfig::small(1).with_seed(8);
         cfg.workflows_per_node = 2;
         cfg.capacity = CapacityModel::Uniform(4.0);
-        cfg.workflow.tasks = 2..=4;
+        cfg.workload.generator_mut().tasks = 2..=4;
         cfg.horizon = SimDuration::from_hours(30);
         let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(report.submitted, 2);
@@ -1244,7 +1306,7 @@ mod tests {
         let mut cfg = GridConfig::small(1).with_seed(14).with_slots_per_node(4);
         cfg.workflows_per_node = 3;
         cfg.capacity = CapacityModel::Uniform(4.0);
-        cfg.workflow.tasks = 4..=6;
+        cfg.workload.generator_mut().tasks = 4..=6;
         cfg.horizon = SimDuration::from_hours(30);
         let quad = simulate(cfg.clone(), Algorithm::Dsmf).run();
         let mut single_cfg = cfg;

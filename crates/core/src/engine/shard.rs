@@ -9,7 +9,7 @@
 //! callbacks) is buffered into the per-shard [`CompletionNotice`] outbox and observation
 //! buffer and merged canonically at the window barrier (see [`super::barrier`]).
 
-use super::barrier::{BufferedEvent, BufferedKind, CompletionNotice};
+use super::barrier::{ArrivalNotice, BufferedEvent, BufferedKind, CompletionNotice};
 use super::node::NodeRuntime;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
@@ -90,6 +90,17 @@ pub(crate) enum ShardEvent {
         /// generation, turning the displaced run's in-flight completion event stale.
         run: u64,
     },
+    /// A workflow with a nonzero submission time arrives at its home node.  Scheduled once at
+    /// engine construction (before any window runs, so conservative-window soundness is not
+    /// in play); the shard buffers an [`ArrivalNotice`] for the barrier, which flips the
+    /// workflow's `arrived` flag and counts the submission.  Home nodes are always stable
+    /// (never churn), so no epoch guard is needed.
+    WorkflowArrival {
+        /// Shard-local index of the home node.
+        local: usize,
+        /// Global workflow index.
+        wf: usize,
+    },
 }
 
 /// The read-only context a shard needs while executing a window: the scheduler (consulted,
@@ -119,6 +130,8 @@ pub(crate) struct Shard {
     /// Reserved for stochastic in-shard models (exposed through
     /// [`ShardedEngine::shard_rng_mut`](super::ShardedEngine::shard_rng_mut)).
     pub rng: SimRng,
+    /// Workflow arrivals recorded this window, drained at the barrier.
+    pub arrivals: Vec<ArrivalNotice>,
     /// Completions recorded this window, drained at the barrier.
     pub outbox: Vec<CompletionNotice>,
     /// Observer callbacks recorded this window, drained at the barrier.
@@ -143,6 +156,7 @@ impl Shard {
             nodes,
             queue: EventQueue::new(),
             rng: SimRng::seed_from_u64(seed).derive_indexed("shard", id as u64),
+            arrivals: Vec::new(),
             outbox: Vec::new(),
             obs_buf: Vec::new(),
             next_run: 0,
@@ -173,6 +187,10 @@ impl Shard {
                     task,
                     run,
                 } => self.on_task_completed(local, epoch, wf, task, run, ev.time, ctx),
+                ShardEvent::WorkflowArrival { local, wf } => {
+                    self.arrivals.push(ArrivalNotice { time: ev.time, wf });
+                    self.buffer(ev.time, local, BufferedKind::Submitted { wf }, ctx);
+                }
             }
         }
     }

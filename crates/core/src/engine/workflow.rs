@@ -22,8 +22,13 @@ pub(crate) struct WorkflowRuntime {
     pub failed: bool,
     /// True once the exit task finished.
     pub completed: bool,
-    /// Submission instant.
+    /// Submission instant.  Zero for the paper's batch model; later under a staggered
+    /// arrival process or a trace workload with explicit arrival times.
     pub submitted_at: SimTime,
+    /// True once the workflow has entered the system.  Workflows submitted at time zero
+    /// start arrived; later arrivals flip this when their `WorkflowArrival` event fires, and
+    /// until then the workflow is invisible to scheduling and metrics.
+    pub arrived: bool,
     /// Full-ahead plan (task index → node id), present only for HEFT / SMF.
     pub plan: Option<Vec<NodeId>>,
     /// RPM under the true averages, used by the full-ahead baselines' ready-set metadata.
@@ -33,9 +38,10 @@ pub(crate) struct WorkflowRuntime {
 }
 
 impl WorkflowRuntime {
-    /// True while the workflow can still make progress (neither finished nor failed).
+    /// True while the workflow can make progress: it has arrived in the system and is
+    /// neither finished nor failed.
     pub fn is_active(&self) -> bool {
-        !self.completed && !self.failed
+        self.arrived && !self.completed && !self.failed
     }
 
     /// Where a finished task's output lives: its execution site, or the home node for data

@@ -37,6 +37,32 @@ pub enum ConfigError {
     InvalidSlotWeight(f64),
     /// A fixed shard count of zero was requested.
     ZeroShards,
+    /// The workload is invalid: a malformed synthetic-generator range, or a trace workload
+    /// whose document failed validation (cycle, duplicate edge, unknown reference, ...).
+    InvalidWorkload(String),
+    /// An arrival-process parameter is out of range.
+    InvalidArrival {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A trace workload entry pins its home to a node id outside the grid.
+    TraceHomeOutOfRange {
+        /// The requested home node id.
+        node: usize,
+        /// Number of nodes in the grid.
+        nodes: usize,
+    },
+    /// A trace workload entry pins its home to a churnable node (home nodes must be stable).
+    TraceHomeNotStable {
+        /// The requested home node id.
+        node: usize,
+        /// Number of stable nodes (ids `0..stable` are the stable population).
+        stable: usize,
+    },
+    /// The trace workload has workflows but submits none of them.
+    EmptyTrace,
 }
 
 impl fmt::Display for ConfigError {
@@ -73,6 +99,25 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroShards => {
                 write!(f, "the event loop needs at least one shard")
+            }
+            ConfigError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ConfigError::InvalidArrival { what, value } => {
+                write!(
+                    f,
+                    "invalid arrival process: {what} out of range, got {value}"
+                )
+            }
+            ConfigError::TraceHomeOutOfRange { node, nodes } => write!(
+                f,
+                "trace entry pins home node {node}, but the grid has only {nodes} nodes"
+            ),
+            ConfigError::TraceHomeNotStable { node, stable } => write!(
+                f,
+                "trace entry pins home node {node}, but only nodes 0..{stable} are stable \
+                 (home nodes must not churn)"
+            ),
+            ConfigError::EmptyTrace => {
+                write!(f, "trace workload submits no workflow instances")
             }
         }
     }

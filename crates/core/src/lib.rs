@@ -96,8 +96,8 @@ pub mod worked_example;
 
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
 pub use config::{
-    CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel, ShardSpec, SlotClass,
-    SlotModel, StreamKind, StreamSeeds,
+    ArrivalProcess, CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel,
+    ShardSpec, SlotClass, SlotModel, StreamKind, StreamSeeds, WorkloadSource,
 };
 pub use engine::ShardStats;
 pub use error::ConfigError;

@@ -28,7 +28,9 @@
 //! mid-experiment.
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
-use crate::config::{ChurnConfig, GridConfig, ResourceModel, StreamKind};
+use crate::config::{
+    ArrivalProcess, ChurnConfig, GridConfig, ResourceModel, StreamKind, WorkloadSource,
+};
 use crate::engine::node::{NodeRuntime, ReadySet};
 use crate::engine::transfer::TransferModel;
 use crate::engine::workflow::WorkflowRuntime;
@@ -40,7 +42,8 @@ use p2pgrid_gossip::MixedGossip;
 use p2pgrid_sim::{SimDuration, SimRng, SimTime};
 use p2pgrid_topology::{LandmarkEstimator, PairwiseMetrics, WaxmanGenerator};
 use p2pgrid_workflow::{
-    ExpectedCosts, WorkflowAnalysis, WorkflowGenerator, WorkflowGeneratorConfig,
+    ExpectedCosts, HomePolicy, Workflow, WorkflowAnalysis, WorkflowGenerator,
+    WorkflowGeneratorConfig, WorkloadSpec,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -118,11 +121,13 @@ fn topology_inputs_match(a: &GridConfig, b: &GridConfig) -> bool {
 }
 
 /// True when `a` and `b` would generate bit-identical workflow runtimes *given that their
-/// topology tables already match*: same generator parameters, load factor and workflow
-/// stream, the same home-node set (stable count), and the same capacity draw (the analysis
-/// baseline `eft(f)` folds the capacity average in).
+/// topology tables already match*: same workload source (generator parameters or trace) and
+/// arrival process, same load factor and workflow stream, the same home-node set (stable
+/// count), and the same capacity draw (the analysis baseline `eft(f)` folds the capacity
+/// average in).
 fn workflow_inputs_match(a: &GridConfig, b: &GridConfig) -> bool {
-    a.workflow == b.workflow
+    a.workload == b.workload
+        && a.arrivals == b.arrivals
         && a.workflows_per_node == b.workflows_per_node
         && a.stream_seed(StreamKind::Workflows) == b.stream_seed(StreamKind::Workflows)
         && stable_count(a) == stable_count(b)
@@ -260,42 +265,103 @@ impl Scenario {
         };
         let true_costs = ExpectedCosts::new(true_avg_capacity.max(1e-6), true_avg_bandwidth);
 
-        // Workflows: `workflows_per_node` per home node; under churn only stable nodes are
-        // home nodes (the paper excludes home nodes from churning).  Reused when the home
-        // set, the generator inputs and the analysis baseline are unchanged.
+        // Workflows.  The synthetic source submits `workflows_per_node` per home node; under
+        // churn only stable nodes are home nodes (the paper excludes home nodes from
+        // churning).  A trace source replays its entries instead: each names its DAG, its
+        // arrival time and its home policy (`Auto` round-robins over the home candidates).
+        // Reused when the home set, the workload inputs and the analysis baseline are
+        // unchanged.
         let workflows_shared =
             topology_shared && reuse.is_some_and(|old| workflow_inputs_match(&old.config, &config));
         let (workflows, home_of) = match reuse.filter(|_| workflows_shared) {
             Some(old) => (Arc::clone(&old.workflows), Arc::clone(&old.home_of)),
             None => {
                 let mut wf_rng = stream_rng(&config, StreamKind::Workflows);
-                let generator = WorkflowGenerator::new(config.workflow.clone());
                 let home_candidates: Vec<NodeId> =
                     (0..n).filter(|&i| !nodes[i].churnable).collect();
-                let mut workflows = Vec::new();
-                let mut home_of = vec![Vec::new(); n];
-                for &home in &home_candidates {
-                    for _ in 0..config.workflows_per_node {
-                        let workflow = generator.generate(&mut wf_rng);
-                        let analysis = WorkflowAnalysis::new(&workflow, true_costs);
-                        let static_rpm: Vec<f64> =
-                            workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
-                        let wf = WorkflowRuntime {
-                            home,
-                            progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
-                            eft_secs: analysis.expected_finish_time_secs(),
-                            task_location: vec![None; workflow.task_count()],
-                            failed: false,
-                            completed: false,
-                            submitted_at: SimTime::ZERO,
-                            plan: None,
-                            static_ms_secs: analysis.expected_finish_time_secs(),
-                            static_rpm,
-                            workflow,
-                        };
-                        home_of[home].push(workflows.len());
-                        workflows.push(wf);
+
+                // Collect (home, DAG, workload-defined arrival time) drafts first; analysis
+                // and runtime construction are identical for both sources.
+                let mut drafts: Vec<(NodeId, Workflow, SimTime)> = Vec::new();
+                match &config.workload {
+                    WorkloadSource::Synthetic(generator_config) => {
+                        let generator = WorkflowGenerator::new(generator_config.clone());
+                        for &home in &home_candidates {
+                            for _ in 0..config.workflows_per_node {
+                                let workflow = generator.generate(&mut wf_rng);
+                                drafts.push((home, workflow, SimTime::ZERO));
+                            }
+                        }
                     }
+                    WorkloadSource::Trace(spec) => {
+                        let entries = spec
+                            .resolve()
+                            .map_err(|e| ConfigError::InvalidWorkload(e.to_string()))?;
+                        let mut next_auto = 0usize;
+                        for entry in entries {
+                            let home = match entry.home {
+                                HomePolicy::Auto => {
+                                    let home = home_candidates[next_auto % home_candidates.len()];
+                                    next_auto += 1;
+                                    home
+                                }
+                                HomePolicy::Node(node) => {
+                                    if node >= n {
+                                        return Err(ConfigError::TraceHomeOutOfRange {
+                                            node,
+                                            nodes: n,
+                                        });
+                                    }
+                                    if nodes[node].churnable {
+                                        return Err(ConfigError::TraceHomeNotStable {
+                                            node,
+                                            stable,
+                                        });
+                                    }
+                                    node
+                                }
+                            };
+                            let when = SimTime::ZERO + SimDuration::from_millis(entry.submit_at_ms);
+                            drafts.push((home, entry.workflow, when));
+                        }
+                    }
+                }
+
+                // Arrival times.  `Batch` keeps the workload-defined times (all zero for
+                // synthetic workloads — the paper's model) and draws nothing, so the default
+                // path samples byte-identically to the pre-arrival engine.  Every other
+                // process samples from the *tail* of the workflow stream (after the DAGs)
+                // and overrides the workload times — this is what lets a checked-in trace be
+                // replayed under, say, a flash crowd.
+                if !config.arrivals.is_batch() {
+                    let times = config.arrivals.sample_times(drafts.len(), &mut wf_rng);
+                    for (draft, when) in drafts.iter_mut().zip(times) {
+                        draft.2 = when;
+                    }
+                }
+
+                let mut workflows = Vec::with_capacity(drafts.len());
+                let mut home_of = vec![Vec::new(); n];
+                for (home, workflow, submitted_at) in drafts {
+                    let analysis = WorkflowAnalysis::new(&workflow, true_costs);
+                    let static_rpm: Vec<f64> =
+                        workflow.task_ids().map(|t| analysis.rpm_secs(t)).collect();
+                    let wf = WorkflowRuntime {
+                        home,
+                        progress: p2pgrid_workflow::ProgressTracker::new(&workflow),
+                        eft_secs: analysis.expected_finish_time_secs(),
+                        task_location: vec![None; workflow.task_count()],
+                        failed: false,
+                        completed: false,
+                        submitted_at,
+                        arrived: submitted_at == SimTime::ZERO,
+                        plan: None,
+                        static_ms_secs: analysis.expected_finish_time_secs(),
+                        static_rpm,
+                        workflow,
+                    };
+                    home_of[home].push(workflows.len());
+                    workflows.push(wf);
                 }
                 (Arc::new(workflows), Arc::new(home_of))
             }
@@ -369,7 +435,30 @@ impl Scenario {
         workflow: WorkflowGeneratorConfig,
     ) -> Result<Scenario, ConfigError> {
         let mut config = self.world.config.clone();
-        config.workflow = workflow;
+        config.workload = WorkloadSource::Synthetic(workflow);
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world that replays a serialized trace workload (see
+    /// [`WorkloadSource::Trace`]) instead of the synthetic generator.
+    ///
+    /// Like [`Scenario::with_workflows`], only the workflow set changes; the topology
+    /// tables, node population and gossip state are shared/identical.  Each trace entry
+    /// names its DAG, arrival time and home policy; `workflows_per_node` is ignored.
+    pub fn with_workload(&self, workload: WorkloadSpec) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.workload = WorkloadSource::Trace(workload);
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with a different arrival process (see [`ArrivalProcess`]).
+    ///
+    /// Arrival times are drawn from the tail of the workflow stream, after the DAGs — the
+    /// DAGs themselves are re-generated byte-identically, and the topology tables, node
+    /// population and gossip state are shared.
+    pub fn with_arrivals(&self, arrivals: ArrivalProcess) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.arrivals = arrivals;
         Scenario::build_with_reuse(config, Some(&self.world))
     }
 
@@ -436,7 +525,8 @@ impl Scenario {
         self.world.nodes.len()
     }
 
-    /// Number of workflows submitted at time zero.
+    /// Number of workflow instances in the workload (whether they arrive at time zero, as in
+    /// the paper's batch model, or later under an arrival process / trace times).
     pub fn workflow_count(&self) -> usize {
         self.world.workflows.len()
     }

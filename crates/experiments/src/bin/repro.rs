@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale smoke|reduced|full] [--seed N] [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]
-//!       [--json [DIR]]
+//!       [--json [DIR]] [--workload FILE] [--check-workloads DIR]
 //! ```
 //!
 //! The default is `--scale reduced --fig all`, which runs every experiment at a laptop-friendly
@@ -11,11 +11,20 @@
 //! takes correspondingly longer.  `--json` additionally writes one machine-readable artifact
 //! per regenerated figure (`<DIR>/<figure-id>.json`, default directory `repro-json`),
 //! serialized through the serde compat shim's JSON backend.
+//!
+//! Two workload-artifact modes replace the figure run when given:
+//!
+//! * `--workload FILE` replays a serialized `p2pgrid-workload/v1` trace (e.g. one of the
+//!   checked-in files under `workloads/`) over this scale's base grid with all eight
+//!   algorithms and prints the comparison table.
+//! * `--check-workloads DIR` validates every `.json` artifact in a directory (parse with
+//!   line/column error positions, full DAG validation, round-trip fixpoint) and exits with
+//!   status 2 if any fails — the CI guard for the checked-in library.
 
 use p2pgrid_core::worked_example;
 use p2pgrid_experiments::ExperimentScale;
 use p2pgrid_experiments::{
-    ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison, FigureData,
+    ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison, workload, FigureData,
 };
 use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis};
 use std::path::{Path, PathBuf};
@@ -62,6 +71,8 @@ struct Args {
     seed: u64,
     figure: Figure,
     json_dir: Option<PathBuf>,
+    workload: Option<PathBuf>,
+    check_workloads: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +80,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 20100913u64;
     let mut figure = Figure::All;
     let mut json_dir: Option<PathBuf> = None;
+    let mut workload: Option<PathBuf> = None;
+    let mut check_workloads: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -102,10 +115,21 @@ fn parse_args() -> Result<Args, String> {
                 };
                 json_dir = Some(dir);
             }
+            "--workload" => {
+                i += 1;
+                workload = Some(PathBuf::from(argv.get(i).ok_or("--workload needs a file")?));
+            }
+            "--check-workloads" => {
+                i += 1;
+                check_workloads = Some(PathBuf::from(
+                    argv.get(i).ok_or("--check-workloads needs a directory")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--scale smoke|reduced|full] [--seed N] [--fig FIG] \
-                     [--json [DIR]]\n  scales:  {ACCEPTED_SCALES}\n  figures: {ACCEPTED_FIGURES}"
+                     [--json [DIR]] [--workload FILE] [--check-workloads DIR]\n  \
+                     scales:  {ACCEPTED_SCALES}\n  figures: {ACCEPTED_FIGURES}"
                 ))
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -117,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
         seed,
         figure,
         json_dir,
+        workload,
+        check_workloads,
     })
 }
 
@@ -193,6 +219,40 @@ fn main() {
     let scale = args.scale;
     let seed = args.seed;
     let json_dir = &args.json_dir;
+
+    // Workload-artifact modes replace the figure run.
+    if args.workload.is_some() || args.check_workloads.is_some() {
+        if let Some(dir) = &args.check_workloads {
+            match workload::check_dir(dir) {
+                Ok(checks) => {
+                    println!("== workload artifacts in {} ==", dir.display());
+                    for c in &checks {
+                        println!(
+                            "{:<20} workload `{}`: {} workflows, {} entries, {} tasks — OK",
+                            c.file, c.name, c.workflows, c.entries, c.tasks
+                        );
+                    }
+                }
+                Err(report) => {
+                    eprintln!("workload artifact validation failed:\n{report}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(file) = &args.workload {
+            match workload::run_file(file, scale, seed) {
+                Ok(cmp) => {
+                    println!("== workload replay ({}) ==", file.display());
+                    println!("{}", cmp.table());
+                }
+                Err(msg) => {
+                    eprintln!("cannot replay {}: {msg}", file.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
     println!(
         "# p2pgrid reproduction — scale: {scale:?}, seed: {seed}, nodes: {}\n",
         scale.nodes()

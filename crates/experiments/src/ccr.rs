@@ -69,7 +69,12 @@ pub fn run(scale: ExperimentScale, seed: u64) -> CcrSweep {
         .sweep(
             &cases,
             |base, case| {
-                let mut workflow = base.config().workflow.clone();
+                let mut workflow = base
+                    .config()
+                    .workload
+                    .generator()
+                    .expect("CCR sweeps run on the synthetic workload source")
+                    .clone();
                 workflow.load_mi = case.load_mi.clone();
                 workflow.data_mb = case.data_mb.clone();
                 base.with_workflows(workflow)

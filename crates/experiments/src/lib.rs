@@ -10,6 +10,7 @@
 //! | [`ccr`]               | Fig. 9 / Fig. 10 (four load/data combinations, CCR 0.16–16) |
 //! | [`scalability`]       | Fig. 11 (RSS size, AE, ACT versus system scale) |
 //! | [`churn`]             | Fig. 12–14 (dynamic factor 0–0.4) |
+//! | [`workload`]          | replay of serialized workload artifacts (`repro --workload`) |
 //!
 //! Every runner accepts an [`ExperimentScale`]: `Smoke` for unit tests, `Reduced` for the
 //! Criterion benches and the default `repro` binary, and `Full` for the paper-scale
@@ -35,6 +36,7 @@ pub mod load_factor;
 pub mod scalability;
 pub mod scale;
 pub mod static_comparison;
+pub mod workload;
 
 pub use campaign::Campaign;
 pub use figures::{FigureData, Series};

@@ -40,7 +40,7 @@ impl ExperimentScale {
             ExperimentScale::Smoke => {
                 let mut cfg = GridConfig::paper_default().with_nodes(24).with_seed(seed);
                 cfg.workflows_per_node = 1;
-                cfg.workflow.tasks = 2..=8;
+                cfg.workload.generator_mut().tasks = 2..=8;
                 cfg.horizon = SimDuration::from_hours(12);
                 cfg
             }

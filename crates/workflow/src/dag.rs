@@ -30,6 +30,10 @@ pub struct Task {
     pub image_size_mb: f64,
     /// Optional human-readable label (used by examples and the Fig. 3 worked example).
     pub name: Option<String>,
+    /// Optional priority carried by the on-disk workload format (`crates/workflow/src/spec.rs`).
+    /// The paper's schedulers order tasks by RPM/makespan keys, so this field is informational
+    /// today; it round-trips through import/export for future priority-aware substrates.
+    pub priority: Option<i32>,
 }
 
 impl Task {
@@ -39,6 +43,7 @@ impl Task {
             load_mi,
             image_size_mb,
             name: None,
+            priority: None,
         }
     }
 
@@ -48,6 +53,7 @@ impl Task {
             load_mi,
             image_size_mb,
             name: Some(name.into()),
+            priority: None,
         }
     }
 
@@ -57,6 +63,7 @@ impl Task {
             load_mi: 0.0,
             image_size_mb: 0.0,
             name: Some(name.to_string()),
+            priority: None,
         }
     }
 
@@ -155,7 +162,7 @@ impl WorkflowBuilder {
 /// After construction the workflow always has exactly one entry task and one exit task; if the
 /// user-supplied DAG had several, zero-cost virtual tasks are prepended/appended, exactly as
 /// Section II.A of the paper prescribes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workflow {
     tasks: Vec<Task>,
     succs: Vec<Vec<DataEdge>>,

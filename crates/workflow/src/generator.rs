@@ -1,6 +1,6 @@
 //! Random workflow generation (Table I) and canonical workflow shapes.
 
-use crate::dag::{Task, TaskId, Workflow, WorkflowBuilder};
+use crate::dag::{Task, TaskId, Workflow, WorkflowBuilder, WorkflowError};
 use p2pgrid_sim::SimRng;
 use serde::{Deserialize, Serialize};
 use std::ops::RangeInclusive;
@@ -43,16 +43,40 @@ impl WorkflowGeneratorConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(
-            *self.tasks.start() >= 1,
-            "a workflow needs at least one task"
-        );
-        assert!(self.tasks.start() <= self.tasks.end(), "empty task range");
-        assert!(*self.fanout.start() >= 1, "fan-out must be at least one");
-        assert!(*self.load_mi.start() > 0.0 && self.load_mi.start() <= self.load_mi.end());
-        assert!(*self.image_size_mb.start() >= 0.0);
-        assert!(*self.data_mb.start() >= 0.0);
+    /// Check every parameter range for emptiness/reversal and sign, returning a typed error
+    /// instead of panicking (callers in `p2pgrid-core` surface this through `ConfigError`).
+    pub fn validate(&self) -> Result<(), WorkflowError> {
+        let invalid = |msg: String| Err(WorkflowError::InvalidParameter(msg));
+        if *self.tasks.start() < 1 {
+            return invalid("workflow task count range must start at 1 or more".into());
+        }
+        if self.tasks.is_empty() {
+            return invalid(format!("empty/reversed task count range {:?}", self.tasks));
+        }
+        if *self.fanout.start() < 1 {
+            return invalid("fan-out range must start at 1 or more".into());
+        }
+        if self.fanout.is_empty() {
+            return invalid(format!("empty/reversed fan-out range {:?}", self.fanout));
+        }
+        let float_range = |name: &str, r: &RangeInclusive<f64>, min_start: f64| {
+            if !r.start().is_finite() || !r.end().is_finite() {
+                return invalid(format!("{name} range must be finite, got {r:?}"));
+            }
+            if *r.start() < min_start {
+                return invalid(format!(
+                    "{name} range must start at {min_start} or more, got {r:?}"
+                ));
+            }
+            if r.start() > r.end() {
+                return invalid(format!("empty/reversed {name} range {r:?}"));
+            }
+            Ok(())
+        };
+        float_range("load_mi", &self.load_mi, f64::MIN_POSITIVE)?;
+        float_range("image_size_mb", &self.image_size_mb, 0.0)?;
+        float_range("data_mb", &self.data_mb, 0.0)?;
+        Ok(())
     }
 }
 
@@ -70,8 +94,13 @@ pub struct WorkflowGenerator {
 
 impl WorkflowGenerator {
     /// Create a generator for the given configuration.
+    ///
+    /// Panics on an invalid configuration; call [`WorkflowGeneratorConfig::validate`] first to
+    /// get a typed error instead (as `Scenario::build` does).
     pub fn new(config: WorkflowGeneratorConfig) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("invalid workflow generator configuration");
         WorkflowGenerator { config }
     }
 
@@ -203,6 +232,70 @@ pub mod shapes {
         b.add_dependency(model, mosaic, data_mb / 4.0);
         b.build().unwrap()
     }
+
+    /// A CyberShake-like seismic-hazard workflow: per-site SGT extraction fans out into
+    /// `synthesis_per_site` seismogram-synthesis tasks each, every synthesis feeds a cheap
+    /// peak-value calculation, and everything merges into one zip/aggregation sink.  CyberShake
+    /// is the canonical *data-heavy, shallow* fan-out/fan-in workload (edges carry much more
+    /// data than Montage).
+    pub fn cybershake_like(
+        sites: usize,
+        synthesis_per_site: usize,
+        load_mi: f64,
+        data_mb: f64,
+    ) -> Workflow {
+        assert!(sites >= 1 && synthesis_per_site >= 1);
+        let mut b = WorkflowBuilder::new();
+        let preprocess = b.add_task(Task::named("preCVM", load_mi / 5.0, 20.0));
+        let zip = b.add_task(Task::named("zipPSA", load_mi / 2.0, 30.0));
+        for s in 0..sites {
+            let extract = b.add_task(Task::named(format!("extractSGT{s}"), load_mi, 40.0));
+            b.add_dependency(preprocess, extract, data_mb / 4.0);
+            for k in 0..synthesis_per_site {
+                let synth = b.add_task(Task::named(
+                    format!("seisSynth{s}_{k}"),
+                    load_mi * 2.0,
+                    30.0,
+                ));
+                let peak = b.add_task(Task::named(format!("peakVal{s}_{k}"), load_mi / 10.0, 10.0));
+                b.add_dependency(extract, synth, data_mb);
+                b.add_dependency(synth, peak, data_mb / 10.0);
+                b.add_dependency(peak, zip, data_mb / 20.0);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// An Epigenomics-like genome-sequencing workflow: `lanes` independent deep pipelines
+    /// (split → filter → convert → map) whose mapped reads fan in to a merge, followed by a
+    /// short indexing/pileup tail.  Epigenomics is the canonical *compute-heavy, deep-chain*
+    /// workload with a single global fan-in.
+    pub fn epigenomics_like(lanes: usize, load_mi: f64, data_mb: f64) -> Workflow {
+        assert!(lanes >= 1);
+        let mut b = WorkflowBuilder::new();
+        let split = b.add_task(Task::named("fastqSplit", load_mi / 10.0, 20.0));
+        let merge = b.add_task(Task::named("mapMerge", load_mi / 2.0, 20.0));
+        for l in 0..lanes {
+            let filter = b.add_task(Task::named(
+                format!("filterContams{l}"),
+                load_mi / 2.0,
+                15.0,
+            ));
+            let convert = b.add_task(Task::named(format!("sol2sanger{l}"), load_mi / 4.0, 15.0));
+            let tobfq = b.add_task(Task::named(format!("fastq2bfq{l}"), load_mi / 4.0, 15.0));
+            let map = b.add_task(Task::named(format!("map{l}"), load_mi * 4.0, 40.0));
+            b.add_dependency(split, filter, data_mb);
+            b.add_dependency(filter, convert, data_mb / 2.0);
+            b.add_dependency(convert, tobfq, data_mb / 2.0);
+            b.add_dependency(tobfq, map, data_mb / 2.0);
+            b.add_dependency(map, merge, data_mb / 4.0);
+        }
+        let index = b.add_task(Task::named("maqIndex", load_mi, 20.0));
+        let pileup = b.add_task(Task::named("pileup", load_mi * 2.0, 20.0));
+        b.add_dependency(merge, index, data_mb / 4.0);
+        b.add_dependency(index, pileup, data_mb / 4.0);
+        b.build().unwrap()
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +386,54 @@ mod tests {
         // Montage has a single stage-in entry and a single mosaic exit, so no virtual tasks.
         assert!(!m.task(m.entry()).is_virtual());
         assert!(!m.task(m.exit()).is_virtual());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges_with_typed_errors() {
+        let ok = WorkflowGeneratorConfig::default();
+        assert!(ok.validate().is_ok());
+
+        let reject = |mutate: fn(&mut WorkflowGeneratorConfig)| {
+            let mut cfg = WorkflowGeneratorConfig::default();
+            mutate(&mut cfg);
+            assert!(
+                matches!(cfg.validate(), Err(WorkflowError::InvalidParameter(_))),
+                "{cfg:?} should be rejected"
+            );
+        };
+        reject(|c| c.tasks = 0..=5); // zero task count
+        #[allow(clippy::reversed_empty_ranges)]
+        reject(|c| c.tasks = 10..=2); // reversed task range
+        reject(|c| c.fanout = 0..=3);
+        #[allow(clippy::reversed_empty_ranges)]
+        reject(|c| c.fanout = 5..=1);
+        reject(|c| c.load_mi = 0.0..=100.0); // zero load
+        #[allow(clippy::reversed_empty_ranges)]
+        reject(|c| c.load_mi = 100.0..=10.0); // reversed load range
+        reject(|c| c.load_mi = 1.0..=f64::INFINITY);
+        reject(|c| c.image_size_mb = -1.0..=5.0);
+        #[allow(clippy::reversed_empty_ranges)]
+        reject(|c| c.data_mb = 100.0..=10.0); // reversed data range
+        reject(|c| c.data_mb = f64::NAN..=10.0);
+    }
+
+    #[test]
+    fn cybershake_and_epigenomics_shapes_have_expected_structure() {
+        let cs = shapes::cybershake_like(2, 2, 1000.0, 500.0);
+        // preCVM + zipPSA + 2×(extractSGT + 2×(synth + peak)) = 12, no virtual tasks needed.
+        assert_eq!(cs.task_count(), 12);
+        assert!(!cs.task(cs.entry()).is_virtual());
+        assert!(!cs.task(cs.exit()).is_virtual());
+        assert_eq!(cs.task(cs.entry()).name.as_deref(), Some("preCVM"));
+        assert_eq!(cs.task(cs.exit()).name.as_deref(), Some("zipPSA"));
+
+        let epi = shapes::epigenomics_like(3, 1000.0, 500.0);
+        // split + merge + 3×4 lane tasks + index + pileup = 16.
+        assert_eq!(epi.task_count(), 16);
+        assert_eq!(epi.task(epi.entry()).name.as_deref(), Some("fastqSplit"));
+        assert_eq!(epi.task(epi.exit()).name.as_deref(), Some("pileup"));
+        // Deep chains: the critical path is long relative to the width.
+        assert!(epi.topological_order().len() == 16);
     }
 
     proptest! {

@@ -14,7 +14,10 @@
 //!   *schedule points* (ready to be dispatched), the just-in-time counterpart of the static DAG;
 //! * [`generator`] — the random workflow generator matching Table I (2–30 tasks, fan-out 1–5,
 //!   loads of 100–10 000 MI, data of 100–10 000 Mb) plus canonical shapes used in examples and
-//!   tests.
+//!   tests (including Montage-, CyberShake- and Epigenomics-like scientific workflows);
+//! * [`spec`] — the serializable on-disk workload format (`p2pgrid-workflow/v1` /
+//!   `p2pgrid-workload/v1`): [`WorkflowSpec`] / [`WorkloadSpec`] import/export with schema
+//!   errors that name the offending JSON field, validated through [`WorkflowBuilder`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,8 +26,12 @@ pub mod analysis;
 pub mod dag;
 pub mod generator;
 pub mod progress;
+pub mod spec;
 
 pub use analysis::{ExpectedCosts, WorkflowAnalysis};
 pub use dag::{Task, TaskId, Workflow, WorkflowBuilder, WorkflowError};
 pub use generator::{shapes, WorkflowGenerator, WorkflowGeneratorConfig};
 pub use progress::ProgressTracker;
+pub use spec::{
+    HomePolicy, ResolvedEntry, SpecError, TaskSpec, WorkflowSpec, WorkloadEntry, WorkloadSpec,
+};

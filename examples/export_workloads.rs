@@ -1,0 +1,107 @@
+//! Regenerates the checked-in workload artifacts under `workloads/`.
+//!
+//! Each artifact is a `p2pgrid-workload/v1` document: a small library of named scientific
+//! workflow DAGs (built from [`shapes`]) plus arrival entries binding submitted instances to
+//! virtual arrival times and home-node policies.  The shapes follow the structure of three
+//! widely used workflow benchmarks — Montage (astronomy mosaics), CyberShake (seismic hazard)
+//! and Epigenomics (genome sequencing lanes) — at sizes small enough for CI smoke runs.
+//!
+//! Run with `cargo run --example export_workloads` from the repository root; the files are
+//! written to `workloads/{montage,cybershake,epigenomics}.json`.  `repro --check-workloads
+//! workloads` verifies they parse, validate and round-trip.
+
+use p2pgrid::prelude::*;
+use std::path::Path;
+
+fn spec(name: &str, w: &Workflow) -> WorkflowSpec {
+    WorkflowSpec::from_workflow(name, w).expect("library shapes have unique task names")
+}
+
+fn entry(workflow: &str, submit_at_ms: u64, home: HomePolicy) -> WorkloadEntry {
+    WorkloadEntry {
+        workflow: workflow.into(),
+        submit_at_ms,
+        home,
+    }
+}
+
+fn montage() -> WorkloadSpec {
+    // Two mosaic sizes; a second wave arrives mid-campaign.  One instance is pinned to
+    // node 0 (always stable) to exercise explicit home placement.
+    WorkloadSpec {
+        name: "montage".into(),
+        workflows: vec![
+            spec("montage-4", &shapes::montage_like(4, 2000.0, 400.0)),
+            spec("montage-8", &shapes::montage_like(8, 2500.0, 600.0)),
+        ],
+        entries: vec![
+            entry("montage-4", 0, HomePolicy::Auto),
+            entry("montage-8", 0, HomePolicy::Node(0)),
+            entry("montage-4", 600_000, HomePolicy::Auto),
+            entry("montage-8", 1_800_000, HomePolicy::Auto),
+            entry("montage-4", 3_600_000, HomePolicy::Auto),
+        ],
+    }
+}
+
+fn cybershake() -> WorkloadSpec {
+    // Per-site strain-green-tensor fan-out with per-site synthesis stages and a global
+    // hazard-curve join; two problem sizes, staggered arrivals.
+    WorkloadSpec {
+        name: "cybershake".into(),
+        workflows: vec![
+            spec(
+                "cybershake-2x3",
+                &shapes::cybershake_like(2, 3, 1500.0, 2000.0),
+            ),
+            spec(
+                "cybershake-3x4",
+                &shapes::cybershake_like(3, 4, 1800.0, 2500.0),
+            ),
+        ],
+        entries: vec![
+            entry("cybershake-2x3", 0, HomePolicy::Auto),
+            entry("cybershake-3x4", 900_000, HomePolicy::Auto),
+            entry("cybershake-2x3", 2_700_000, HomePolicy::Auto),
+        ],
+    }
+}
+
+fn epigenomics() -> WorkloadSpec {
+    // Independent per-lane pipelines merging into a global mapping/indexing tail; the lane
+    // pipelines are long chains, so this shape stresses depth rather than width.
+    WorkloadSpec {
+        name: "epigenomics".into(),
+        workflows: vec![
+            spec("epigenomics-3", &shapes::epigenomics_like(3, 3000.0, 300.0)),
+            spec("epigenomics-5", &shapes::epigenomics_like(5, 3500.0, 350.0)),
+        ],
+        entries: vec![
+            entry("epigenomics-3", 0, HomePolicy::Auto),
+            entry("epigenomics-5", 1_200_000, HomePolicy::Auto),
+            entry("epigenomics-3", 2_400_000, HomePolicy::Auto),
+        ],
+    }
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("workloads");
+    std::fs::create_dir_all(&dir).expect("create workloads/");
+    for wl in [montage(), cybershake(), epigenomics()] {
+        // Fail fast if an artifact would not validate on load.
+        let resolved = wl.resolve().expect("artifact must resolve");
+        let path = dir.join(format!("{}.json", wl.name));
+        wl.save(&path).expect("write artifact");
+        println!(
+            "wrote {} ({} workflows, {} entries, {} tasks total, last arrival {:.0} min)",
+            path.display(),
+            wl.workflows.len(),
+            wl.entry_count(),
+            resolved
+                .iter()
+                .map(|e| e.workflow.task_count())
+                .sum::<usize>(),
+            wl.last_arrival_ms() as f64 / 60_000.0
+        );
+    }
+}

@@ -66,17 +66,18 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use p2pgrid_core::GridSimulation;
     pub use p2pgrid_core::{
-        Algorithm, AlgorithmConfig, CapacityModel, ChurnConfig, ConfigError, GridConfig,
-        GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase, ShardSpec,
-        ShardStats, Simulation, SimulationReport, SlotClass, SlotModel, StreamKind, StreamSeeds,
-        TimeSeriesProbe, TraceEvent, TraceRecorder,
+        Algorithm, AlgorithmConfig, ArrivalProcess, CapacityModel, ChurnConfig, ConfigError,
+        GridConfig, GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase,
+        ShardSpec, ShardStats, Simulation, SimulationReport, SlotClass, SlotModel, StreamKind,
+        StreamSeeds, TimeSeriesProbe, TraceEvent, TraceRecorder, WorkloadSource,
     };
     pub use p2pgrid_experiments::{Campaign, ExperimentScale};
     pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};
     pub use p2pgrid_sim::{SimDuration, SimRng, SimTime};
     pub use p2pgrid_topology::{Topology, WaxmanConfig, WaxmanGenerator};
     pub use p2pgrid_workflow::{
-        shapes, ExpectedCosts, Task, TaskId, Workflow, WorkflowAnalysis, WorkflowBuilder,
-        WorkflowGenerator, WorkflowGeneratorConfig,
+        shapes, ExpectedCosts, HomePolicy, SpecError, Task, TaskId, Workflow, WorkflowAnalysis,
+        WorkflowBuilder, WorkflowGenerator, WorkflowGeneratorConfig, WorkflowSpec, WorkloadEntry,
+        WorkloadSpec,
     };
 }

@@ -20,7 +20,7 @@ use p2pgrid::prelude::*;
 fn config(seed: u64) -> GridConfig {
     let mut cfg = GridConfig::small(20).with_seed(seed);
     cfg.workflows_per_node = 2;
-    cfg.workflow.tasks = 2..=10;
+    cfg.workload.generator_mut().tasks = 2..=10;
     cfg
 }
 
@@ -97,7 +97,7 @@ fn with_resource_matches_fresh_build_and_shares_workflows() {
 #[test]
 fn with_workflows_matches_fresh_build() {
     let base = Scenario::build(config(93)).unwrap();
-    let mut workflow = base.config().workflow.clone();
+    let mut workflow = base.config().workload.generator().unwrap().clone();
     workflow.load_mi = 100.0..=10_000.0;
     workflow.data_mb = 100.0..=10_000.0;
     let derived = base.with_workflows(workflow).unwrap();

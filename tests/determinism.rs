@@ -14,7 +14,7 @@ use p2pgrid::prelude::*;
 fn config(seed: u64) -> GridConfig {
     let mut cfg = GridConfig::small(20).with_seed(seed);
     cfg.workflows_per_node = 2;
-    cfg.workflow.tasks = 2..=10;
+    cfg.workload.generator_mut().tasks = 2..=10;
     cfg
 }
 

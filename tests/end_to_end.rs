@@ -5,7 +5,7 @@ use p2pgrid::prelude::*;
 fn small_config(nodes: usize, seed: u64) -> GridConfig {
     let mut cfg = GridConfig::small(nodes).with_seed(seed);
     cfg.workflows_per_node = 2;
-    cfg.workflow.tasks = 2..=10;
+    cfg.workload.generator_mut().tasks = 2..=10;
     cfg
 }
 

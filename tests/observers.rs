@@ -7,7 +7,7 @@ use std::collections::HashSet;
 fn config(nodes: usize, seed: u64) -> GridConfig {
     let mut cfg = GridConfig::small(nodes).with_seed(seed);
     cfg.workflows_per_node = 2;
-    cfg.workflow.tasks = 2..=8;
+    cfg.workload.generator_mut().tasks = 2..=8;
     cfg
 }
 

@@ -33,7 +33,7 @@ proptest! {
     fn prop_static_run_accounting(seed in 0u64..10_000, alg in any_algorithm(), nodes in 8usize..20) {
         let mut cfg = GridConfig::small(nodes).with_seed(seed);
         cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=8;
+        cfg.workload.generator_mut().tasks = 2..=8;
         cfg.horizon = SimDuration::from_hours(10);
         let report = Scenario::build(cfg).unwrap().simulate_algorithm(alg).run();
 
@@ -62,7 +62,7 @@ proptest! {
         churn.reschedule_lost_tasks = reschedule;
         let mut cfg = GridConfig::small(16).with_seed(seed).with_churn(churn);
         cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=6;
+        cfg.workload.generator_mut().tasks = 2..=6;
         cfg.horizon = SimDuration::from_hours(8);
         let report = Scenario::build(cfg)
             .unwrap()

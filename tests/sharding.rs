@@ -16,7 +16,7 @@ use proptest::prelude::*;
 fn config(seed: u64) -> GridConfig {
     let mut cfg = GridConfig::small(20).with_seed(seed);
     cfg.workflows_per_node = 2;
-    cfg.workflow.tasks = 2..=10;
+    cfg.workload.generator_mut().tasks = 2..=10;
     cfg
 }
 
@@ -230,7 +230,7 @@ proptest! {
     ) {
         let mut cfg = GridConfig::small(nodes).with_seed(seed);
         cfg.workflows_per_node = 1;
-        cfg.workflow.tasks = 2..=8;
+        cfg.workload.generator_mut().tasks = 2..=8;
         cfg.horizon = SimDuration::from_hours(10);
         let cfg = cfg.with_churn(ChurnConfig::with_dynamic_factor(df));
 
