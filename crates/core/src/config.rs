@@ -268,9 +268,6 @@ pub struct ChurnConfig {
     /// from the same (stable) home nodes.  The static experiments (Fig. 4–10) leave this off so
     /// every node is a home node, as in the paper.
     pub homes_on_stable_only: bool,
-    /// The paper's future-work extension: re-schedule tasks lost to a departed node instead of
-    /// counting their workflow as failed.  Off by default (the paper's behaviour).
-    pub reschedule_lost_tasks: bool,
 }
 
 impl Default for ChurnConfig {
@@ -279,7 +276,6 @@ impl Default for ChurnConfig {
             dynamic_factor: 0.0,
             stable_fraction: 0.5,
             homes_on_stable_only: false,
-            reschedule_lost_tasks: false,
         }
     }
 }
@@ -306,6 +302,232 @@ impl ChurnConfig {
     pub fn splits_population(&self) -> bool {
         self.dynamic_factor > 0.0 || self.homes_on_stable_only
     }
+
+    /// Validate the churn parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.dynamic_factor) {
+            return Err(ConfigError::InvalidDynamicFactor(self.dynamic_factor));
+        }
+        if !(0.0..=1.0).contains(&self.stable_fraction) {
+            return Err(ConfigError::InvalidStableFraction(self.stable_fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Stochastic per-node failures: every churnable node alternates between an exponentially
+/// distributed uptime (mean [`mtbf`](StochasticFaults::mtbf)) and an exponentially distributed
+/// repair time (mean [`mttr`](StochasticFaults::mttr)).  A failed node loses every queued and
+/// running task it holds; what happens to those tasks is the [`RecoveryPolicy`]'s business.
+///
+/// The whole failure schedule is pre-drawn from the dedicated [`StreamKind::Faults`] stream
+/// (one sub-stream per node) when the scenario is built, so failures are ordinary shard-local
+/// events and reports stay byte-identical across shard counts and pool widths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticFaults {
+    /// Mean time between failures of one node (exponential uptime; must be positive).
+    pub mtbf: SimDuration,
+    /// Mean time to repair of one node (exponential downtime; must be positive).
+    pub mttr: SimDuration,
+    /// Fraction of nodes that never fail (ids `0..stable`).  Home nodes are restricted to
+    /// this stable population so a failure never takes a workflow's submission site down.
+    pub stable_fraction: f64,
+    /// Optional correlated outages striking whole groups of nodes at once (rack/AS failures).
+    pub correlated_outage: Option<CorrelatedOutage>,
+}
+
+impl StochasticFaults {
+    /// Independent per-node failures with the paper's 50% stable population and no
+    /// correlated outages.
+    pub fn new(mtbf: SimDuration, mttr: SimDuration) -> Self {
+        StochasticFaults {
+            mtbf,
+            mttr,
+            stable_fraction: 0.5,
+            correlated_outage: None,
+        }
+    }
+
+    /// Add a correlated-outage process on top of the independent per-node failures.
+    pub fn with_outage(mut self, outage: CorrelatedOutage) -> Self {
+        self.correlated_outage = Some(outage);
+        self
+    }
+
+    /// Validate the failure parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |what: &'static str, d: SimDuration| {
+            if d.is_zero() {
+                Err(ConfigError::InvalidFault { what, value: 0.0 })
+            } else {
+                Ok(())
+            }
+        };
+        positive("mtbf", self.mtbf)?;
+        positive("mttr", self.mttr)?;
+        if !(0.0..=1.0).contains(&self.stable_fraction) {
+            return Err(ConfigError::InvalidStableFraction(self.stable_fraction));
+        }
+        if let Some(outage) = &self.correlated_outage {
+            if outage.group_size < 2 {
+                return Err(ConfigError::InvalidFault {
+                    what: "outage group size (need >= 2)",
+                    value: outage.group_size as f64,
+                });
+            }
+            positive("outage mtbf", outage.mtbf)?;
+            positive("outage duration", outage.duration)?;
+        }
+        Ok(())
+    }
+}
+
+/// A correlated-outage process: the churnable population is chunked into groups of
+/// [`group_size`](CorrelatedOutage::group_size) consecutive nodes, and each group is struck
+/// by outages arriving as a Poisson process (mean inter-outage time
+/// [`mtbf`](CorrelatedOutage::mtbf)).  An outage takes the whole group down for a fixed
+/// [`duration`](CorrelatedOutage::duration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedOutage {
+    /// Nodes per outage group (>= 2; the last group may be smaller).
+    pub group_size: usize,
+    /// Mean time between outages of one group (must be positive).
+    pub mtbf: SimDuration,
+    /// How long an outage keeps its group down (must be positive).
+    pub duration: SimDuration,
+}
+
+/// How nodes fail — the fault model of a [`GridConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// No faults at all (the static experiments of Fig. 4–10).
+    #[default]
+    Off,
+    /// The paper's synchronized churn of §IV.B: a fixed fraction of the population is swapped
+    /// (same number of departures and joins) every scheduling interval.
+    Churn(ChurnConfig),
+    /// Stochastic per-node lifetimes (exponential MTBF/MTTR), optionally with correlated
+    /// group outages.  The fault model the paper names as future work.
+    Stochastic(StochasticFaults),
+}
+
+impl FaultModel {
+    /// The churn parameters, when this is the churn model.
+    pub fn churn(&self) -> Option<&ChurnConfig> {
+        match self {
+            FaultModel::Churn(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The stochastic-failure parameters, when this is the stochastic model.
+    pub fn stochastic(&self) -> Option<&StochasticFaults> {
+        match self {
+            FaultModel::Stochastic(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the node population has to be split into stable / churnable (fallible)
+    /// halves — i.e. when some nodes may fail or must not host workflows.
+    pub fn splits_population(&self) -> bool {
+        match self {
+            FaultModel::Off => false,
+            FaultModel::Churn(c) => c.splits_population(),
+            FaultModel::Stochastic(_) => true,
+        }
+    }
+
+    /// Fraction of nodes that never fail.  `1.0` when the model is off.
+    pub fn stable_fraction(&self) -> f64 {
+        match self {
+            FaultModel::Off => 1.0,
+            FaultModel::Churn(c) => c.stable_fraction,
+            FaultModel::Stochastic(s) => s.stable_fraction,
+        }
+    }
+
+    /// Validate the fault-model parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            FaultModel::Off => Ok(()),
+            FaultModel::Churn(c) => c.validate(),
+            FaultModel::Stochastic(s) => s.validate(),
+        }
+    }
+}
+
+/// What happens to the tasks a failed (or churned-away) node was holding.
+///
+/// The policy only concerns tasks that were *running* when their node went down; tasks that
+/// were merely queued on the node re-enter the schedule-point queue for free under every
+/// policy (they cost nothing but the wasted placement).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// The paper's behaviour: losing a running task fails its whole workflow.
+    #[default]
+    FailWorkflow,
+    /// Re-schedule the lost task, up to `budget` losses per task.  Each loss delays the
+    /// task's next dispatch by `backoff × attempt` (linear backoff; `SimDuration::ZERO`
+    /// re-queues immediately).  Exceeding the budget fails the workflow.
+    Retry {
+        /// Maximum number of times one task may be lost before its workflow fails.
+        budget: u32,
+        /// Base backoff delay; attempt `k` waits `backoff × k` before re-dispatch.
+        backoff: SimDuration,
+    },
+    /// Periodic checkpointing: a lost running task re-enters the queue with only the load
+    /// since its last checkpoint remaining (the task checkpoints every `interval` of
+    /// execution time on its node).
+    Checkpoint {
+        /// Execution time between checkpoints (must be positive).
+        interval: SimDuration,
+    },
+    /// Speculative replication: dispatch `copies` replicas of every task to distinct nodes;
+    /// the first completion wins and cancels the surviving twins.  A task is only lost when
+    /// every replica is lost, and then it simply re-enters the queue.
+    Replicate {
+        /// Total number of copies per task (>= 2), placement permitting.
+        copies: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    /// The retry semantics of the old `reschedule_lost_tasks` boolean: re-queue lost tasks
+    /// immediately, with an unlimited budget.
+    pub fn unlimited_retry() -> Self {
+        RecoveryPolicy::Retry {
+            budget: u32::MAX,
+            backoff: SimDuration::ZERO,
+        }
+    }
+
+    /// Validate the policy parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            RecoveryPolicy::FailWorkflow | RecoveryPolicy::Retry { .. } => Ok(()),
+            RecoveryPolicy::Checkpoint { interval } => {
+                if interval.is_zero() {
+                    Err(ConfigError::InvalidRecovery {
+                        what: "checkpoint interval",
+                        value: 0.0,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            RecoveryPolicy::Replicate { copies } => {
+                if *copies < 2 {
+                    Err(ConfigError::InvalidRecovery {
+                        what: "replicate copies (need >= 2)",
+                        value: *copies as f64,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
 }
 
 /// The named RNG streams [`Scenario::build`](crate::scenario::Scenario::build) derives from
@@ -331,11 +553,13 @@ pub enum StreamKind {
     Gossip,
     /// Churn arrival/departure draws.
     Churn,
+    /// Stochastic per-node failure/repair lifetimes and correlated outages.
+    Faults,
 }
 
 impl StreamKind {
     /// All streams, in the order `Scenario::build` derives them.
-    pub const ALL: [StreamKind; 7] = [
+    pub const ALL: [StreamKind; 8] = [
         StreamKind::Topology,
         StreamKind::Landmarks,
         StreamKind::Capacity,
@@ -343,6 +567,7 @@ impl StreamKind {
         StreamKind::Workflows,
         StreamKind::Gossip,
         StreamKind::Churn,
+        StreamKind::Faults,
     ];
 
     /// The `SimRng::derive` label of this stream (the same labels `Scenario::build` uses).
@@ -355,6 +580,7 @@ impl StreamKind {
             StreamKind::Workflows => "workflows",
             StreamKind::Gossip => "gossip",
             StreamKind::Churn => "churn",
+            StreamKind::Faults => "faults",
         }
     }
 }
@@ -383,6 +609,8 @@ pub struct StreamSeeds {
     pub gossip: Option<u64>,
     /// Override for the churn stream.
     pub churn: Option<u64>,
+    /// Override for the stochastic-fault stream.
+    pub faults: Option<u64>,
 }
 
 impl StreamSeeds {
@@ -396,6 +624,7 @@ impl StreamSeeds {
             StreamKind::Workflows => self.workflows,
             StreamKind::Gossip => self.gossip,
             StreamKind::Churn => self.churn,
+            StreamKind::Faults => self.faults,
         }
     }
 
@@ -409,6 +638,7 @@ impl StreamSeeds {
             StreamKind::Workflows => &mut self.workflows,
             StreamKind::Gossip => &mut self.gossip,
             StreamKind::Churn => &mut self.churn,
+            StreamKind::Faults => &mut self.faults,
         };
         *slot = Some(seed);
     }
@@ -648,7 +878,7 @@ impl ArrivalProcess {
 }
 
 /// One exponential inter-arrival draw with the given rate (events per second).
-fn exponential(rng: &mut SimRng, rate_per_sec: f64) -> f64 {
+pub(crate) fn exponential(rng: &mut SimRng, rate_per_sec: f64) -> f64 {
     let u = (1.0 - rng.gen_f64()).max(f64::MIN_POSITIVE);
     -u.ln() / rate_per_sec
 }
@@ -680,8 +910,10 @@ pub struct GridConfig {
     pub metrics_interval: SimDuration,
     /// Total simulated time (paper: 36 hours).
     pub horizon: SimDuration,
-    /// Churn model.
-    pub churn: ChurnConfig,
+    /// Fault model: off (default), the paper's synchronized churn, or stochastic lifetimes.
+    pub faults: FaultModel,
+    /// What happens to tasks lost to a failed or departed node.
+    pub recovery: RecoveryPolicy,
     /// Shard count of the sharded event loop (purely a performance knob; reports are
     /// byte-identical for every shard count).
     pub shards: ShardSpec,
@@ -711,7 +943,8 @@ impl GridConfig {
             gossip_interval: SimDuration::from_mins(5),
             metrics_interval: SimDuration::from_hours(1),
             horizon: SimDuration::from_hours(36),
-            churn: ChurnConfig::none(),
+            faults: FaultModel::Off,
+            recovery: RecoveryPolicy::FailWorkflow,
             shards: ShardSpec::Auto,
             seed: 20100913, // ICPP 2010 started on 13 September 2010.
             streams: StreamSeeds::default(),
@@ -790,10 +1023,28 @@ impl GridConfig {
         self
     }
 
-    /// Override the churn model, as swept in Fig. 12–14.
+    /// Override the churn model, as swept in Fig. 12–14 (shorthand for
+    /// `with_faults(FaultModel::Churn(churn))`).
     pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
-        self.churn = churn;
+        self.faults = FaultModel::Churn(churn);
         self
+    }
+
+    /// Override the fault model (see [`FaultModel`]).
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the recovery policy (see [`RecoveryPolicy`]).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The churn parameters, when the fault model is [`FaultModel::Churn`].
+    pub fn churn(&self) -> Option<&ChurnConfig> {
+        self.faults.churn()
     }
 
     /// Override the shard count of the sharded event loop (see [`ShardSpec`]).
@@ -838,14 +1089,8 @@ impl GridConfig {
                 nodes: self.nodes,
             });
         }
-        if !(0.0..=1.0).contains(&self.churn.dynamic_factor) {
-            return Err(ConfigError::InvalidDynamicFactor(self.churn.dynamic_factor));
-        }
-        if !(0.0..=1.0).contains(&self.churn.stable_fraction) {
-            return Err(ConfigError::InvalidStableFraction(
-                self.churn.stable_fraction,
-            ));
-        }
+        self.faults.validate()?;
+        self.recovery.validate()?;
         self.capacity.validate()?;
         self.resource.validate()?;
         self.shards.validate()?;
@@ -936,7 +1181,7 @@ mod tests {
         assert_eq!(cfg.nodes, 80);
         assert_eq!(cfg.waxman.nodes, 80);
         assert_eq!(cfg.workflows_per_node, 4);
-        assert_eq!(cfg.churn.dynamic_factor, 0.2);
+        assert_eq!(cfg.churn().unwrap().dynamic_factor, 0.2);
         assert_eq!(cfg.seed, 7);
         assert_eq!(*cfg.workload.generator().unwrap().data_mb.end(), 10_000.0);
     }
@@ -951,6 +1196,102 @@ mod tests {
         assert!(ChurnConfig::with_dynamic_factor(0.2).splits_population());
         assert!(ChurnConfig::with_dynamic_factor(0.2).homes_on_stable_only);
         assert_eq!(ChurnConfig::with_dynamic_factor(0.2).stable_fraction, 0.5);
+        // The FaultModel wrapper delegates to the active model.
+        assert!(!FaultModel::Off.splits_population());
+        assert_eq!(FaultModel::Off.stable_fraction(), 1.0);
+        let churned = FaultModel::Churn(ChurnConfig::with_dynamic_factor(0.2));
+        assert!(churned.splits_population());
+        assert_eq!(churned.stable_fraction(), 0.5);
+        let stochastic = FaultModel::Stochastic(StochasticFaults::new(
+            SimDuration::from_hours(4),
+            SimDuration::from_mins(30),
+        ));
+        assert!(stochastic.splits_population());
+        assert_eq!(stochastic.stable_fraction(), 0.5);
+    }
+
+    #[test]
+    fn fault_model_validation_rejects_bad_parameters() {
+        let zero_mtbf =
+            StochasticFaults::new(SimDuration::ZERO, SimDuration::from_mins(30)).validate();
+        assert_eq!(
+            zero_mtbf,
+            Err(ConfigError::InvalidFault {
+                what: "mtbf",
+                value: 0.0
+            })
+        );
+        let zero_mttr =
+            StochasticFaults::new(SimDuration::from_hours(4), SimDuration::ZERO).validate();
+        assert!(matches!(
+            zero_mttr,
+            Err(ConfigError::InvalidFault { what: "mttr", .. })
+        ));
+        let mut bad_fraction =
+            StochasticFaults::new(SimDuration::from_hours(4), SimDuration::from_mins(30));
+        bad_fraction.stable_fraction = 1.5;
+        assert_eq!(
+            bad_fraction.validate(),
+            Err(ConfigError::InvalidStableFraction(1.5))
+        );
+        let tiny_group =
+            StochasticFaults::new(SimDuration::from_hours(4), SimDuration::from_mins(30))
+                .with_outage(CorrelatedOutage {
+                    group_size: 1,
+                    mtbf: SimDuration::from_hours(8),
+                    duration: SimDuration::from_mins(10),
+                });
+        assert!(matches!(
+            tiny_group.validate(),
+            Err(ConfigError::InvalidFault { .. })
+        ));
+        // The config surfaces the same errors end to end.
+        let cfg = GridConfig::small(8).with_faults(FaultModel::Stochastic(StochasticFaults::new(
+            SimDuration::ZERO,
+            SimDuration::from_mins(30),
+        )));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidFault { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_policy_validation_rejects_bad_parameters() {
+        RecoveryPolicy::FailWorkflow.validate().unwrap();
+        RecoveryPolicy::unlimited_retry().validate().unwrap();
+        RecoveryPolicy::Checkpoint {
+            interval: SimDuration::from_mins(10),
+        }
+        .validate()
+        .unwrap();
+        RecoveryPolicy::Replicate { copies: 2 }.validate().unwrap();
+        assert_eq!(
+            RecoveryPolicy::Checkpoint {
+                interval: SimDuration::ZERO
+            }
+            .validate(),
+            Err(ConfigError::InvalidRecovery {
+                what: "checkpoint interval",
+                value: 0.0
+            })
+        );
+        assert!(matches!(
+            RecoveryPolicy::Replicate { copies: 1 }.validate(),
+            Err(ConfigError::InvalidRecovery { .. })
+        ));
+        assert!(matches!(
+            GridConfig::small(8)
+                .with_recovery(RecoveryPolicy::Replicate { copies: 0 })
+                .validate(),
+            Err(ConfigError::InvalidRecovery { .. })
+        ));
+        // Defaults reproduce the paper.
+        assert_eq!(GridConfig::paper_default().faults, FaultModel::Off);
+        assert_eq!(
+            GridConfig::paper_default().recovery,
+            RecoveryPolicy::FailWorkflow
+        );
     }
 
     #[test]

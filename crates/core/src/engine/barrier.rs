@@ -39,7 +39,7 @@ pub(crate) fn sort_arrivals(arrivals: &mut [ArrivalNotice]) {
 }
 
 /// A task completion recorded inside a window, applied to workflow state at the barrier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct CompletionNotice {
     /// Completion instant.
     pub time: SimTime,
@@ -49,15 +49,68 @@ pub(crate) struct CompletionNotice {
     pub task: TaskId,
     /// Node the task ran on (becomes the task's output location).
     pub node: NodeId,
+    /// The completing run's load in MI — what the barrier books as wasted work when this
+    /// notice turns out to be a redundant replica completion.
+    pub load_mi: f64,
 }
 
-/// Sort notices into the canonical application order: `(time, workflow, task)`.
+/// Sort notices into the canonical application order: `(time, workflow, task, node)`.
 ///
-/// Within one window a `(workflow, task)` pair completes at most once — re-dispatch of lost
-/// tasks only happens at scheduling cycles, which run at barriers — so the key is unique and
-/// the order total.
+/// Without replication a `(workflow, task)` pair completes at most once per window — re-
+/// dispatch of lost tasks only happens at barriers — so `(time, workflow, task)` is already
+/// unique.  Under `RecoveryPolicy::Replicate` two replicas of the same task can complete in
+/// the same window (the earlier one wins, the later is booked as wasted work); they
+/// necessarily ran on distinct nodes, so the node id makes the key unique and the order
+/// total again.
 pub(crate) fn sort_notices(notices: &mut [CompletionNotice]) {
-    notices.sort_unstable_by_key(|n| (n.time, n.wf, n.task));
+    notices.sort_unstable_by_key(|n| (n.time, n.wf, n.task, n.node));
+}
+
+/// What a [`FaultRecord`] reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FaultKind {
+    /// The node went down (stochastic failure).  Follows the node's `Lost` records.
+    Down,
+    /// The node came back up (stochastic repair).
+    Up,
+    /// A task was resident on the node when it went down.  `running` tasks carry their
+    /// execution timing so the barrier can book wasted work and compute checkpoint residues;
+    /// queued tasks carry zeros.
+    Lost {
+        /// Global workflow index.
+        wf: usize,
+        /// The lost task.
+        task: TaskId,
+        /// True when the task held an execution slot (vs. merely queued).
+        running: bool,
+        /// Full execution time of the run on this node, in seconds.
+        total_secs: f64,
+        /// Execution time already spent when the node died, in seconds.
+        executed_secs: f64,
+        /// The node's per-slot rate in MIPS (converts seconds to MI).
+        rate_mips: f64,
+    },
+}
+
+/// A shard-local fault event recorded inside a window, applied to recovery state at the
+/// barrier.  Sorted like [`BufferedEvent`]s: `(time, node, seq)` — one node belongs to exactly
+/// one shard, so the per-shard counter preserves each node's causal order while the node id
+/// canonicalises across nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FaultRecord {
+    /// When the transition happened.
+    pub time: SimTime,
+    /// The failing / repaired node.
+    pub node: NodeId,
+    /// The owning shard's monotone fault counter.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Sort fault records into the canonical application order: `(time, node, seq)`.
+pub(crate) fn sort_faults(records: &mut [FaultRecord]) {
+    records.sort_unstable_by_key(|r| (r.time, r.node, r.seq));
 }
 
 /// Which observer hook a buffered event replays.
@@ -92,6 +145,18 @@ pub(crate) enum BufferedKind {
         /// Global workflow index.
         wf: usize,
     },
+    /// A task was lost with its node (`on_task_lost`; the event's `node` is the dead node).
+    Lost {
+        /// Global workflow index.
+        wf: usize,
+        /// The lost task.
+        task: TaskId,
+    },
+    /// The node went down (`on_node_departed`, stochastic failure path; churn departures are
+    /// barrier-side and emit directly).
+    Departed,
+    /// The node came back up (`on_node_joined`, stochastic repair path).
+    Joined,
 }
 
 /// One observer callback recorded during a window, replayed at the barrier.
@@ -140,24 +205,28 @@ mod tests {
                 wf: 1,
                 task: TaskId(0),
                 node: 3,
+                load_mi: 0.0,
             },
             CompletionNotice {
                 time: t(2),
                 wf: 9,
                 task: TaskId(4),
                 node: 0,
+                load_mi: 0.0,
             },
             CompletionNotice {
                 time: t(5),
                 wf: 0,
                 task: TaskId(2),
                 node: 1,
+                load_mi: 0.0,
             },
             CompletionNotice {
                 time: t(5),
                 wf: 0,
                 task: TaskId(1),
                 node: 2,
+                load_mi: 0.0,
             },
         ];
         sort_notices(&mut notices);
@@ -222,5 +291,63 @@ mod tests {
         sort_observations(&mut events);
         let order: Vec<(NodeId, u64)> = events.iter().map(|e| (e.node, e.seq)).collect();
         assert_eq!(order, vec![(9, 99), (2, 1), (7, 4), (7, 11)]);
+    }
+
+    #[test]
+    fn replica_twin_completions_tie_break_on_node() {
+        let t = SimTime::from_secs(4);
+        let mut notices = vec![
+            CompletionNotice {
+                time: t,
+                wf: 0,
+                task: TaskId(1),
+                node: 8,
+                load_mi: 100.0,
+            },
+            CompletionNotice {
+                time: t,
+                wf: 0,
+                task: TaskId(1),
+                node: 3,
+                load_mi: 100.0,
+            },
+        ];
+        sort_notices(&mut notices);
+        assert_eq!(notices[0].node, 3, "same (time, wf, task): node id decides");
+    }
+
+    #[test]
+    fn fault_records_sort_by_time_node_then_seq() {
+        let t = SimTime::from_secs;
+        let mut records = vec![
+            FaultRecord {
+                time: t(3),
+                node: 5,
+                seq: 9,
+                kind: FaultKind::Down,
+            },
+            FaultRecord {
+                time: t(3),
+                node: 5,
+                seq: 7,
+                kind: FaultKind::Lost {
+                    wf: 0,
+                    task: TaskId(0),
+                    running: true,
+                    total_secs: 10.0,
+                    executed_secs: 4.0,
+                    rate_mips: 2.0,
+                },
+            },
+            FaultRecord {
+                time: t(1),
+                node: 9,
+                seq: 0,
+                kind: FaultKind::Up,
+            },
+        ];
+        sort_faults(&mut records);
+        let order: Vec<(NodeId, u64)> = records.iter().map(|r| (r.node, r.seq)).collect();
+        assert_eq!(order, vec![(9, 0), (5, 7), (5, 9)]);
     }
 }

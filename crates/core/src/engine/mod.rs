@@ -17,9 +17,12 @@
 //!    frees up: the data-complete ready task with the smallest scheduler
 //!    [`ReadyKey`](crate::policy::second_phase::ReadyKey) is popped from the node's indexed
 //!    [`node::ReadySet`] and executed for `load / capacity` seconds.
-//! 6. Under churn, a `df` fraction of the churnable population leaves and (re-)joins every
-//!    scheduling interval; tasks resident on departed nodes are lost and their workflows fail
-//!    (or are re-scheduled if the future-work flag is enabled).
+//! 6. Under the configured [`FaultModel`](crate::config::FaultModel), nodes fail: churn takes
+//!    a `df` fraction of the churnable population down (and back up) every scheduling
+//!    interval, while the stochastic model plays back per-node lifetimes pre-drawn at
+//!    scenario build.  Tasks resident on a failed node are lost and handled by the configured
+//!    [`RecoveryPolicy`] — fail the workflow (the paper's semantics), retry with budget and
+//!    backoff, resume from a checkpoint, or fall back to a replica copy.
 //! 7. Throughput, ACT and AE are sampled hourly, exactly like the paper's figures.
 //!
 //! # The sharded event loop
@@ -41,7 +44,9 @@
 //!    `(time, workflow, task)` so floating-point accumulation never depends on the partition;
 //! 2. replays the shards' buffered observer callbacks, merged by `(time, node, emission seq)`,
 //!    splicing `on_workflow_completed` right after the matching exit-task finish;
-//! 3. pops the grid-wide cadence events (gossip, scheduling, metrics) due exactly at the
+//! 3. applies the shards' fault records, sorted by `(time, node, seq)`, running the recovery
+//!    policy and the robustness ledger over them;
+//! 4. pops the grid-wide cadence events (gossip, scheduling, metrics) due exactly at the
 //!    window's end — windows always close *at* the next cadence instant, so the serial phases
 //!    observe every node in a settled state.
 //!
@@ -65,7 +70,7 @@ mod shard;
 
 pub use shard::ShardStats;
 
-use crate::config::GridConfig;
+use crate::config::{GridConfig, RecoveryPolicy};
 use crate::estimate::{CandidateNode, FinishTimeEstimator, PredecessorData};
 use crate::fullahead::PlanInput;
 use crate::observer::{GridSample, Observer};
@@ -76,17 +81,17 @@ use crate::scenario::Scenario;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
 use barrier::{
-    sort_arrivals, sort_notices, sort_observations, ArrivalNotice, BufferedEvent, BufferedKind,
-    CompletionNotice,
+    sort_arrivals, sort_faults, sort_notices, sort_observations, ArrivalNotice, BufferedEvent,
+    BufferedKind, CompletionNotice, FaultKind, FaultRecord,
 };
 use node::{NodeRuntime, ReadyEntry};
 use p2pgrid_gossip::{LocalNodeState, MixedGossip};
-use p2pgrid_metrics::{WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
+use p2pgrid_metrics::{RobustnessStats, WorkflowMetrics, WorkflowOutcome, WorkflowRecord};
 use p2pgrid_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use p2pgrid_topology::LandmarkEstimator;
 use p2pgrid_workflow::{ExpectedCosts, TaskId, WorkflowAnalysis};
 use shard::{run_shards, Shard, ShardEvent, ShardMap, WindowCtx};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use transfer::TransferModel;
 use workflow::WorkflowRuntime;
@@ -170,6 +175,25 @@ pub struct ShardedEngine {
     /// Barrier scratch: exit tasks that completed their workflow this window, so the
     /// observation replay can splice `on_workflow_completed` after the matching finish.
     completed_markers: HashSet<(usize, TaskId)>,
+    /// Barrier scratch: merged fault records of the current window.
+    fault_records: Vec<FaultRecord>,
+    /// Fault / recovery accounting, mutated only at window barriers in canonical event order.
+    robustness: RobustnessStats,
+    /// Per-workflow completed-work accumulator in MI; resolved into `useful_mi` when the
+    /// workflow finishes and into `wasted_mi` when it fails.
+    wf_completed_mi: Vec<f64>,
+    /// Retry counters per lost running task (`RecoveryPolicy::Retry`).  Lookup-only — never
+    /// iterated, so the hash order can never leak into results.
+    attempts: HashMap<(usize, TaskId), u32>,
+    /// Earliest re-dispatch instant per retried task (the retry backoff gate).  Lookup-only.
+    retry_after: HashMap<(usize, TaskId), SimTime>,
+    /// Residual load in MI of checkpointed tasks awaiting their resumed run.  Lookup-only.
+    load_override: HashMap<(usize, TaskId), f64>,
+    /// Nodes holding a live copy of each replicated in-flight task.  Lookup-only.
+    replica_sites: HashMap<(usize, TaskId), Vec<NodeId>>,
+    /// Loss instant of each task awaiting its recovery re-dispatch (for the recovery-latency
+    /// metric).  Lookup-only.
+    pending_recovery: HashMap<(usize, TaskId), SimTime>,
 }
 
 impl ShardedEngine {
@@ -257,6 +281,21 @@ impl ShardedEngine {
             }
         }
 
+        // Schedule the pre-drawn stochastic fault events into their owning shards' queues, in
+        // the schedule's canonical node-major order.  Like the arrivals above this runs before
+        // any window, so per-node event order — and with it every report byte — is independent
+        // of the shard count.  The schedule is already clipped to the horizon at build.
+        for &(node, time, down) in world.faults.iter() {
+            let shard = map.shard_of[node];
+            let local = map.local_of[node];
+            let event = if down {
+                ShardEvent::NodeFailure { local }
+            } else {
+                ShardEvent::NodeRepair { local }
+            };
+            shards[shard].queue.schedule(time, event);
+        }
+
         ShardedEngine {
             config: world.config.clone(),
             scheduler,
@@ -285,6 +324,14 @@ impl ShardedEngine {
             notices: Vec::new(),
             observations: Vec::new(),
             completed_markers: HashSet::new(),
+            fault_records: Vec::new(),
+            robustness: RobustnessStats::new(),
+            wf_completed_mi: vec![0.0; world.workflows.len()],
+            attempts: HashMap::new(),
+            retry_after: HashMap::new(),
+            load_override: HashMap::new(),
+            replica_sites: HashMap::new(),
+            pending_recovery: HashMap::new(),
         }
     }
 
@@ -410,33 +457,41 @@ impl ShardedEngine {
             expected_finish_secs: w.eft_secs,
             outcome: WorkflowOutcome::Failed,
         });
+        // Every task the failed workflow had completed is now work the grid executed for
+        // nothing.
+        self.robustness.wasted_mi += self.wf_completed_mi[wf];
+        self.wf_completed_mi[wf] = 0.0;
         obs.emit(|o| o.on_workflow_failed(now, wf));
     }
 
-    /// A node departs.  Tasks that were merely *waiting* in its ready set (or still receiving
-    /// their input data) have not executed anything yet, so their home nodes simply observe the
-    /// failed migration and turn them back into schedule points — no checkpointing is needed
-    /// for that.  A task that was *running* loses its computation; without the
-    /// checkpointing/rescheduling extension (the paper's future work) its workflow can no
-    /// longer finish and is recorded as failed.
+    /// A node departs (the churn model's barrier-side path).  Every resident task goes
+    /// through the configured [`RecoveryPolicy`] — with the paper-default `FailWorkflow`,
+    /// waiting tasks requeue for free and running tasks take their workflow down, exactly the
+    /// original churn semantics.
     fn handle_departure(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         if !self.node(node).alive {
             return;
         }
-        let (waiting, running) = self.node_mut(node).depart();
+        let rate_mips = self.node(node).capacity_mips;
+        let (waiting, running) = self.node_mut(node).depart(now);
+        self.robustness.node_failures += 1;
         for (wf, task) in waiting {
-            if self.workflows[wf].is_active() {
-                self.workflows[wf].progress.unmark_dispatched(task);
-            }
+            obs.emit(|o| o.on_task_lost(now, node, wf, task));
+            self.recover_lost_task(wf, task, node, false, 0.0, 0.0, rate_mips, now, obs);
         }
-        for (wf, task) in running {
-            if self.workflows[wf].is_active() {
-                if self.config.churn.reschedule_lost_tasks {
-                    self.workflows[wf].progress.unmark_dispatched(task);
-                } else {
-                    self.fail_workflow(wf, now, obs);
-                }
-            }
+        for lost in running {
+            obs.emit(|o| o.on_task_lost(now, node, lost.wf, lost.task));
+            self.recover_lost_task(
+                lost.wf,
+                lost.task,
+                node,
+                true,
+                lost.total_secs,
+                lost.executed_secs,
+                rate_mips,
+                now,
+                obs,
+            );
         }
         self.gossip.forget_node(node);
         obs.emit(|o| o.on_node_departed(now, node));
@@ -445,12 +500,16 @@ impl ShardedEngine {
     fn handle_join(&mut self, node: NodeId, now: SimTime, obs: &mut Observers<'_, '_>) {
         if !self.node(node).alive {
             self.node_mut(node).join();
+            self.robustness.node_repairs += 1;
             obs.emit(|o| o.on_node_joined(now, node));
         }
     }
 
     fn churn_step(&mut self, now: SimTime, obs: &mut Observers<'_, '_>) {
-        let df = self.config.churn.dynamic_factor;
+        let Some(churn) = self.config.churn() else {
+            return;
+        };
+        let df = churn.dynamic_factor;
         if df <= 0.0 {
             return;
         }
@@ -471,24 +530,172 @@ impl ShardedEngine {
                 nd.churnable && !nd.alive
             })
             .collect();
+        // A large `df` can ask for more departures (or joins) than the respective pool can
+        // provide — clamp each draw to its own pool explicitly instead of relying on the
+        // sampler's silent truncation.  (The pools may legitimately differ in size: the dead
+        // pool is empty on the very first churn step, so the two draws are clamped
+        // independently, not to a common minimum.)
+        let leave_count = churn_count.min(alive_churnable.len());
+        let join_count = churn_count.min(dead_churnable.len());
         let leaving: Vec<NodeId> = self
             .churn_rng
-            .choose_multiple(&alive_churnable, churn_count)
+            .choose_multiple(&alive_churnable, leave_count)
             .into_iter()
             .copied()
             .collect();
         let joining: Vec<NodeId> = self
             .churn_rng
-            .choose_multiple(&dead_churnable, churn_count)
+            .choose_multiple(&dead_churnable, join_count)
             .into_iter()
             .copied()
             .collect();
+        debug_assert_eq!(
+            leaving.len(),
+            leave_count,
+            "departure draw desynchronized from the churnable pool"
+        );
+        debug_assert_eq!(
+            joining.len(),
+            join_count,
+            "join draw desynchronized from the dead pool"
+        );
         for node in leaving {
             self.handle_departure(node, now, obs);
         }
         for node in joining {
             self.handle_join(node, now, obs);
         }
+    }
+
+    // ----- recovery ------------------------------------------------------------------------
+
+    /// Apply the configured [`RecoveryPolicy`] to one task that was resident on a failed
+    /// node.  Shared by the churn step (barrier-side departures) and the stochastic fault
+    /// pass (per-task `Lost` records merged from the shards).  A *waiting* copy never
+    /// executed anything, so requeueing it is free under every policy — exactly the original
+    /// churn engine's behavior; only *running* losses consume retry budget, cash in
+    /// checkpoints, or fail the workflow.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_lost_task(
+        &mut self,
+        wf: usize,
+        task: TaskId,
+        node: NodeId,
+        was_running: bool,
+        total_secs: f64,
+        executed_secs: f64,
+        rate_mips: f64,
+        now: SimTime,
+        obs: &mut Observers<'_, '_>,
+    ) {
+        self.robustness.tasks_lost += 1;
+        if !self.workflows[wf].is_active() {
+            self.robustness.wasted_mi += executed_secs * rate_mips;
+            return;
+        }
+        if self.workflows[wf].task_location[task.index()].is_some() {
+            // Another replica copy already completed the task; only the twin's progress died.
+            self.robustness.wasted_mi += executed_secs * rate_mips;
+            if let Some(sites) = self.replica_sites.get_mut(&(wf, task)) {
+                sites.retain(|&n| n != node);
+            }
+            return;
+        }
+        if let RecoveryPolicy::Replicate { .. } = self.config.recovery {
+            let alive_twins = match self.replica_sites.get_mut(&(wf, task)) {
+                Some(sites) => {
+                    sites.retain(|&n| n != node);
+                    !sites.is_empty()
+                }
+                None => false,
+            };
+            self.robustness.wasted_mi += executed_secs * rate_mips;
+            if alive_twins {
+                return; // other copies are still in flight — nothing to reschedule
+            }
+            // Every copy is gone: requeue like a waiting loss (replication has no budget).
+            self.replica_sites.remove(&(wf, task));
+            self.requeue(wf, task, now);
+            return;
+        }
+        if !was_running {
+            self.requeue(wf, task, now);
+            return;
+        }
+        match self.config.recovery {
+            RecoveryPolicy::FailWorkflow => {
+                self.robustness.wasted_mi += executed_secs * rate_mips;
+                self.fail_workflow(wf, now, obs);
+            }
+            RecoveryPolicy::Retry { budget, backoff } => {
+                let counter = self.attempts.entry((wf, task)).or_insert(0);
+                *counter += 1;
+                let attempt = *counter;
+                self.robustness.wasted_mi += executed_secs * rate_mips;
+                if attempt > budget {
+                    self.fail_workflow(wf, now, obs);
+                    return;
+                }
+                self.robustness.retries += 1;
+                // Linear backoff: the n-th retry waits n backoff periods before it may be
+                // re-dispatched.
+                let delay = SimDuration::from_secs_f64(backoff.as_secs_f64() * attempt as f64);
+                self.retry_after.insert((wf, task), now + delay);
+                self.requeue(wf, task, now);
+                obs.emit(|o| o.on_task_retried(now, wf, task, attempt));
+            }
+            RecoveryPolicy::Checkpoint { interval } => {
+                // Work up to the last checkpoint boundary survives; everything past it is
+                // wasted, and the resumed run only has to execute the residual.
+                let interval_secs = interval.as_secs_f64();
+                let checkpointed_secs = (executed_secs / interval_secs).floor() * interval_secs;
+                self.robustness.wasted_mi += (executed_secs - checkpointed_secs) * rate_mips;
+                if checkpointed_secs > 0.0 {
+                    let residual_mi = (total_secs - checkpointed_secs) * rate_mips;
+                    self.load_override.insert((wf, task), residual_mi);
+                }
+                self.requeue(wf, task, now);
+            }
+            RecoveryPolicy::Replicate { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// Turn a lost task back into a schedule point and start its recovery-latency clock.
+    fn requeue(&mut self, wf: usize, task: TaskId, now: SimTime) {
+        self.workflows[wf].progress.unmark_dispatched(task);
+        self.pending_recovery.entry((wf, task)).or_insert(now);
+    }
+
+    /// True when the task may be dispatched at `now` (its retry backoff, if any, elapsed).
+    fn dispatchable(&self, wf: usize, task: TaskId, now: SimTime) -> bool {
+        self.retry_after
+            .get(&(wf, task))
+            .is_none_or(|&after| after <= now)
+    }
+
+    /// Cancel one still-in-flight replica copy after another copy completed first: drop a
+    /// queued twin outright (it never executed, so nothing is wasted), or remove a running
+    /// twin — booking its execution as wasted — and refill the freed slot at the next
+    /// window's start.  An in-flight completion event of the cancelled run finds no matching
+    /// running entry and goes stale, exactly like after a preemption.
+    fn cancel_replica(&mut self, wf: usize, task: TaskId, site: NodeId) {
+        let shard = self.map.shard_of[site];
+        let local = self.map.local_of[site];
+        let now = self.now;
+        let wasted_mi = {
+            let node = &mut self.shards[shard].nodes[local];
+            if node.ready.remove(wf, task).is_some() {
+                return;
+            }
+            match node.cancel_running(wf, task, now) {
+                Some(executed_secs) => executed_secs * node.capacity_mips,
+                None => return, // already gone (its node failed first)
+            }
+        };
+        self.robustness.wasted_mi += wasted_mi;
+        self.shards[shard]
+            .queue
+            .schedule(now, ShardEvent::SlotFreed { local });
     }
 
     // ----- first phase ---------------------------------------------------------------------
@@ -519,6 +726,9 @@ impl ShardedEngine {
                 w.progress.schedule_points(&w.workflow)
             };
             for task in sps {
+                if !self.dispatchable(wf, task, now) {
+                    continue;
+                }
                 let planned =
                     self.workflows[wf].plan.as_ref().expect("full-ahead plan")[task.index()];
                 let target = if self.node(planned).alive {
@@ -530,7 +740,9 @@ impl ShardedEngine {
                     let w = &self.workflows[wf];
                     (w.static_rpm[task.index()], w.static_ms_secs, 0.0)
                 };
-                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, now, obs);
+                // Full-ahead plans place exactly one copy per task; `RecoveryPolicy::Replicate`
+                // only fans out on the just-in-time path.
+                self.dispatch_task(home, wf, task, target, rpm, ms, sufferage, now, obs, false);
             }
         }
     }
@@ -559,6 +771,9 @@ impl ShardedEngine {
                 .map(|&t| analysis.rpm_secs(t))
                 .fold(0.0f64, f64::max);
             for t in sps {
+                if !self.dispatchable(wf, t, now) {
+                    continue; // still inside its retry backoff
+                }
                 let predecessors: Vec<PredecessorData> = w
                     .workflow
                     .precedents(t)
@@ -571,7 +786,12 @@ impl ShardedEngine {
                 candidate_tasks.push(DispatchCandidateTask {
                     workflow: wf,
                     task: t,
-                    load_mi: w.workflow.task(t).load_mi,
+                    // A checkpointed task only has its residual load left to execute.
+                    load_mi: self
+                        .load_override
+                        .get(&(wf, t))
+                        .copied()
+                        .unwrap_or(w.workflow.task(t).load_mi),
                     image_size_mb: w.workflow.task(t).image_size_mb,
                     rpm_secs: analysis.rpm_secs(t),
                     workflow_ms_secs: ms,
@@ -617,9 +837,13 @@ impl ShardedEngine {
             .iter()
             .map(|t| ((t.workflow, t.task), (t.rpm_secs, t.workflow_ms_secs)))
             .collect();
+        let copies = match self.config.recovery {
+            RecoveryPolicy::Replicate { copies } => copies,
+            _ => 1,
+        };
         for d in decisions {
             let (rpm, ms) = lookup[&(d.workflow, d.task)];
-            self.dispatch_task(
+            let dispatched = self.dispatch_task(
                 home,
                 d.workflow,
                 d.task,
@@ -629,12 +853,48 @@ impl ShardedEngine {
                 d.sufferage_secs,
                 now,
                 obs,
+                false,
             );
+            if copies <= 1 || !dispatched {
+                continue;
+            }
+            // Replicate: fan the task out to `copies - 1` further alive nodes, taken in the
+            // scheduler's post-plan candidate order.  The first copy to complete wins; the
+            // barrier cancels the rest.
+            let mut extra: Vec<NodeId> = Vec::new();
+            for c in candidates.iter() {
+                if extra.len() + 1 >= copies {
+                    break;
+                }
+                if c.node != d.target && !extra.contains(&c.node) && self.node(c.node).alive {
+                    extra.push(c.node);
+                }
+            }
+            for twin in extra {
+                self.dispatch_task(
+                    home,
+                    d.workflow,
+                    d.task,
+                    twin,
+                    rpm,
+                    ms,
+                    d.sufferage_secs,
+                    now,
+                    obs,
+                    true,
+                );
+            }
         }
     }
 
     /// Migrate a task to its chosen resource node: mark it dispatched, enqueue it in the ready
     /// set and schedule the completion of its (true) data transfers into the target's shard.
+    /// A `replica` dispatch (the fan-out copies of `RecoveryPolicy::Replicate`) enqueues and
+    /// transfers like the primary but never touches workflow progress or the dispatch
+    /// counters — the task is dispatched once, executed possibly many times.
+    ///
+    /// Returns `false` when the migration failed because the target is dead (the task then
+    /// simply stays a schedule point).
     ///
     /// This is the **only** place events enter a shard queue from outside the shard, and it
     /// runs at window barriers (the scheduling cadence).  For a cross-shard dispatch the
@@ -653,12 +913,13 @@ impl ShardedEngine {
         sufferage_secs: f64,
         now: SimTime,
         obs: &mut Observers<'_, '_>,
-    ) {
+        replica: bool,
+    ) -> bool {
         if !self.node(target).alive {
             // A stale RSS record pointed at a node that just churned away; the migration fails
             // before any computation happens, so the task simply stays a schedule point and is
             // retried at the next scheduling cycle.
-            return;
+            return false;
         }
         let (load_mi, image_mb, inputs): (f64, f64, Vec<(NodeId, f64)>) = {
             let w = &self.workflows[wf];
@@ -669,10 +930,29 @@ impl ShardedEngine {
                 .iter()
                 .map(|e| (w.output_location(e.task), e.data_mb))
                 .collect();
-            (t.load_mi, t.image_size_mb, inputs)
+            let load = self
+                .load_override
+                .get(&(wf, task))
+                .copied()
+                .unwrap_or(t.load_mi);
+            (load, t.image_size_mb, inputs)
         };
-        self.workflows[wf].progress.mark_dispatched(task);
-        self.dispatched_tasks += 1;
+        if !replica {
+            self.workflows[wf].progress.mark_dispatched(task);
+            self.dispatched_tasks += 1;
+            self.retry_after.remove(&(wf, task));
+            if let Some(lost_at) = self.pending_recovery.remove(&(wf, task)) {
+                self.robustness.recovery_latency_secs_sum +=
+                    now.saturating_duration_since(lost_at).as_secs_f64();
+                self.robustness.recoveries += 1;
+            }
+        }
+        if matches!(self.config.recovery, RecoveryPolicy::Replicate { .. }) {
+            self.replica_sites
+                .entry((wf, task))
+                .or_default()
+                .push(target);
+        }
 
         // True transfer times on the ground-truth network: program image from the home node
         // plus dependent data from every precedent's execution site, all in parallel.
@@ -719,6 +999,7 @@ impl ShardedEngine {
                 task,
             },
         );
+        true
     }
 
     // ----- the window loop -------------------------------------------------------------------
@@ -775,6 +1056,7 @@ impl ShardedEngine {
         self.apply_arrivals();
         self.apply_notices();
         self.flush_observations(observers);
+        self.apply_faults(observers);
         self.handle_globals(end, observers);
         Some(end)
     }
@@ -806,42 +1088,114 @@ impl ShardedEngine {
     }
 
     /// Barrier step 1: merge the shards' completion notices, sort them canonically and apply
-    /// them to workflow state and metrics.  Runs unconditionally — workflow progress is engine
-    /// state, not an observation.
+    /// them to workflow state, metrics and the work ledger.  Runs unconditionally — workflow
+    /// progress is engine state, not an observation.
     fn apply_notices(&mut self) {
-        let Self {
-            shards,
-            notices,
-            workflows,
-            metrics,
-            completed_markers,
-            ..
-        } = self;
+        let mut notices = std::mem::take(&mut self.notices);
         notices.clear();
-        completed_markers.clear();
-        for s in shards.iter_mut() {
+        self.completed_markers.clear();
+        for s in self.shards.iter_mut() {
             notices.append(&mut s.outbox);
         }
-        if notices.is_empty() {
+        if !notices.is_empty() {
+            sort_notices(&mut notices);
+            for n in notices.iter() {
+                self.apply_one_notice(n);
+            }
+        }
+        self.notices = notices;
+    }
+
+    /// Apply one canonical-order completion notice: record the executed work, resolve replica
+    /// twins (first completion wins) and advance workflow state.
+    fn apply_one_notice(&mut self, n: &CompletionNotice) {
+        let wf = n.wf;
+        if !self.workflows[wf].is_active() {
+            // The run finished after its workflow already failed: pure waste.
+            self.robustness.wasted_mi += n.load_mi;
             return;
         }
-        sort_notices(notices);
-        for n in notices.iter() {
-            let w = &mut workflows[n.wf];
-            if !w.is_active() {
-                continue;
-            }
-            if w.apply_completion(n.task, n.node) {
-                w.completed = true;
-                metrics.record_completion(WorkflowRecord {
-                    submitted_at: w.submitted_at,
-                    completed_at: n.time,
-                    expected_finish_secs: w.eft_secs,
-                    outcome: WorkflowOutcome::Completed,
-                });
-                completed_markers.insert((n.wf, n.task));
+        if self.workflows[wf].task_location[n.task.index()].is_some() {
+            // A replica twin finished a task another copy completed earlier: pure waste.
+            self.robustness.wasted_mi += n.load_mi;
+            return;
+        }
+        self.wf_completed_mi[wf] += n.load_mi;
+        // First completion wins — cancel every remaining replica copy.
+        if let Some(sites) = self.replica_sites.remove(&(wf, n.task)) {
+            for site in sites {
+                if site != n.node {
+                    self.cancel_replica(wf, n.task, site);
+                }
             }
         }
+        self.load_override.remove(&(wf, n.task));
+        self.attempts.remove(&(wf, n.task));
+        let w = &mut self.workflows[wf];
+        if w.apply_completion(n.task, n.node) {
+            w.completed = true;
+            let record = WorkflowRecord {
+                submitted_at: w.submitted_at,
+                completed_at: n.time,
+                expected_finish_secs: w.eft_secs,
+                outcome: WorkflowOutcome::Completed,
+            };
+            self.metrics.record_completion(record);
+            self.completed_markers.insert((wf, n.task));
+            // Every task the workflow completed is retroactively useful work.
+            self.robustness.useful_mi += self.wf_completed_mi[wf];
+            self.wf_completed_mi[wf] = 0.0;
+        }
+    }
+
+    /// Barrier step 3 (after the observation replay): merge the shards' fault records, sort
+    /// them canonically by `(time, node, seq)` and run the recovery policy over them — so the
+    /// gossip forget / recovery decisions and their floating-point accounting never depend on
+    /// the partition.  The `on_node_departed` / `on_node_joined` / `on_task_lost` callbacks
+    /// for these faults are *not* emitted here: the shards buffered them, and the observation
+    /// replay already delivered them interleaved with the task events in canonical order.
+    fn apply_faults(&mut self, observers: &mut [&mut dyn Observer]) {
+        let mut records = std::mem::take(&mut self.fault_records);
+        records.clear();
+        for s in self.shards.iter_mut() {
+            records.append(&mut s.faults);
+        }
+        if !records.is_empty() {
+            sort_faults(&mut records);
+            let mut obs = Observers(observers);
+            for r in records.iter() {
+                match r.kind {
+                    FaultKind::Down => {
+                        self.robustness.node_failures += 1;
+                        self.gossip.forget_node(r.node);
+                    }
+                    FaultKind::Up => {
+                        self.robustness.node_repairs += 1;
+                    }
+                    FaultKind::Lost {
+                        wf,
+                        task,
+                        running,
+                        total_secs,
+                        executed_secs,
+                        rate_mips,
+                    } => {
+                        self.recover_lost_task(
+                            wf,
+                            task,
+                            r.node,
+                            running,
+                            total_secs,
+                            executed_secs,
+                            rate_mips,
+                            r.time,
+                            &mut obs,
+                        );
+                    }
+                }
+            }
+        }
+        self.fault_records = records;
     }
 
     /// Barrier step 2: merge the shards' buffered observer callbacks and replay them in the
@@ -880,11 +1234,20 @@ impl ShardedEngine {
                 BufferedKind::Submitted { wf } => {
                     obs.emit(|o| o.on_workflow_submitted(e.time, wf, e.node));
                 }
+                BufferedKind::Lost { wf, task } => {
+                    obs.emit(|o| o.on_task_lost(e.time, e.node, wf, task));
+                }
+                BufferedKind::Departed => {
+                    obs.emit(|o| o.on_node_departed(e.time, e.node));
+                }
+                BufferedKind::Joined => {
+                    obs.emit(|o| o.on_node_joined(e.time, e.node));
+                }
             }
         }
     }
 
-    /// Barrier step 3: pop and handle every grid-wide cadence event due at the window's end.
+    /// Barrier step 4: pop and handle every grid-wide cadence event due at the window's end.
     /// Windows always close at the next cadence instant, so by construction these fire exactly
     /// at `end`, over a fully settled grid.
     fn handle_globals(&mut self, end: SimTime, observers: &mut [&mut dyn Observer]) {
@@ -942,6 +1305,7 @@ impl ShardedEngine {
             submitted: self.metrics.submitted(),
             completed: self.metrics.throughput(),
             failed: self.metrics.failed(),
+            robustness: self.robustness,
             metrics: self.metrics,
         }
     }
@@ -1039,6 +1403,7 @@ mod tests {
     use super::*;
     use crate::algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
     use crate::config::{CapacityModel, ChurnConfig};
+    use crate::config::{RecoveryPolicy, StochasticFaults};
     use crate::scenario::Scenario;
     use crate::simulation::Simulation;
 
@@ -1199,16 +1564,54 @@ mod tests {
 
     #[test]
     fn rescheduling_extension_recovers_lost_tasks() {
-        let mut churned = ChurnConfig::with_dynamic_factor(0.3);
-        churned.reschedule_lost_tasks = true;
-        let mut cfg = tiny_config(7).with_churn(churned);
+        // Seed picked so the df = 0.3 churn actually takes down a node holding a running
+        // task — the retry path, not just the free waiting-task requeue, is exercised.
+        let mut cfg = tiny_config(9)
+            .with_churn(ChurnConfig::with_dynamic_factor(0.3))
+            .with_recovery(RecoveryPolicy::unlimited_retry());
         cfg.nodes = 20;
         cfg.waxman.nodes = 20;
         let report = simulate(cfg, Algorithm::Dsmf).run();
         assert_eq!(
             report.failed, 0,
-            "with rescheduling enabled no workflow should be recorded as failed"
+            "with unlimited retries no workflow should be recorded as failed"
         );
+        assert!(
+            report.robustness.retries > 0,
+            "a df = 0.3 run must have retried at least one lost running task"
+        );
+    }
+
+    #[test]
+    fn stochastic_faults_trigger_recovery_and_stay_deterministic() {
+        let faults =
+            StochasticFaults::new(SimDuration::from_hours(2), SimDuration::from_secs(20 * 60));
+        let run = |recovery| {
+            let mut cfg = tiny_config(18)
+                .with_faults(crate::config::FaultModel::Stochastic(faults))
+                .with_recovery(recovery);
+            cfg.nodes = 20;
+            cfg.waxman.nodes = 20;
+            simulate(cfg, Algorithm::Dsmf).run()
+        };
+        let fail = run(RecoveryPolicy::FailWorkflow);
+        assert!(
+            fail.robustness.node_failures > 0,
+            "a 2 h MTBF over a 20 h horizon must take nodes down"
+        );
+        assert!(fail.robustness.node_repairs > 0);
+        let retry = run(RecoveryPolicy::unlimited_retry());
+        assert_eq!(retry.failed, 0, "unlimited retries never fail a workflow");
+        let again = run(RecoveryPolicy::unlimited_retry());
+        assert_eq!(retry.completed, again.completed);
+        assert_eq!(retry.act_secs().to_bits(), again.act_secs().to_bits());
+        assert_eq!(retry.robustness, again.robustness);
+        // The work ledger is consistent: anything counted must be positive, and goodput is a
+        // proper fraction once something was wasted.
+        assert!(retry.robustness.useful_mi > 0.0);
+        if retry.robustness.wasted_mi > 0.0 {
+            assert!(retry.robustness.goodput() < 1.0);
+        }
     }
 
     #[test]

@@ -155,6 +155,21 @@ impl ReadySet {
         None
     }
 
+    /// Remove one queued task by identity (a replica twin cancelled because another copy
+    /// completed first).  The heap may keep a stale item for it; [`ReadySet::pop_next`] /
+    /// [`ReadySet::peek_next`] skip such residue, exactly as after a preemption re-key.
+    pub fn remove(&mut self, wf: usize, task: TaskId) -> Option<ReadyEntry> {
+        let entry = self.entries.remove(&(wf, task))?;
+        if entry.data_ready {
+            self.selectable -= 1;
+        }
+        self.queued_load_mi -= entry.load_mi;
+        if self.entries.is_empty() || self.queued_load_mi < 0.0 {
+            self.queued_load_mi = 0.0;
+        }
+        Some(entry)
+    }
+
     /// Drain every queued task (a node departure), in arrival order for determinism.
     pub fn drain(&mut self) -> Vec<ReadyEntry> {
         let mut all: Vec<ReadyEntry> = self.entries.drain().map(|(_, e)| e).collect();
@@ -180,6 +195,21 @@ impl ReadySet {
 
 /// A `(workflow index, task id)` pair identifying one in-flight task.
 pub type TaskRef = (usize, TaskId);
+
+/// A running task surrendered by a departing node, with the execution timing the recovery
+/// policy needs: the full run length on this node and how much of it had already executed.
+/// Multiplying either by the node's per-slot rate converts seconds to MI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LostRun {
+    /// Global workflow index.
+    pub wf: usize,
+    /// Task id within its workflow.
+    pub task: TaskId,
+    /// Full execution time of the run on this node, seconds.
+    pub total_secs: f64,
+    /// Execution time already spent when the node died, seconds.
+    pub executed_secs: f64,
+}
 
 /// A task occupying one of a resource node's execution slots.
 #[derive(Debug, Clone, Copy)]
@@ -334,10 +364,25 @@ impl NodeRuntime {
         })
     }
 
-    /// The node departs: bump the epoch and surrender everything in flight.  Returns the
-    /// queued tasks (which never executed and simply become schedule points again) and the
-    /// running tasks (whose computation is lost).
-    pub fn depart(&mut self) -> (Vec<TaskRef>, Vec<TaskRef>) {
+    /// Cancel one running task (a replica twin whose other copy completed first): free its
+    /// slot and return the execution time already spent on it.  The cancelled run's in-flight
+    /// completion event finds no matching running entry and goes stale, exactly like after a
+    /// preemption; the freed slot is refilled by a barrier-scheduled `SlotFreed` event.
+    pub fn cancel_running(&mut self, wf: usize, task: TaskId, now: SimTime) -> Option<f64> {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.wf == wf && r.task == task)?;
+        let r = self.running.remove(pos);
+        let remaining = r.finish_at.saturating_duration_since(now).as_secs_f64();
+        Some((r.view.exec_secs - remaining).max(0.0))
+    }
+
+    /// The node departs at `now`: bump the epoch and surrender everything in flight.  Returns
+    /// the queued tasks (which never executed and simply become schedule points again) and the
+    /// running tasks with their execution timing (how much of each run was already done —
+    /// what the recovery policy needs to book wasted work and checkpoint residues).
+    pub fn depart(&mut self, now: SimTime) -> (Vec<TaskRef>, Vec<LostRun>) {
         self.alive = false;
         self.epoch += 1;
         let waiting = self
@@ -346,7 +391,19 @@ impl NodeRuntime {
             .into_iter()
             .map(|e| (e.wf, e.task))
             .collect();
-        let running = self.running.drain(..).map(|r| (r.wf, r.task)).collect();
+        let running = self
+            .running
+            .drain(..)
+            .map(|r| {
+                let remaining = r.finish_at.saturating_duration_since(now).as_secs_f64();
+                LostRun {
+                    wf: r.wf,
+                    task: r.task,
+                    total_secs: r.view.exec_secs,
+                    executed_secs: (r.view.exec_secs - remaining).max(0.0),
+                }
+            })
+            .collect();
         (waiting, running)
     }
 
@@ -433,6 +490,27 @@ mod tests {
     }
 
     #[test]
+    fn remove_cancels_one_entry_and_leaves_only_heap_residue() {
+        let mut rs = ReadySet::new();
+        rs.insert(entry(0, 300.0, 10.0, 0, true));
+        rs.insert(entry(1, 100.0, 10.0, 1, true));
+        rs.insert(entry(2, 50.0, 10.0, 2, false)); // still transferring
+        assert!(rs.remove(9, TaskId(0)).is_none(), "unknown task");
+        let removed = rs.remove(1, TaskId(0)).expect("entry is queued");
+        assert_eq!(removed.wf, 1);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.selectable_len(), 1);
+        assert_eq!(rs.queued_load_mi(), 200.0);
+        // The heap's stale item for workflow 1 must be skipped, not popped.
+        assert_eq!(rs.pop_next().unwrap().wf, 0);
+        // Removing a not-yet-transferred entry must not touch the selectable count.
+        assert!(rs.remove(2, TaskId(0)).is_some());
+        assert_eq!(rs.selectable_len(), 0);
+        assert!(rs.is_empty());
+        assert_eq!(rs.queued_load_mi(), 0.0);
+    }
+
+    #[test]
     fn selectable_len_tracks_data_complete_entries_only() {
         let mut rs = ReadySet::new();
         assert_eq!(rs.selectable_len(), 0);
@@ -484,9 +562,18 @@ mod tests {
         );
         assert!(node.has_free_slot());
 
-        let (waiting, running) = node.depart();
+        // Depart 4 s into the remaining run: the lost run reports its elapsed execution.
+        let (waiting, running) = node.depart(SimTime::from_secs(4));
         assert!(waiting.is_empty());
-        assert_eq!(running, vec![(1, TaskId(0))]);
+        assert_eq!(
+            running,
+            vec![LostRun {
+                wf: 1,
+                task: TaskId(0),
+                total_secs: 10.0,
+                executed_secs: 4.0,
+            }]
+        );
         assert_eq!(node.epoch, 1);
         node.join();
         assert!(node.alive && node.running.is_empty());

@@ -9,7 +9,9 @@
 //! callbacks) is buffered into the per-shard [`CompletionNotice`] outbox and observation
 //! buffer and merged canonically at the window barrier (see [`super::barrier`]).
 
-use super::barrier::{ArrivalNotice, BufferedEvent, BufferedKind, CompletionNotice};
+use super::barrier::{
+    ArrivalNotice, BufferedEvent, BufferedKind, CompletionNotice, FaultKind, FaultRecord,
+};
 use super::node::NodeRuntime;
 use crate::scheduler::Scheduler;
 use crate::NodeId;
@@ -101,6 +103,27 @@ pub(crate) enum ShardEvent {
         /// Global workflow index.
         wf: usize,
     },
+    /// The node fails (its pre-drawn stochastic lifetime expired).  Scheduled once at engine
+    /// construction from the scenario's fault schedule, like [`ShardEvent::WorkflowArrival`],
+    /// so conservative-window soundness is not in play.  The shard surrenders everything in
+    /// flight on the node and records [`FaultRecord`]s for the barrier's recovery pass.
+    NodeFailure {
+        /// Shard-local index of the failing node.
+        local: usize,
+    },
+    /// The node comes back after its pre-drawn repair time, empty.
+    NodeRepair {
+        /// Shard-local index of the repaired node.
+        local: usize,
+    },
+    /// One execution slot was freed *at the barrier* (a running replica twin was cancelled
+    /// after another copy completed first).  Scheduled at the window's end instant, which the
+    /// next window drains first — the node then refills the slot from its ready queue at the
+    /// correct virtual time.
+    SlotFreed {
+        /// Shard-local index of the node with the freed slot.
+        local: usize,
+    },
 }
 
 /// The read-only context a shard needs while executing a window: the scheduler (consulted,
@@ -136,6 +159,13 @@ pub(crate) struct Shard {
     pub outbox: Vec<CompletionNotice>,
     /// Observer callbacks recorded this window, drained at the barrier.
     pub obs_buf: Vec<BufferedEvent>,
+    /// Fault records (node down / up, tasks lost) this window, drained at the barrier's
+    /// recovery pass.  Unlike `obs_buf` these are engine state, produced whether or not an
+    /// observer is attached.
+    pub faults: Vec<FaultRecord>,
+    /// Monotone fault-record counter (the per-node order key in the barrier's fault merge).
+    /// Dedicated — never shared with `emit_seq`, which only advances while observing.
+    fault_seq: u64,
     /// Monotone run-generation counter; unique per shard, hence per node.
     next_run: u64,
     /// Monotone observation-emission counter (the per-node order key in the barrier merge).
@@ -159,6 +189,8 @@ impl Shard {
             arrivals: Vec::new(),
             outbox: Vec::new(),
             obs_buf: Vec::new(),
+            faults: Vec::new(),
+            fault_seq: 0,
             next_run: 0,
             emit_seq: 0,
             executed: 0,
@@ -191,8 +223,83 @@ impl Shard {
                     self.arrivals.push(ArrivalNotice { time: ev.time, wf });
                     self.buffer(ev.time, local, BufferedKind::Submitted { wf }, ctx);
                 }
+                ShardEvent::NodeFailure { local } => self.on_node_failure(local, ev.time, ctx),
+                ShardEvent::NodeRepair { local } => self.on_node_repair(local, ev.time, ctx),
+                ShardEvent::SlotFreed { local } => self.try_start_tasks(local, ev.time, ctx),
             }
         }
+    }
+
+    /// Record one fault event for the barrier's recovery pass.
+    fn record_fault(&mut self, time: SimTime, local: usize, kind: FaultKind) {
+        self.faults.push(FaultRecord {
+            time,
+            node: self.node_ids[local],
+            seq: self.fault_seq,
+            kind,
+        });
+        self.fault_seq += 1;
+    }
+
+    /// The node's pre-drawn lifetime expired: surrender everything resident on it and record
+    /// what was lost.  The `Down` record precedes the per-task `Lost` records so the barrier
+    /// forgets the node before re-planning its tasks.
+    fn on_node_failure(&mut self, local: usize, now: SimTime, ctx: &WindowCtx<'_>) {
+        if !self.nodes[local].alive {
+            return;
+        }
+        let rate_mips = self.nodes[local].capacity_mips;
+        let (waiting, running) = self.nodes[local].depart(now);
+        self.record_fault(now, local, FaultKind::Down);
+        for (wf, task) in waiting {
+            self.record_fault(
+                now,
+                local,
+                FaultKind::Lost {
+                    wf,
+                    task,
+                    running: false,
+                    total_secs: 0.0,
+                    executed_secs: 0.0,
+                    rate_mips,
+                },
+            );
+            self.buffer(now, local, BufferedKind::Lost { wf, task }, ctx);
+        }
+        for lost in running {
+            self.record_fault(
+                now,
+                local,
+                FaultKind::Lost {
+                    wf: lost.wf,
+                    task: lost.task,
+                    running: true,
+                    total_secs: lost.total_secs,
+                    executed_secs: lost.executed_secs,
+                    rate_mips,
+                },
+            );
+            self.buffer(
+                now,
+                local,
+                BufferedKind::Lost {
+                    wf: lost.wf,
+                    task: lost.task,
+                },
+                ctx,
+            );
+        }
+        self.buffer(now, local, BufferedKind::Departed, ctx);
+    }
+
+    /// The node's pre-drawn repair completed: it rejoins empty.
+    fn on_node_repair(&mut self, local: usize, now: SimTime, ctx: &WindowCtx<'_>) {
+        if self.nodes[local].alive {
+            return;
+        }
+        self.nodes[local].join();
+        self.record_fault(now, local, FaultKind::Up);
+        self.buffer(now, local, BufferedKind::Joined, ctx);
     }
 
     /// Record one observer callback (skipped entirely when no observer is attached).
@@ -239,15 +346,25 @@ impl Shard {
         if !self.nodes[local].accepts(epoch) {
             return;
         }
-        if !self.nodes[local].complete(wf, task, run) {
+        // The executed work (for the barrier's useful/wasted ledger) must be read before
+        // `complete()` removes the running entry.
+        let Some(load_mi) = self.nodes[local]
+            .running
+            .iter()
+            .find(|r| r.wf == wf && r.task == task && r.run == run)
+            .map(|r| r.view.exec_secs * self.nodes[local].capacity_mips)
+        else {
             return;
-        }
+        };
+        let completed = self.nodes[local].complete(wf, task, run);
+        debug_assert!(completed, "the entry located above must complete");
         self.buffer(now, local, BufferedKind::Finished { wf, task }, ctx);
         self.outbox.push(CompletionNotice {
             time: now,
             wf,
             task,
             node: self.node_ids[local],
+            load_mi,
         });
         self.try_start_tasks(local, now, ctx);
     }

@@ -63,6 +63,20 @@ pub enum ConfigError {
     },
     /// The trace workload has workflows but submits none of them.
     EmptyTrace,
+    /// A fault-model parameter is out of range.
+    InvalidFault {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A recovery-policy parameter is out of range.
+    InvalidRecovery {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -119,6 +133,15 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyTrace => {
                 write!(f, "trace workload submits no workflow instances")
             }
+            ConfigError::InvalidFault { what, value } => {
+                write!(f, "invalid fault model: {what} out of range, got {value}")
+            }
+            ConfigError::InvalidRecovery { what, value } => {
+                write!(
+                    f,
+                    "invalid recovery policy: {what} out of range, got {value}"
+                )
+            }
         }
     }
 }
@@ -146,5 +169,17 @@ mod tests {
         let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroSlots);
         assert!(boxed.to_string().contains("execution slot"));
         assert!(ConfigError::ZeroShards.to_string().contains("shard"));
+        assert!(ConfigError::InvalidFault {
+            what: "mtbf",
+            value: -1.0
+        }
+        .to_string()
+        .contains("mtbf"));
+        assert!(ConfigError::InvalidRecovery {
+            what: "replicate copies",
+            value: 1.0
+        }
+        .to_string()
+        .contains("replicate copies"));
     }
 }

@@ -69,7 +69,7 @@
 //! | [`policy`]    | first-phase dispatch planning and second-phase ready-set selection |
 //! | [`fullahead`] | the centralized full-ahead planner used by the HEFT and SMF baselines |
 //! | [`scheduler`] | the pluggable [`Scheduler`] seam unifying both phases (implemented by [`AlgorithmConfig`]) |
-//! | [`config`]    | experiment configuration (Table I defaults, [`config::ResourceModel`] slots, churn, load factor, CCR) |
+//! | [`config`]    | experiment configuration (Table I defaults, [`config::ResourceModel`] slots, [`config::FaultModel`] faults, [`config::RecoveryPolicy`] recovery, load factor, CCR) |
 //! | [`error`]     | the typed [`ConfigError`] returned by validation and [`Scenario::build`] |
 //! | [`scenario`]  | the reusable pre-sampled world ([`Scenario`]) |
 //! | [`engine`]    | the sharded grid engine: per-node / per-workflow runtime, transfer model, conservative time-window event loop |
@@ -96,8 +96,9 @@ pub mod worked_example;
 
 pub use algorithm::{Algorithm, AlgorithmConfig, SecondPhase};
 pub use config::{
-    ArrivalProcess, CapacityModel, ChurnConfig, GridConfig, PreemptionPolicy, ResourceModel,
-    ShardSpec, SlotClass, SlotModel, StreamKind, StreamSeeds, WorkloadSource,
+    ArrivalProcess, CapacityModel, ChurnConfig, CorrelatedOutage, FaultModel, GridConfig,
+    PreemptionPolicy, RecoveryPolicy, ResourceModel, ShardSpec, SlotClass, SlotModel,
+    StochasticFaults, StreamKind, StreamSeeds, WorkloadSource,
 };
 pub use engine::ShardStats;
 pub use error::ConfigError;

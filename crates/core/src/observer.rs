@@ -91,6 +91,14 @@ pub trait Observer {
     /// (time-sliced substrates only).
     fn on_task_displaced(&mut self, now: SimTime, wf: usize, task: TaskId, node: NodeId) {}
 
+    /// A queued or running task was lost because its node failed or churned away.  What
+    /// happens next is the [`RecoveryPolicy`](crate::config::RecoveryPolicy)'s business.
+    fn on_task_lost(&mut self, now: SimTime, node: NodeId, wf: usize, task: TaskId) {}
+
+    /// A lost task re-entered the schedule-point queue under `RecoveryPolicy::Retry`;
+    /// `attempt` counts the losses so far (1 on the first retry).
+    fn on_task_retried(&mut self, now: SimTime, wf: usize, task: TaskId, attempt: u32) {}
+
     /// A node churned away.
     fn on_node_departed(&mut self, now: SimTime, node: NodeId) {}
 
@@ -203,6 +211,24 @@ pub enum TraceEvent {
         /// Node whose slot was reclaimed.
         node: NodeId,
     },
+    /// Task lost with its failed / departed node.
+    TaskLost {
+        /// Workflow index.
+        wf: usize,
+        /// Task id.
+        task: TaskId,
+        /// The node that took the task down with it.
+        node: NodeId,
+    },
+    /// Lost task re-queued for another attempt (`RecoveryPolicy::Retry`).
+    TaskRetried {
+        /// Workflow index.
+        wf: usize,
+        /// Task id.
+        task: TaskId,
+        /// Loss count so far (1 on the first retry).
+        attempt: u32,
+    },
     /// Node departed.
     NodeDeparted {
         /// The departing node.
@@ -270,6 +296,12 @@ impl Observer for TraceRecorder {
     }
     fn on_task_displaced(&mut self, now: SimTime, wf: usize, task: TaskId, node: NodeId) {
         self.push(now, TraceEvent::TaskDisplaced { wf, task, node });
+    }
+    fn on_task_lost(&mut self, now: SimTime, node: NodeId, wf: usize, task: TaskId) {
+        self.push(now, TraceEvent::TaskLost { wf, task, node });
+    }
+    fn on_task_retried(&mut self, now: SimTime, wf: usize, task: TaskId, attempt: u32) {
+        self.push(now, TraceEvent::TaskRetried { wf, task, attempt });
     }
     fn on_node_departed(&mut self, now: SimTime, node: NodeId) {
         self.push(now, TraceEvent::NodeDeparted { node });

@@ -1,7 +1,7 @@
 //! The result of one grid-simulation run.
 
 use p2pgrid_gossip::GossipStats;
-use p2pgrid_metrics::WorkflowMetrics;
+use p2pgrid_metrics::{RobustnessStats, WorkflowMetrics};
 use p2pgrid_sim::SimTime;
 
 /// Everything an experiment needs to know about one finished run.
@@ -23,8 +23,11 @@ pub struct SimulationReport {
     pub submitted: u64,
     /// Workflows completed within the horizon.
     pub completed: u64,
-    /// Workflows lost to churn.
+    /// Workflows lost to churn or node failures.
     pub failed: u64,
+    /// Fault / recovery accounting: node failures, lost tasks, retries, useful vs. wasted
+    /// work, recovery latency.  All-zero (goodput 1.0) when the fault model is off.
+    pub robustness: RobustnessStats,
 }
 
 impl SimulationReport {

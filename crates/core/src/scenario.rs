@@ -29,7 +29,8 @@
 
 use crate::algorithm::{Algorithm, AlgorithmConfig};
 use crate::config::{
-    ArrivalProcess, ChurnConfig, GridConfig, ResourceModel, StreamKind, WorkloadSource,
+    exponential, ArrivalProcess, ChurnConfig, FaultModel, GridConfig, RecoveryPolicy,
+    ResourceModel, StreamKind, WorkloadSource,
 };
 use crate::engine::node::{NodeRuntime, ReadySet};
 use crate::engine::transfer::TransferModel;
@@ -74,6 +75,13 @@ pub(crate) struct ScenarioWorld {
     pub(crate) gossip_rng: SimRng,
     /// The churn RNG stream (sessions clone it, so every run replays the same churn).
     pub(crate) churn_rng: SimRng,
+    /// The pre-drawn stochastic failure schedule: `(node, time, down)` transitions, node-major
+    /// and time-ascending per node, clipped to the horizon.  Empty unless the fault model is
+    /// [`FaultModel::Stochastic`].  Pre-drawing the whole schedule at build time (one RNG
+    /// sub-stream per node / outage group) is what keeps failures byte-identical across shard
+    /// counts: the events are scheduled into their owners' shard queues at session start, and
+    /// no shard ever draws failure randomness live.
+    pub(crate) faults: Vec<(NodeId, SimTime, bool)>,
     /// Conservative-PDES lookahead: a lower bound on how far ahead of "now" any cross-node
     /// interaction can land, derived once at build time (see [`Scenario::lookahead`]).
     pub(crate) lookahead: SimDuration,
@@ -100,14 +108,96 @@ fn compute_lookahead(config: &GridConfig, min_latency_ms: f64) -> SimDuration {
     bound.max(SimDuration::from_millis(1))
 }
 
-/// Number of stable (never-churning, home-eligible) nodes under `config`.
+/// Number of stable (never-failing, home-eligible) nodes under `config`.
 fn stable_count(config: &GridConfig) -> usize {
     let n = config.nodes;
-    if config.churn.splits_population() {
-        ((n as f64) * config.churn.stable_fraction).round().max(1.0) as usize
+    if config.faults.splits_population() {
+        ((n as f64) * config.faults.stable_fraction())
+            .round()
+            .max(1.0) as usize
     } else {
         n
     }
+}
+
+/// Pre-draw the whole stochastic failure schedule (see [`ScenarioWorld::faults`]).
+///
+/// Every churnable node draws alternating exponential uptime/downtime intervals from its own
+/// sub-stream of the [`StreamKind::Faults`] stream; correlated outages overlay fixed-length
+/// down-windows per node group from per-group sub-streams.  Overlapping down-intervals are
+/// union-merged per node, so a node never emits two consecutive failures without a repair in
+/// between.
+fn sample_fault_schedule(config: &GridConfig, stable: usize) -> Vec<(NodeId, SimTime, bool)> {
+    let Some(faults) = config.faults.stochastic() else {
+        return Vec::new();
+    };
+    let n = config.nodes;
+    let horizon = config.horizon.as_secs_f64();
+    let fail_rate = 1.0 / faults.mtbf.as_secs_f64();
+    let repair_rate = 1.0 / faults.mttr.as_secs_f64();
+    let root = stream_rng(config, StreamKind::Faults);
+
+    // Correlated outages: chunk the churnable population into groups of `group_size`
+    // consecutive nodes and pre-draw each group's outage windows.
+    let group_windows: Vec<Vec<(f64, f64)>> = match &faults.correlated_outage {
+        None => Vec::new(),
+        Some(outage) => {
+            let churnable = n.saturating_sub(stable);
+            let groups = churnable.div_ceil(outage.group_size);
+            let rate = 1.0 / outage.mtbf.as_secs_f64();
+            let duration = outage.duration.as_secs_f64();
+            (0..groups)
+                .map(|g| {
+                    let mut rng = root.derive_indexed("outage", g as u64);
+                    let mut windows = Vec::new();
+                    let mut t = 0.0f64;
+                    loop {
+                        t += exponential(&mut rng, rate);
+                        if t >= horizon {
+                            break;
+                        }
+                        windows.push((t, t + duration));
+                        t += duration;
+                    }
+                    windows
+                })
+                .collect()
+        }
+    };
+
+    let mut schedule = Vec::new();
+    for node in stable..n {
+        let mut rng = root.derive_indexed("node", node as u64);
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            t += exponential(&mut rng, fail_rate);
+            if t >= horizon {
+                break;
+            }
+            let down = exponential(&mut rng, repair_rate);
+            intervals.push((t, t + down));
+            t += down;
+        }
+        if let Some(outage) = &faults.correlated_outage {
+            intervals.extend_from_slice(&group_windows[(node - stable) / outage.group_size]);
+        }
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (start, end) in intervals {
+            match merged.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        for (start, end) in merged {
+            schedule.push((node, SimTime::from_secs_f64(start), true));
+            if end < horizon {
+                schedule.push((node, SimTime::from_secs_f64(end), false));
+            }
+        }
+    }
+    schedule
 }
 
 /// True when `a` and `b` would generate bit-identical topology tables (topology, pairwise
@@ -378,6 +468,7 @@ impl Scenario {
                 }
             };
         let churn_rng = stream_rng(&config, StreamKind::Churn);
+        let faults = sample_fault_schedule(&config, stable);
         let lookahead = compute_lookahead(&config, transfer.metrics().min_positive_latency_ms());
 
         Ok(Scenario {
@@ -393,6 +484,7 @@ impl Scenario {
                 gossip,
                 gossip_rng,
                 churn_rng,
+                faults,
                 lookahead,
             }),
         })
@@ -479,8 +571,30 @@ impl Scenario {
     /// churnable split; when the split changes the home-node set, the workflow draw is
     /// regenerated exactly as a fresh build would.
     pub fn with_churn(&self, churn: ChurnConfig) -> Result<Scenario, ConfigError> {
+        self.with_faults(FaultModel::Churn(churn))
+    }
+
+    /// Derive a world with a different fault model (churn or stochastic node lifetimes).
+    ///
+    /// Shares the topology tables and gossip state.  The node population is re-sampled with
+    /// the same capacity/slot streams (so capacities stay identical) but a new stable/
+    /// churnable split, and the stochastic failure schedule is re-drawn from the faults
+    /// stream; when the split changes the home-node set, the workflow draw is regenerated
+    /// exactly as a fresh build would.
+    pub fn with_faults(&self, faults: FaultModel) -> Result<Scenario, ConfigError> {
         let mut config = self.world.config.clone();
-        config.churn = churn;
+        config.faults = faults;
+        Scenario::build_with_reuse(config, Some(&self.world))
+    }
+
+    /// Derive a world with a different recovery policy.
+    ///
+    /// Recovery is pure run-time behaviour — it consumes no build-time randomness — so the
+    /// derived world shares *every* table of this one (topology, nodes, workflows, gossip)
+    /// and only the config differs.
+    pub fn with_recovery(&self, recovery: RecoveryPolicy) -> Result<Scenario, ConfigError> {
+        let mut config = self.world.config.clone();
+        config.recovery = recovery;
         Scenario::build_with_reuse(config, Some(&self.world))
     }
 
@@ -642,5 +756,80 @@ mod tests {
         assert_eq!(churned.workflow_count(), 20);
         let static_world = Scenario::build(GridConfig::small(20).with_seed(5)).unwrap();
         assert_eq!(static_world.workflow_count(), 40);
+    }
+
+    #[test]
+    fn stochastic_fault_schedule_is_deterministic_and_well_formed() {
+        use crate::config::{CorrelatedOutage, FaultModel, StochasticFaults};
+        let faults = FaultModel::Stochastic(
+            StochasticFaults::new(SimDuration::from_hours(2), SimDuration::from_mins(20))
+                .with_outage(CorrelatedOutage {
+                    group_size: 3,
+                    mtbf: SimDuration::from_hours(6),
+                    duration: SimDuration::from_mins(15),
+                }),
+        );
+        let cfg = GridConfig::small(20).with_seed(7).with_faults(faults);
+        let a = Scenario::build(cfg.clone()).unwrap();
+        let b = Scenario::build(cfg.clone()).unwrap();
+        assert_eq!(
+            a.world().faults,
+            b.world().faults,
+            "same seed, same schedule"
+        );
+        assert!(
+            !a.world().faults.is_empty(),
+            "2h MTBF over 12h must fail someone"
+        );
+        // Homes are restricted to the stable half, like the churn model.
+        assert_eq!(a.workflow_count(), 20);
+        let horizon = SimTime::ZERO + cfg.horizon;
+        let mut down = std::collections::HashSet::new();
+        for &(node, time, failing) in &a.world().faults {
+            assert!(node >= 10, "stable nodes never appear in the schedule");
+            assert!(time <= horizon);
+            // Transitions strictly alternate down/up per node.
+            assert_eq!(
+                down.contains(&node),
+                !failing,
+                "node {node} double-transition"
+            );
+            if failing {
+                down.insert(node);
+            } else {
+                down.remove(&node);
+            }
+        }
+        // Off and churn models draw no schedule at all.
+        assert!(Scenario::build(GridConfig::small(8))
+            .unwrap()
+            .world()
+            .faults
+            .is_empty());
+        let churned =
+            Scenario::build(GridConfig::small(8).with_churn(ChurnConfig::with_dynamic_factor(0.2)))
+                .unwrap();
+        assert!(churned.world().faults.is_empty());
+    }
+
+    #[test]
+    fn recovery_derivation_shares_every_table() {
+        use crate::config::RecoveryPolicy;
+        let base = Scenario::build(GridConfig::small(12).with_seed(9)).unwrap();
+        let derived = base
+            .with_recovery(RecoveryPolicy::Retry {
+                budget: 3,
+                backoff: SimDuration::from_mins(1),
+            })
+            .unwrap();
+        assert!(base.shares_topology_with(&derived));
+        assert!(base.shares_workflows_with(&derived));
+        assert_eq!(
+            derived.config().recovery,
+            RecoveryPolicy::Retry {
+                budget: 3,
+                backoff: SimDuration::from_mins(1)
+            }
+        );
     }
 }

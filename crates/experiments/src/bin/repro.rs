@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper from the command line.
 //!
 //! ```text
-//! repro [--scale smoke|reduced|full] [--seed N] [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|headline]
+//! repro [--scale smoke|reduced|full] [--seed N]
+//!       [--fig all|3|4-6|fcfs|7-8|9-10|11|12-14|15|headline]
 //!       [--json [DIR]] [--workload FILE] [--check-workloads DIR]
 //! ```
 //!
@@ -24,7 +25,8 @@
 use p2pgrid_core::worked_example;
 use p2pgrid_experiments::ExperimentScale;
 use p2pgrid_experiments::{
-    ccr, churn, fcfs_ablation, load_factor, scalability, static_comparison, workload, FigureData,
+    ccr, churn, fault_tolerance, fcfs_ablation, load_factor, scalability, static_comparison,
+    workload, FigureData,
 };
 use p2pgrid_workflow::{ExpectedCosts, WorkflowAnalysis};
 use std::path::{Path, PathBuf};
@@ -34,7 +36,7 @@ const ACCEPTED_SCALES: &str = "smoke, reduced, full";
 /// The accepted `--fig` spellings, shown when an unknown value is passed.
 const ACCEPTED_FIGURES: &str =
     "all, 3 (example), 4-6 (static), fcfs (ablation), 7-8 (load), 9-10 (ccr), \
-     11 (scalability), 12-14 (churn), headline";
+     11 (scalability), 12-14 (churn), 15 (fault), headline";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Figure {
@@ -46,6 +48,7 @@ enum Figure {
     Ccr,
     Scalability,
     Churn,
+    FaultTolerance,
     Headline,
 }
 
@@ -60,6 +63,7 @@ impl Figure {
             "9" | "10" | "9-10" | "ccr" => Some(Figure::Ccr),
             "11" | "scale" | "scalability" => Some(Figure::Scalability),
             "12" | "13" | "14" | "12-14" | "churn" => Some(Figure::Churn),
+            "15" | "fault" | "faults" | "fault-tolerance" => Some(Figure::FaultTolerance),
             "headline" => Some(Figure::Headline),
             _ => None,
         }
@@ -315,5 +319,13 @@ fn main() {
                 r.average_efficiency()
             );
         }
+    }
+    if run_all || args.figure == Figure::FaultTolerance {
+        let sweep = fault_tolerance::run(scale, seed);
+        emit(&sweep.fig15a_throughput(), json_dir);
+        emit(&sweep.fig15b_goodput(), json_dir);
+        emit(&sweep.fig15c_recovery_latency(), json_dir);
+        println!("== fault-tolerance summary (MTBF x recovery policy) ==");
+        println!("{}", sweep.summary_table());
     }
 }

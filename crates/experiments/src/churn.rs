@@ -10,7 +10,7 @@ use crate::campaign::{self, Campaign};
 use crate::figures::{FigureData, Series};
 use crate::scale::ExperimentScale;
 use crate::static_comparison::series_points;
-use p2pgrid_core::{Algorithm, AlgorithmConfig, ChurnConfig, SimulationReport};
+use p2pgrid_core::{Algorithm, AlgorithmConfig, ChurnConfig, RecoveryPolicy, SimulationReport};
 
 /// Results of the churn sweep (DSMF only, as in the paper).
 #[derive(Debug, Clone)]
@@ -29,7 +29,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> ChurnSweep {
 }
 
 /// Run the sweep, optionally enabling the paper's future-work extension that re-schedules tasks
-/// lost to churn instead of failing their workflow.
+/// lost to churn (an unlimited-budget [`RecoveryPolicy::Retry`]) instead of failing their
+/// workflow.
 ///
 /// The base world is built **once**; each dynamic factor is derived copy-on-write with
 /// [`Scenario::with_churn`], sharing the topology tables and gossip state across the sweep.
@@ -41,9 +42,12 @@ pub fn run_with_rescheduling(scale: ExperimentScale, seed: u64, rescheduling: bo
         .unwrap_or_else(|e| panic!("invalid churn base configuration: {e}"));
     let scenarios = campaign
         .derive(&dynamic_factors, |base, &df| {
-            let mut churn = ChurnConfig::with_dynamic_factor(df);
-            churn.reschedule_lost_tasks = rescheduling;
-            base.with_churn(churn)
+            let churned = base.with_churn(ChurnConfig::with_dynamic_factor(df))?;
+            if rescheduling {
+                churned.with_recovery(RecoveryPolicy::unlimited_retry())
+            } else {
+                Ok(churned)
+            }
         })
         .unwrap_or_else(|e| panic!("invalid churn sweep point: {e}"));
     let jobs = campaign::cross(

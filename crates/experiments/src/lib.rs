@@ -10,6 +10,7 @@
 //! | [`ccr`]               | Fig. 9 / Fig. 10 (four load/data combinations, CCR 0.16–16) |
 //! | [`scalability`]       | Fig. 11 (RSS size, AE, ACT versus system scale) |
 //! | [`churn`]             | Fig. 12–14 (dynamic factor 0–0.4) |
+//! | [`fault_tolerance`]   | the fault-tolerance study the paper never ran (MTBF × recovery policy, "Fig. 15") |
 //! | [`workload`]          | replay of serialized workload artifacts (`repro --workload`) |
 //!
 //! Every runner accepts an [`ExperimentScale`]: `Smoke` for unit tests, `Reduced` for the
@@ -30,6 +31,7 @@
 pub mod campaign;
 pub mod ccr;
 pub mod churn;
+pub mod fault_tolerance;
 pub mod fcfs_ablation;
 pub mod figures;
 pub mod load_factor;

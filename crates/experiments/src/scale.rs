@@ -82,6 +82,16 @@ impl ExperimentScale {
             ExperimentScale::Smoke => vec![0.0, 0.2, 0.4],
         }
     }
+
+    /// The per-node MTBF sweep (in hours) of the fault-tolerance study, hardest first.
+    /// The smallest value gives a node only a couple of expected failures-free hours —
+    /// well inside the simulated horizon — so every recovery policy is actually exercised.
+    pub fn mtbf_sweep_hours(self) -> Vec<f64> {
+        match self {
+            ExperimentScale::Full | ExperimentScale::Reduced => vec![2.0, 4.0, 8.0, 16.0, 32.0],
+            ExperimentScale::Smoke => vec![2.0, 6.0],
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod robustness;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 pub mod workflow_metrics;
 
+pub use robustness::RobustnessStats;
 pub use stats::OnlineStats;
 pub use table::{format_series, format_table};
 pub use timeseries::TimeSeries;

@@ -19,12 +19,16 @@ fn main() {
             if df == 0.0 && reschedule {
                 continue; // identical to the paper mode without churn
             }
-            let mut churn = ChurnConfig::with_dynamic_factor(df);
-            churn.reschedule_lost_tasks = reschedule;
+            let recovery = if reschedule {
+                RecoveryPolicy::unlimited_retry()
+            } else {
+                RecoveryPolicy::FailWorkflow
+            };
             let config = GridConfig::paper_default()
                 .with_nodes(96)
                 .with_load_factor(2)
-                .with_churn(churn)
+                .with_churn(ChurnConfig::with_dynamic_factor(df))
+                .with_recovery(recovery)
                 .with_seed(4242);
             let report = Scenario::build(config)
                 .expect("churn config is valid")

@@ -67,12 +67,13 @@ pub mod prelude {
     pub use p2pgrid_core::GridSimulation;
     pub use p2pgrid_core::{
         Algorithm, AlgorithmConfig, ArrivalProcess, CapacityModel, ChurnConfig, ConfigError,
-        GridConfig, GridSample, Observer, PreemptionPolicy, ResourceModel, Scenario, SecondPhase,
-        ShardSpec, ShardStats, Simulation, SimulationReport, SlotClass, SlotModel, StreamKind,
-        StreamSeeds, TimeSeriesProbe, TraceEvent, TraceRecorder, WorkloadSource,
+        CorrelatedOutage, FaultModel, GridConfig, GridSample, Observer, PreemptionPolicy,
+        RecoveryPolicy, ResourceModel, Scenario, SecondPhase, ShardSpec, ShardStats, Simulation,
+        SimulationReport, SlotClass, SlotModel, StochasticFaults, StreamKind, StreamSeeds,
+        TimeSeriesProbe, TraceEvent, TraceRecorder, WorkloadSource,
     };
     pub use p2pgrid_experiments::{Campaign, ExperimentScale};
-    pub use p2pgrid_metrics::{WorkflowMetrics, WorkflowRecord};
+    pub use p2pgrid_metrics::{RobustnessStats, WorkflowMetrics, WorkflowRecord};
     pub use p2pgrid_sim::{SimDuration, SimRng, SimTime};
     pub use p2pgrid_topology::{Topology, WaxmanConfig, WaxmanGenerator};
     pub use p2pgrid_workflow::{

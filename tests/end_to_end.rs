@@ -79,9 +79,9 @@ fn churned_grid_still_makes_progress_and_reports_failures() {
 
 #[test]
 fn rescheduling_extension_eliminates_churn_failures() {
-    let mut churn = ChurnConfig::with_dynamic_factor(0.3);
-    churn.reschedule_lost_tasks = true;
-    let cfg = small_config(24, 3).with_churn(churn);
+    let cfg = small_config(24, 3)
+        .with_churn(ChurnConfig::with_dynamic_factor(0.3))
+        .with_recovery(RecoveryPolicy::unlimited_retry());
     let report = Scenario::build(cfg)
         .unwrap()
         .simulate_algorithm(Algorithm::Dsmf)

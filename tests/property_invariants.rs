@@ -58,9 +58,15 @@ proptest! {
     /// submitted, and with rescheduling enabled nothing is ever recorded as failed.
     #[test]
     fn prop_churn_accounting(seed in 0u64..10_000, df in 0.05f64..0.4, reschedule in proptest::bool::ANY) {
-        let mut churn = ChurnConfig::with_dynamic_factor(df);
-        churn.reschedule_lost_tasks = reschedule;
-        let mut cfg = GridConfig::small(16).with_seed(seed).with_churn(churn);
+        let recovery = if reschedule {
+            RecoveryPolicy::unlimited_retry()
+        } else {
+            RecoveryPolicy::FailWorkflow
+        };
+        let mut cfg = GridConfig::small(16)
+            .with_seed(seed)
+            .with_churn(ChurnConfig::with_dynamic_factor(df))
+            .with_recovery(recovery);
         cfg.workflows_per_node = 1;
         cfg.workload.generator_mut().tasks = 2..=6;
         cfg.horizon = SimDuration::from_hours(8);

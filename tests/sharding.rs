@@ -119,9 +119,12 @@ fn churned_runs_are_shard_count_independent() {
 
 #[test]
 fn rescheduling_churn_runs_are_shard_count_independent() {
-    let mut churn = ChurnConfig::with_dynamic_factor(0.3);
-    churn.reschedule_lost_tasks = true;
-    assert_shard_independent(config(94).with_churn(churn), Algorithm::Dsmf);
+    assert_shard_independent(
+        config(94)
+            .with_churn(ChurnConfig::with_dynamic_factor(0.3))
+            .with_recovery(RecoveryPolicy::unlimited_retry()),
+        Algorithm::Dsmf,
+    );
 }
 
 #[test]
