@@ -485,20 +485,41 @@ mod tests {
 
     #[test]
     fn skewed_workloads_use_multiple_workers() {
-        // One item is ~100× more expensive than the rest; with dynamic chunks and stealing
-        // the cheap items must not all serialise behind it on a single worker.
+        // One item is vastly more expensive than the rest; with dynamic chunks and stealing
+        // the cheap items must not all serialise behind it on a single worker.  The
+        // expensive item *blocks* (rather than spins) until a cheap item has run on a
+        // different thread: blocking yields the CPU, so even on a one-hardware-thread host
+        // the pool's other workers get scheduled and the property is deterministic, not a
+        // race against the OS scheduler.  The timeout only bounds a genuine failure.
+        use std::sync::{Arc, Condvar, Mutex};
+        use std::time::Duration;
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let gate: Arc<(Mutex<Vec<std::thread::ThreadId>>, Condvar)> =
+            Arc::new((Mutex::new(Vec::new()), Condvar::new()));
         let threads_used = pool.install(|| {
             let ids: Vec<std::thread::ThreadId> = (0..64usize)
                 .into_par_iter()
                 .map(|i| {
-                    let reps = if i == 0 { 4_000_000u64 } else { 40_000 };
-                    let mut acc = i as u64;
-                    for _ in 0..reps {
-                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let me = std::thread::current().id();
+                    let (seen, woken) = &*gate;
+                    if i == 0 {
+                        // Stay "expensive" until some cheap item finishes elsewhere.
+                        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                        let mut seen = seen.lock().unwrap();
+                        while !seen.iter().any(|&id| id != me) {
+                            let left =
+                                deadline.saturating_duration_since(std::time::Instant::now());
+                            if left.is_zero() {
+                                break;
+                            }
+                            let (guard, _) = woken.wait_timeout(seen, left).unwrap();
+                            seen = guard;
+                        }
+                    } else {
+                        seen.lock().unwrap().push(me);
+                        woken.notify_all();
                     }
-                    std::hint::black_box(acc);
-                    std::thread::current().id()
+                    me
                 })
                 .collect();
             ids.iter().collect::<std::collections::HashSet<_>>().len()

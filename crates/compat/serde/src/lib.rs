@@ -54,6 +54,78 @@ pub mod json {
             Value::Array(items.into_iter().map(Into::into).collect())
         }
 
+        /// Look up a field of an object by key (first match; `None` for non-objects).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number as `f64`, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The number as `u64`, if this is a non-negative integral number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The string slice, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The `(key, value)` fields, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The first non-finite number anywhere in this tree, if any.  `Display` renders
+        /// such numbers as `null` (like `serde_json`), which silently loses data — wire
+        /// senders use [`Value::to_wire_string`] to reject them instead.
+        pub fn find_non_finite(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) if !n.is_finite() => Some(*n),
+                Value::Array(items) => items.iter().find_map(Value::find_non_finite),
+                Value::Object(fields) => fields.iter().find_map(|(_, v)| v.find_non_finite()),
+                _ => None,
+            }
+        }
+
+        /// Compact rendering for wire use: identical to `to_string`, but **rejects**
+        /// non-finite numbers (which would round-trip as `null`) instead of nulling them.
+        /// Everything this emits parses back to an equal tree with [`parse`].
+        pub fn to_wire_string(&self) -> Result<String, NonFiniteError> {
+            match self.find_non_finite() {
+                Some(n) => Err(NonFiniteError(n)),
+                None => Ok(self.to_string()),
+            }
+        }
+
         /// Render with two-space indentation (the `serde_json::to_string_pretty` analogue).
         pub fn to_string_pretty(&self) -> String {
             let mut out = String::new();
@@ -197,6 +269,76 @@ pub mod json {
     }
 
     impl std::error::Error for ParseError {}
+
+    /// A wire write was refused because the value contains a non-finite number (NaN or an
+    /// infinity), which JSON cannot represent without data loss.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct NonFiniteError(pub f64);
+
+    impl fmt::Display for NonFiniteError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "non-finite number {} cannot be serialized to JSON",
+                self.0
+            )
+        }
+    }
+
+    impl std::error::Error for NonFiniteError {}
+
+    /// Streaming newline-delimited JSON writer — the shared codec for the campaign server's
+    /// wire protocol and the `repro --json` artifact stream.  Every value is written as one
+    /// compact line (wire-strict: non-finite numbers are rejected, see
+    /// [`Value::to_wire_string`]) and flushed, so a reader on the other end of a pipe or
+    /// socket sees each document as soon as it is complete.
+    #[derive(Debug)]
+    pub struct NdjsonWriter<W: std::io::Write> {
+        inner: W,
+    }
+
+    impl<W: std::io::Write> NdjsonWriter<W> {
+        /// Wrap a byte sink.
+        pub fn new(inner: W) -> Self {
+            NdjsonWriter { inner }
+        }
+
+        /// Write one value as a single `\n`-terminated compact JSON line and flush.
+        pub fn write(&mut self, value: &Value) -> std::io::Result<()> {
+            let line = value
+                .to_wire_string()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            self.inner.write_all(line.as_bytes())?;
+            self.inner.write_all(b"\n")?;
+            self.inner.flush()
+        }
+
+        /// Unwrap the underlying sink.
+        pub fn into_inner(self) -> W {
+            self.inner
+        }
+    }
+
+    /// Read the next newline-delimited JSON value from a buffered reader.
+    ///
+    /// Returns `Ok(None)` at end of stream; blank lines are skipped; a line that is not a
+    /// complete JSON document becomes an `InvalidData` error carrying the parser's
+    /// line/column position.
+    pub fn read_ndjson_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<Option<Value>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return parse(line.trim_end_matches(['\r', '\n']))
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
 
     /// Parse a JSON document into a [`Value`] (the `serde_json::from_str` analogue).
     ///
@@ -537,6 +679,76 @@ pub mod json {
         }
 
         #[test]
+        fn value_accessors_navigate_trees() {
+            let v = Value::object([
+                ("name", Value::from("montage")),
+                ("n", Value::from(3u64)),
+                ("xs", Value::array([1u64, 2])),
+            ]);
+            assert_eq!(v.get("name").and_then(Value::as_str), Some("montage"));
+            assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+            assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+            assert_eq!(
+                v.get("xs").and_then(Value::as_array).map(<[Value]>::len),
+                Some(2)
+            );
+            assert_eq!(v.as_object().map(<[(String, Value)]>::len), Some(3));
+            assert_eq!(v.get("missing"), None);
+            assert_eq!(Value::from(1.5).as_u64(), None);
+            assert_eq!(Value::from(-1.0).as_u64(), None);
+            assert_eq!(Value::Null.get("k"), None);
+        }
+
+        #[test]
+        fn wire_writes_reject_non_finite_numbers() {
+            let clean = Value::object([("x", Value::from(1.5))]);
+            assert_eq!(clean.to_wire_string().unwrap(), "{\"x\":1.5}");
+            let dirty = Value::object([
+                ("ok", Value::from(1.0)),
+                ("bad", Value::array([Value::from(f64::NAN)])),
+            ]);
+            assert!(dirty.to_wire_string().is_err());
+            assert_eq!(
+                Value::from(f64::INFINITY).find_non_finite(),
+                Some(f64::INFINITY)
+            );
+            let mut w = NdjsonWriter::new(Vec::new());
+            assert!(w.write(&dirty).is_err());
+            assert!(w.write(&clean).is_ok());
+        }
+
+        #[test]
+        fn ndjson_writer_and_reader_round_trip_streams() {
+            let docs = [
+                Value::object([("seq", Value::from(0u64)), ("msg", Value::from("a\nb"))]),
+                Value::array([1u64, 2, 3]),
+                Value::Null,
+                Value::from(true),
+            ];
+            let mut w = NdjsonWriter::new(Vec::new());
+            for d in &docs {
+                w.write(d).unwrap();
+            }
+            let bytes = w.into_inner();
+            // One line per document, each embedded newline escaped.
+            assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), docs.len());
+            let mut r = std::io::BufReader::new(&bytes[..]);
+            let mut back = Vec::new();
+            while let Some(v) = read_ndjson_line(&mut r).unwrap() {
+                back.push(v);
+            }
+            assert_eq!(back, docs);
+
+            // Blank lines are skipped; garbage lines carry the parse position.
+            let mut r = std::io::BufReader::new(&b"\n  \n{\"k\":1}\nnope\n"[..]);
+            assert_eq!(
+                read_ndjson_line(&mut r).unwrap(),
+                Some(Value::object([("k", Value::from(1u64))]))
+            );
+            assert!(read_ndjson_line(&mut r).is_err());
+        }
+
+        #[test]
         fn parse_reports_error_positions() {
             // Unquoted identifier on line 2, column 8.
             let err = parse("{\n  \"a\": nope\n}").unwrap_err();
@@ -557,6 +769,137 @@ pub mod json {
             assert!(parse("nul").is_err());
             let deep = "[".repeat(200) + &"]".repeat(200);
             assert!(parse(&deep).is_err());
+        }
+
+        /// Deterministic splitmix64 stream for the round-trip property below.
+        struct Mix(u64);
+
+        impl Mix {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+
+            /// An arbitrary *finite* f64 (full bit-pattern space, non-finite re-rolled).
+            fn finite_f64(&mut self) -> f64 {
+                loop {
+                    let f = f64::from_bits(self.next());
+                    if f.is_finite() {
+                        return f;
+                    }
+                }
+            }
+
+            /// An arbitrary string mixing escapes, control characters and astral planes.
+            fn string(&mut self) -> String {
+                const POOL: &[char] = &[
+                    'a',
+                    'Z',
+                    '9',
+                    '"',
+                    '\\',
+                    '/',
+                    '\n',
+                    '\r',
+                    '\t',
+                    '\u{0008}',
+                    '\u{000c}',
+                    '\u{0000}',
+                    '\u{001f}',
+                    'é',
+                    '中',
+                    '\u{1F600}',
+                    ' ',
+                ];
+                let len = (self.next() % 12) as usize;
+                (0..len)
+                    .map(|_| POOL[(self.next() % POOL.len() as u64) as usize])
+                    .collect()
+            }
+
+            /// A random value tree of bounded depth.
+            fn value(&mut self, depth: usize) -> Value {
+                let scalar_only = depth == 0;
+                match self.next() % if scalar_only { 5 } else { 7 } {
+                    0 => Value::Null,
+                    1 => Value::Bool(self.next().is_multiple_of(2)),
+                    2 => Value::Number(self.finite_f64()),
+                    3 => Value::Number((self.next() % 1_000_000) as f64),
+                    4 => Value::String(self.string()),
+                    5 => {
+                        let n = (self.next() % 4) as usize;
+                        Value::Array((0..n).map(|_| self.value(depth - 1)).collect())
+                    }
+                    _ => {
+                        let n = (self.next() % 4) as usize;
+                        Value::Object(
+                            (0..n)
+                                .map(|_| (self.string(), self.value(depth - 1)))
+                                .collect(),
+                        )
+                    }
+                }
+            }
+        }
+
+        mod properties {
+            use super::*;
+            use proptest::prelude::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(256))]
+
+                /// Serializer ↔ parser round trip: any finite value tree survives both the
+                /// compact and the pretty rendering bit-for-bit, and the wire-strict form
+                /// agrees with the compact form.
+                #[test]
+                fn prop_serializer_parser_round_trip(seed in 0u64..1_000_000_000) {
+                    let v = Mix(seed).value(4);
+                    let compact = v.to_string();
+                    prop_assert_eq!(parse(&compact).unwrap(), v.clone());
+                    prop_assert_eq!(parse(&v.to_string_pretty()).unwrap(), v.clone());
+                    prop_assert_eq!(v.to_wire_string().unwrap(), compact);
+                }
+
+                /// Non-finite numbers anywhere in the tree are rejected by the wire
+                /// serializer (the lossy `Display` form would null them).
+                #[test]
+                fn prop_wire_rejects_injected_non_finite(seed in 0u64..1_000_000_000) {
+                    let mut rng = Mix(seed);
+                    let bad = match rng.next() % 3 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => f64::NEG_INFINITY,
+                    };
+                    // Bury the poison value inside a random wrapper tree.
+                    let mut v = Value::Number(bad);
+                    for _ in 0..rng.next() % 4 {
+                        v = match rng.next() % 2 {
+                            0 => Value::Array(vec![rng.value(1), v, rng.value(1)]),
+                            _ => Value::Object(vec![
+                                (rng.string(), rng.value(1)),
+                                ("poison".to_string(), v),
+                            ]),
+                        };
+                    }
+                    prop_assert!(v.to_wire_string().is_err());
+                    prop_assert!(v.find_non_finite().is_some());
+                }
+
+                /// Nesting beyond MAX_DEPTH is rejected with an error, never a stack
+                /// overflow; nesting at or below it parses fine.
+                #[test]
+                fn prop_depth_cap_is_enforced(extra in 1usize..64, under in 1usize..100) {
+                    let over = MAX_DEPTH + 1 + extra;
+                    let deep = "[".repeat(over) + &"]".repeat(over);
+                    prop_assert!(parse(&deep).is_err());
+                    let ok = "[".repeat(under) + &"]".repeat(under);
+                    prop_assert!(parse(&ok).is_ok());
+                }
+            }
         }
     }
 }

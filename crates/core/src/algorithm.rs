@@ -64,6 +64,15 @@ impl Algorithm {
         }
     }
 
+    /// Parse a display name back into the algorithm (case-insensitive) — the inverse of
+    /// [`Algorithm::name`], used by campaign specs and command-line arguments.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().eq_ignore_ascii_case(s))
+    }
+
     /// True for the two full-ahead baselines that plan the entire workflow centrally before
     /// execution starts.
     pub fn is_full_ahead(self) -> bool {

@@ -11,7 +11,9 @@
 //! as the paper's figures.  `--scale full` runs the paper-scale configuration (1 000 nodes) and
 //! takes correspondingly longer.  `--json` additionally writes one machine-readable artifact
 //! per regenerated figure (`<DIR>/<figure-id>.json`, default directory `repro-json`),
-//! serialized through the serde compat shim's JSON backend.
+//! serialized through the serde compat shim's JSON backend, plus a streaming
+//! `<DIR>/figures.ndjson` with one wire-strict compact line per figure in emission order —
+//! the same newline-delimited encoding the campaign server speaks on its sockets.
 //!
 //! Two workload-artifact modes replace the figure run when given:
 //!
@@ -170,7 +172,38 @@ fn write_json(fig: &FigureData, dir: &Path) {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(2);
     }
+    if let Err(e) = append_ndjson(fig, dir) {
+        eprintln!(
+            "cannot append to {}: {e}",
+            dir.join(NDJSON_STREAM).display()
+        );
+        std::process::exit(2);
+    }
     println!("wrote {}", path.display());
+}
+
+/// The run's streaming artifact: every figure as one wire-strict compact line, in emission
+/// order — the same newline-delimited encoding (and the same `NdjsonWriter`) the campaign
+/// server's master/worker protocol uses on its sockets.
+const NDJSON_STREAM: &str = "figures.ndjson";
+
+fn append_ndjson(fig: &FigureData, dir: &Path) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(NDJSON_STREAM))?;
+    let mut stream = serde::json::NdjsonWriter::new(file);
+    stream.write(&fig.to_json())
+}
+
+/// Start the run with an empty stream so repeated invocations do not concatenate.
+fn truncate_ndjson(dir: &Path) {
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(NDJSON_STREAM), b""))
+    {
+        eprintln!("cannot reset {}: {e}", dir.join(NDJSON_STREAM).display());
+        std::process::exit(2);
+    }
 }
 
 fn print_worked_example() {
@@ -223,6 +256,9 @@ fn main() {
     let scale = args.scale;
     let seed = args.seed;
     let json_dir = &args.json_dir;
+    if let Some(dir) = json_dir {
+        truncate_ndjson(dir);
+    }
 
     // Workload-artifact modes replace the figure run.
     if args.workload.is_some() || args.check_workloads.is_some() {

@@ -12,6 +12,7 @@
 //! | [`churn`]             | Fig. 12–14 (dynamic factor 0–0.4) |
 //! | [`fault_tolerance`]   | the fault-tolerance study the paper never ran (MTBF × recovery policy, "Fig. 15") |
 //! | [`workload`]          | replay of serialized workload artifacts (`repro --workload`) |
+//! | [`rununit`]           | campaign-spec decomposition, run-unit execution and artifact merging (the campaign server's library core) |
 //!
 //! Every runner accepts an [`ExperimentScale`]: `Smoke` for unit tests, `Reduced` for the
 //! Criterion benches and the default `repro` binary, and `Full` for the paper-scale
@@ -35,6 +36,7 @@ pub mod fault_tolerance;
 pub mod fcfs_ablation;
 pub mod figures;
 pub mod load_factor;
+pub mod rununit;
 pub mod scalability;
 pub mod scale;
 pub mod static_comparison;
@@ -42,4 +44,5 @@ pub mod workload;
 
 pub use campaign::Campaign;
 pub use figures::{FigureData, Series};
+pub use rununit::{CampaignSpec, RunUnit, UnitRunner};
 pub use scale::ExperimentScale;

@@ -1,0 +1,67 @@
+//! `p2pgrid-master` — the campaign server.
+//!
+//! ```text
+//! p2pgrid-master --addr 127.0.0.1:7700 [--heartbeat-ms 10000] [--retry-budget 3] [--backoff-ms 500]
+//! ```
+//!
+//! Accepts newline-delimited JSON requests (see `p2pgrid_server::protocol`), decomposes
+//! submitted campaign specs into run-units, hands them to pulling workers, requeues units
+//! lost to dead workers, and serves the merged artifact once every unit is done.  Exits when
+//! a client sends `shutdown`.
+
+use p2pgrid_server::tcp::serve;
+use p2pgrid_server::MasterConfig;
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: p2pgrid-master --addr HOST:PORT [--heartbeat-ms N] [--retry-budget N] [--backoff-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("p2pgrid-master: {flag} needs a number");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut addr = None;
+    let mut config = MasterConfig::default();
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--heartbeat-ms" => {
+                config.heartbeat_timeout_ms = parse_u64(&mut args, "--heartbeat-ms")
+            }
+            "--retry-budget" => config.retry_budget = parse_u64(&mut args, "--retry-budget") as u32,
+            "--backoff-ms" => config.backoff_ms = parse_u64(&mut args, "--backoff-ms"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("p2pgrid-master: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("p2pgrid-master: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("p2pgrid-master: listening on {addr}");
+    if let Err(e) = serve(listener, config) {
+        eprintln!("p2pgrid-master: server error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("p2pgrid-master: shut down");
+}

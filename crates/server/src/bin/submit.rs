@@ -1,0 +1,104 @@
+//! `p2pgrid-submit` — submit campaigns, poll them, fetch merged artifacts.
+//!
+//! ```text
+//! p2pgrid-submit --master 127.0.0.1:7700 --spec campaigns/smoke.json [--out result.json]
+//! p2pgrid-submit --local campaigns/smoke.json [--out result.json]
+//! p2pgrid-submit --master 127.0.0.1:7700 --shutdown
+//! ```
+//!
+//! `--local` runs the same spec in-process (no master) and renders the identical artifact —
+//! the reference the CI smoke test diffs the distributed result against, byte for byte.
+
+use p2pgrid_experiments::rununit::{render_result, run_local, CampaignSpec};
+use p2pgrid_server::tcp::TcpTransport;
+use p2pgrid_server::Client;
+use std::io::Write;
+use std::str::FromStr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: p2pgrid-submit --master HOST:PORT --spec FILE [--out FILE]\n       p2pgrid-submit --local FILE [--out FILE]\n       p2pgrid-submit --master HOST:PORT --shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("p2pgrid-submit: {message}");
+    std::process::exit(1);
+}
+
+fn load_spec(path: &str) -> CampaignSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    CampaignSpec::from_str(&text).unwrap_or_else(|e| fail(format_args!("invalid spec {path}: {e}")))
+}
+
+fn emit(rendered: &str, out: Option<&str>) {
+    match out {
+        Some(path) => std::fs::write(path, rendered)
+            .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}"))),
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(rendered.as_bytes())
+                .unwrap_or_else(|e| fail(e));
+        }
+    }
+}
+
+fn main() {
+    let mut master = None;
+    let mut spec_path = None;
+    let mut local_path = None;
+    let mut out = None;
+    let mut shutdown = false;
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--master" => master = args.next(),
+            "--spec" => spec_path = args.next(),
+            "--local" => local_path = args.next(),
+            "--out" => out = args.next(),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("p2pgrid-submit: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    if let Some(path) = local_path {
+        let spec = load_spec(&path);
+        let rendered = run_local(&spec).unwrap_or_else(|e| fail(e));
+        emit(&rendered, out.as_deref());
+        return;
+    }
+
+    let Some(master) = master else { usage() };
+    let transport = TcpTransport::connect(&master)
+        .unwrap_or_else(|e| fail(format_args!("cannot reach master {master}: {e}")));
+    let mut client = Client::new(transport);
+
+    if shutdown {
+        client.shutdown().unwrap_or_else(|e| fail(e));
+        eprintln!("p2pgrid-submit: master acknowledged shutdown");
+        return;
+    }
+
+    let Some(path) = spec_path else { usage() };
+    let spec = load_spec(&path);
+    let (job, units) = client.submit(&spec).unwrap_or_else(|e| fail(e));
+    eprintln!("p2pgrid-submit: {job} accepted ({units} units)");
+    let status = client
+        .wait(job, |status| {
+            eprintln!("p2pgrid-submit: {}", status.render());
+            std::thread::sleep(Duration::from_millis(250));
+        })
+        .unwrap_or_else(|e| fail(e));
+    eprintln!("p2pgrid-submit: {}", status.render());
+    let body = client.fetch(job).unwrap_or_else(|e| fail(e));
+    emit(&render_result(&body), out.as_deref());
+}

@@ -1,0 +1,87 @@
+//! The submit/poll/fetch client used by `p2pgrid-submit` and the tests.
+
+use crate::protocol::{JobId, JobStatus, Request, Response};
+use crate::transport::{Transport, TransportError};
+use p2pgrid_experiments::rununit::CampaignSpec;
+use serde::json::Value;
+
+/// A campaign client bound to one master connection.
+pub struct Client<T: Transport> {
+    transport: T,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wrap a connection.
+    pub fn new(transport: T) -> Self {
+        Client { transport }
+    }
+
+    /// Submit a campaign; returns the job id and unit count.
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<(JobId, usize), TransportError> {
+        match self
+            .transport
+            .call(&Request::Submit { spec: spec.clone() })?
+        {
+            Response::Accepted { job, units } => Ok((job, units)),
+            Response::Error { message } => Err(TransportError::Protocol(message)),
+            other => Err(TransportError::Protocol(format!(
+                "unexpected response to submit: {other:?}"
+            ))),
+        }
+    }
+
+    /// A job's progress snapshot.
+    pub fn status(&mut self, job: JobId) -> Result<JobStatus, TransportError> {
+        match self.transport.call(&Request::Status { job })? {
+            Response::Status(status) => Ok(status),
+            Response::Error { message } => Err(TransportError::Protocol(message)),
+            other => Err(TransportError::Protocol(format!(
+                "unexpected response to status: {other:?}"
+            ))),
+        }
+    }
+
+    /// The merged artifact of a completed job.
+    pub fn fetch(&mut self, job: JobId) -> Result<Value, TransportError> {
+        match self.transport.call(&Request::Fetch { job })? {
+            Response::Artifact { body, .. } => Ok(body),
+            Response::Error { message } => Err(TransportError::Protocol(message)),
+            other => Err(TransportError::Protocol(format!(
+                "unexpected response to fetch: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the master to exit.
+    pub fn shutdown(&mut self) -> Result<(), TransportError> {
+        match self.transport.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(TransportError::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+
+    /// Poll until the job leaves `running`, calling `between_polls` after each status (sleep
+    /// there, or drive loopback workers).  Errors out if the job failed.
+    pub fn wait(
+        &mut self,
+        job: JobId,
+        mut between_polls: impl FnMut(&JobStatus),
+    ) -> Result<JobStatus, TransportError> {
+        loop {
+            let status = self.status(job)?;
+            match status.state.as_str() {
+                "complete" => return Ok(status),
+                "failed" => {
+                    return Err(TransportError::Protocol(format!(
+                        "{} failed: {}",
+                        status.job,
+                        status.reason.as_deref().unwrap_or("unknown reason")
+                    )))
+                }
+                _ => between_polls(&status),
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Worker-death detection and run-unit requeueing.
+//!
+//! The master calls [`expire_workers`] on a timer (the TCP server every ~50 ms, the loopback
+//! transport whenever its manual clock advances).  Any worker silent for longer than the
+//! heartbeat timeout is declared dead and every unit it held goes back to `Pending` with the
+//! retry-backoff delay from [`MasterState::requeue_unit`] — the same bounded-retry shape as
+//! the simulation's own `RecoveryPolicy::Retry`.
+//!
+//! [`MasterState::requeue_unit`]: crate::state::MasterState
+
+use crate::protocol::WorkerId;
+use crate::state::{MasterState, UnitState};
+
+/// Declare every worker dead whose last request is older than the heartbeat timeout, and
+/// requeue the units it was executing.  Returns the ids of newly expired workers.
+pub fn expire_workers(state: &mut MasterState, now_ms: u64) -> Vec<WorkerId> {
+    let timeout = state.config.heartbeat_timeout_ms;
+    let mut expired = Vec::new();
+    for w in state.workers_mut() {
+        if w.alive && now_ms.saturating_sub(w.last_seen_ms) > timeout {
+            w.alive = false;
+            expired.push(w.id);
+        }
+    }
+    for &worker in &expired {
+        requeue_assigned(state, worker, now_ms);
+    }
+    expired
+}
+
+/// Requeue every unit currently assigned to `worker` (used on expiry and on dropped TCP
+/// connections, where death is detected immediately rather than via the timeout).
+pub fn requeue_assigned(state: &mut MasterState, worker: WorkerId, now_ms: u64) {
+    let mut lost: Vec<(usize, usize)> = Vec::new();
+    for (j, job) in state.jobs().iter().enumerate() {
+        for (u, record) in job.units.iter().enumerate() {
+            if record.state == (UnitState::Assigned { worker }) {
+                lost.push((j, u));
+            }
+        }
+    }
+    let reason = format!("lost {worker}");
+    for (j, u) in lost {
+        state.requeue_unit(j, u, now_ms, &reason);
+    }
+}
+
+/// Mark one worker dead right now (dropped connection / explicit deregistration) and requeue
+/// its units.  No-op for unknown or already-dead workers.
+pub fn declare_dead(state: &mut MasterState, worker: WorkerId, now_ms: u64) {
+    let Some(w) = state.workers_mut().get_mut(worker.0 as usize) else {
+        return;
+    };
+    if !w.alive {
+        return;
+    }
+    w.alive = false;
+    requeue_assigned(state, worker, now_ms);
+}

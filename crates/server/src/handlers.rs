@@ -1,0 +1,76 @@
+//! The single request dispatcher shared by every transport.
+//!
+//! [`handle`] maps one [`Request`] onto the [`MasterState`] methods and produces the
+//! [`Response`] that goes back on the wire.  Both the TCP server and the in-process loopback
+//! transport funnel through this function, so protocol behaviour cannot diverge between the
+//! tested (loopback) and deployed (TCP) paths.
+
+use crate::protocol::{Request, Response};
+use crate::state::{CompleteOutcome, MasterState, PullOutcome};
+
+/// Dispatch one request against the master state at the given time.
+pub fn handle(state: &mut MasterState, request: Request, now_ms: u64) -> Response {
+    match request {
+        Request::Register { hostname } => {
+            let worker = state.register(hostname, now_ms);
+            Response::Registered {
+                worker,
+                heartbeat_ms: state.config.heartbeat_timeout_ms,
+            }
+        }
+        Request::Heartbeat { worker } => {
+            if state.heartbeat(worker, now_ms) {
+                Response::Ok
+            } else {
+                Response::Unregistered
+            }
+        }
+        Request::Pull { worker } => match state.pull(worker, now_ms) {
+            PullOutcome::Assigned { job, unit, spec } => Response::Assignment { job, unit, spec },
+            PullOutcome::Idle => Response::Idle,
+            PullOutcome::Unregistered => Response::Unregistered,
+        },
+        Request::Complete {
+            worker,
+            job,
+            unit,
+            artifact,
+        } => match state.complete(worker, job, unit, artifact, now_ms) {
+            CompleteOutcome::Accepted | CompleteOutcome::Duplicate => Response::Ok,
+            CompleteOutcome::Unknown => Response::Error {
+                message: format!("unknown unit {unit} of {job}"),
+            },
+        },
+        Request::FailUnit {
+            worker,
+            job,
+            unit,
+            reason,
+        } => {
+            if state.fail_unit(worker, job, unit, &reason, now_ms) {
+                Response::Ok
+            } else {
+                Response::Error {
+                    message: format!("unknown or finished unit {unit} of {job}"),
+                }
+            }
+        }
+        Request::Submit { spec } => match state.submit(spec) {
+            Ok((job, units)) => Response::Accepted { job, units },
+            Err(e) => Response::Error {
+                message: format!("rejected spec: {e}"),
+            },
+        },
+        Request::Status { job } => match state.status(job) {
+            Some(status) => Response::Status(status),
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Fetch { job } => match state.fetch(job) {
+            Ok(body) => Response::Artifact { job, body },
+            Err(message) => Response::Error { message },
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}

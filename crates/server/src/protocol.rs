@@ -1,0 +1,542 @@
+//! Wire protocol: typed requests/responses encoded as newline-delimited JSON.
+//!
+//! Every message is one compact JSON object per line with a `type` discriminator, written
+//! with the wire-strict serializer (`Value::to_wire_string`) so non-finite numbers can never
+//! corrupt a stream.  The same encoding is used verbatim by the TCP transport and the
+//! in-process loopback transport — the loopback serializes and re-parses every message, so
+//! protocol bugs surface in deterministic unit tests long before a socket is involved.
+
+use p2pgrid_core::Algorithm;
+use p2pgrid_experiments::rununit::{CampaignSpec, RunUnit};
+use serde::json::Value;
+use std::fmt;
+
+/// Identifier of one submitted campaign job (dense, master-assigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Identifier of one registered worker (dense, master-assigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u64);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker-{}", self.0)
+    }
+}
+
+/// A message a client or worker sends to the master.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A worker announces itself and asks for an identity.
+    Register {
+        /// Self-reported host name, for status displays only.
+        hostname: String,
+    },
+    /// A worker proves liveness without asking for work.
+    Heartbeat {
+        /// The registered worker.
+        worker: WorkerId,
+    },
+    /// A worker asks for its next run-unit.
+    Pull {
+        /// The registered worker.
+        worker: WorkerId,
+    },
+    /// A worker returns the artifact of a finished run-unit.
+    Complete {
+        /// The registered worker.
+        worker: WorkerId,
+        /// The job the unit belongs to.
+        job: JobId,
+        /// The unit's index within the job.
+        unit: usize,
+        /// The unit's `p2pgrid-campaign-unit/v1` artifact document.
+        artifact: Value,
+    },
+    /// A worker reports that executing a run-unit failed.
+    FailUnit {
+        /// The registered worker.
+        worker: WorkerId,
+        /// The job the unit belongs to.
+        job: JobId,
+        /// The unit's index within the job.
+        unit: usize,
+        /// Why execution failed.
+        reason: String,
+    },
+    /// A client submits a campaign spec as a new job.
+    Submit {
+        /// The campaign to decompose and execute.
+        spec: CampaignSpec,
+    },
+    /// A client asks for a job's progress.
+    Status {
+        /// The job to describe.
+        job: JobId,
+    },
+    /// A client asks for a completed job's merged artifact.
+    Fetch {
+        /// The job to fetch.
+        job: JobId,
+    },
+    /// A client asks the master process to stop serving.
+    Shutdown,
+}
+
+/// Progress snapshot of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The job described.
+    pub job: JobId,
+    /// `"running"`, `"complete"` or `"failed"`.
+    pub state: String,
+    /// Failure reason, when `state == "failed"`.
+    pub reason: Option<String>,
+    /// Total run-units in the job.
+    pub total: usize,
+    /// Units with an artifact.
+    pub done: usize,
+    /// Units currently assigned to live workers.
+    pub in_flight: usize,
+    /// Units waiting for assignment (including backoff delays).
+    pub pending: usize,
+    /// Workers currently considered alive by the master.
+    pub workers_alive: usize,
+}
+
+impl JobStatus {
+    /// One-line human rendering for polling clients.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {} — {}/{} done, {} in flight, {} pending, {} workers alive{}",
+            self.job,
+            self.state,
+            self.done,
+            self.total,
+            self.in_flight,
+            self.pending,
+            self.workers_alive,
+            self.reason
+                .as_deref()
+                .map(|r| format!(" ({r})"))
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// The master's reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Registration succeeded.
+    Registered {
+        /// The identity assigned to the worker.
+        worker: WorkerId,
+        /// The heartbeat timeout the master enforces; workers should report in well within
+        /// this interval.
+        heartbeat_ms: u64,
+    },
+    /// Acknowledgement with no payload.
+    Ok,
+    /// A run-unit assignment.
+    Assignment {
+        /// The job the unit belongs to.
+        job: JobId,
+        /// The unit to execute.
+        unit: RunUnit,
+        /// The campaign spec (workers cache one `UnitRunner` per job from it).
+        spec: CampaignSpec,
+    },
+    /// No unit is currently assignable; ask again later.
+    Idle,
+    /// The sender's worker id is unknown or expired; it must register again.
+    Unregistered,
+    /// A submitted job was accepted.
+    Accepted {
+        /// The new job's identity.
+        job: JobId,
+        /// Number of run-units the campaign decomposed into.
+        units: usize,
+    },
+    /// A job progress snapshot.
+    Status(JobStatus),
+    /// A completed job's merged artifact.
+    Artifact {
+        /// The job fetched.
+        job: JobId,
+        /// The merged `p2pgrid-campaign-result/v1` document.
+        body: Value,
+    },
+    /// The master acknowledges a shutdown request and will stop serving.
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// A message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn perr(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, ProtocolError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| perr(format!("missing string field `{key}`")))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, ProtocolError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| perr(format!("missing integer field `{key}`")))
+}
+
+fn field_value<'v>(v: &'v Value, key: &str) -> Result<&'v Value, ProtocolError> {
+    v.get(key)
+        .ok_or_else(|| perr(format!("missing field `{key}`")))
+}
+
+/// Encode a run-unit as its wire object.
+pub fn unit_to_json(unit: &RunUnit) -> Value {
+    Value::object([
+        ("index", Value::from(unit.index)),
+        ("seed", Value::from(unit.seed)),
+        ("algorithm", Value::from(unit.algorithm.name())),
+    ])
+}
+
+/// Decode a run-unit from its wire object.
+pub fn unit_from_json(v: &Value) -> Result<RunUnit, ProtocolError> {
+    let name = field_str(v, "algorithm")?;
+    Ok(RunUnit {
+        index: field_u64(v, "index")? as usize,
+        seed: field_u64(v, "seed")?,
+        algorithm: Algorithm::parse(name)
+            .ok_or_else(|| perr(format!("unknown algorithm `{name}`")))?,
+    })
+}
+
+impl Request {
+    /// Encode as a wire object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Request::Register { hostname } => Value::object([
+                ("type", Value::from("register")),
+                ("hostname", Value::from(hostname.as_str())),
+            ]),
+            Request::Heartbeat { worker } => Value::object([
+                ("type", Value::from("heartbeat")),
+                ("worker", Value::from(worker.0)),
+            ]),
+            Request::Pull { worker } => Value::object([
+                ("type", Value::from("pull")),
+                ("worker", Value::from(worker.0)),
+            ]),
+            Request::Complete {
+                worker,
+                job,
+                unit,
+                artifact,
+            } => Value::object([
+                ("type", Value::from("complete")),
+                ("worker", Value::from(worker.0)),
+                ("job", Value::from(job.0)),
+                ("unit", Value::from(*unit)),
+                ("artifact", artifact.clone()),
+            ]),
+            Request::FailUnit {
+                worker,
+                job,
+                unit,
+                reason,
+            } => Value::object([
+                ("type", Value::from("fail_unit")),
+                ("worker", Value::from(worker.0)),
+                ("job", Value::from(job.0)),
+                ("unit", Value::from(*unit)),
+                ("reason", Value::from(reason.as_str())),
+            ]),
+            Request::Submit { spec } => {
+                Value::object([("type", Value::from("submit")), ("spec", spec.to_json())])
+            }
+            Request::Status { job } => {
+                Value::object([("type", Value::from("status")), ("job", Value::from(job.0))])
+            }
+            Request::Fetch { job } => {
+                Value::object([("type", Value::from("fetch")), ("job", Value::from(job.0))])
+            }
+            Request::Shutdown => Value::object([("type", Value::from("shutdown"))]),
+        }
+    }
+
+    /// Decode from a wire object.
+    pub fn from_json(v: &Value) -> Result<Request, ProtocolError> {
+        match field_str(v, "type")? {
+            "register" => Ok(Request::Register {
+                hostname: field_str(v, "hostname")?.to_string(),
+            }),
+            "heartbeat" => Ok(Request::Heartbeat {
+                worker: WorkerId(field_u64(v, "worker")?),
+            }),
+            "pull" => Ok(Request::Pull {
+                worker: WorkerId(field_u64(v, "worker")?),
+            }),
+            "complete" => Ok(Request::Complete {
+                worker: WorkerId(field_u64(v, "worker")?),
+                job: JobId(field_u64(v, "job")?),
+                unit: field_u64(v, "unit")? as usize,
+                artifact: field_value(v, "artifact")?.clone(),
+            }),
+            "fail_unit" => Ok(Request::FailUnit {
+                worker: WorkerId(field_u64(v, "worker")?),
+                job: JobId(field_u64(v, "job")?),
+                unit: field_u64(v, "unit")? as usize,
+                reason: field_str(v, "reason")?.to_string(),
+            }),
+            "submit" => Ok(Request::Submit {
+                spec: CampaignSpec::from_json(field_value(v, "spec")?)
+                    .map_err(|e| perr(e.to_string()))?,
+            }),
+            "status" => Ok(Request::Status {
+                job: JobId(field_u64(v, "job")?),
+            }),
+            "fetch" => Ok(Request::Fetch {
+                job: JobId(field_u64(v, "job")?),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(perr(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encode as a wire object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Response::Registered {
+                worker,
+                heartbeat_ms,
+            } => Value::object([
+                ("type", Value::from("registered")),
+                ("worker", Value::from(worker.0)),
+                ("heartbeat_ms", Value::from(*heartbeat_ms)),
+            ]),
+            Response::Ok => Value::object([("type", Value::from("ok"))]),
+            Response::Assignment { job, unit, spec } => Value::object([
+                ("type", Value::from("assignment")),
+                ("job", Value::from(job.0)),
+                ("unit", unit_to_json(unit)),
+                ("spec", spec.to_json()),
+            ]),
+            Response::Idle => Value::object([("type", Value::from("idle"))]),
+            Response::Unregistered => Value::object([("type", Value::from("unregistered"))]),
+            Response::Accepted { job, units } => Value::object([
+                ("type", Value::from("accepted")),
+                ("job", Value::from(job.0)),
+                ("units", Value::from(*units)),
+            ]),
+            Response::Status(s) => {
+                let mut fields = vec![
+                    ("type", Value::from("status")),
+                    ("job", Value::from(s.job.0)),
+                    ("state", Value::from(s.state.as_str())),
+                    ("total", Value::from(s.total)),
+                    ("done", Value::from(s.done)),
+                    ("in_flight", Value::from(s.in_flight)),
+                    ("pending", Value::from(s.pending)),
+                    ("workers_alive", Value::from(s.workers_alive)),
+                ];
+                if let Some(reason) = &s.reason {
+                    fields.push(("reason", Value::from(reason.as_str())));
+                }
+                Value::object(fields)
+            }
+            Response::Artifact { job, body } => Value::object([
+                ("type", Value::from("artifact")),
+                ("job", Value::from(job.0)),
+                ("body", body.clone()),
+            ]),
+            Response::ShuttingDown => Value::object([("type", Value::from("shutting_down"))]),
+            Response::Error { message } => Value::object([
+                ("type", Value::from("error")),
+                ("message", Value::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Decode from a wire object.
+    pub fn from_json(v: &Value) -> Result<Response, ProtocolError> {
+        match field_str(v, "type")? {
+            "registered" => Ok(Response::Registered {
+                worker: WorkerId(field_u64(v, "worker")?),
+                heartbeat_ms: field_u64(v, "heartbeat_ms")?,
+            }),
+            "ok" => Ok(Response::Ok),
+            "assignment" => Ok(Response::Assignment {
+                job: JobId(field_u64(v, "job")?),
+                unit: unit_from_json(field_value(v, "unit")?)?,
+                spec: CampaignSpec::from_json(field_value(v, "spec")?)
+                    .map_err(|e| perr(e.to_string()))?,
+            }),
+            "idle" => Ok(Response::Idle),
+            "unregistered" => Ok(Response::Unregistered),
+            "accepted" => Ok(Response::Accepted {
+                job: JobId(field_u64(v, "job")?),
+                units: field_u64(v, "units")? as usize,
+            }),
+            "status" => Ok(Response::Status(JobStatus {
+                job: JobId(field_u64(v, "job")?),
+                state: field_str(v, "state")?.to_string(),
+                reason: v.get("reason").and_then(Value::as_str).map(str::to_string),
+                total: field_u64(v, "total")? as usize,
+                done: field_u64(v, "done")? as usize,
+                in_flight: field_u64(v, "in_flight")? as usize,
+                pending: field_u64(v, "pending")? as usize,
+                workers_alive: field_u64(v, "workers_alive")? as usize,
+            })),
+            "artifact" => Ok(Response::Artifact {
+                job: JobId(field_u64(v, "job")?),
+                body: field_value(v, "body")?.clone(),
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: field_str(v, "message")?.to_string(),
+            }),
+            other => Err(perr(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pgrid_experiments::ExperimentScale;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "t".into(),
+            scale: ExperimentScale::Smoke,
+            seeds: vec![1],
+            algorithms: vec![Algorithm::Dsmf],
+            workload: None,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let reqs = [
+            Request::Register {
+                hostname: "h\"x".into(),
+            },
+            Request::Heartbeat {
+                worker: WorkerId(3),
+            },
+            Request::Pull {
+                worker: WorkerId(3),
+            },
+            Request::Complete {
+                worker: WorkerId(3),
+                job: JobId(1),
+                unit: 2,
+                artifact: Value::object([("format", Value::from("x"))]),
+            },
+            Request::FailUnit {
+                worker: WorkerId(3),
+                job: JobId(1),
+                unit: 2,
+                reason: "boom".into(),
+            },
+            Request::Submit { spec: spec() },
+            Request::Status { job: JobId(0) },
+            Request::Fetch { job: JobId(0) },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_json().to_wire_string().unwrap();
+            let back = Request::from_json(&serde::json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_encoding() {
+        let resps = [
+            Response::Registered {
+                worker: WorkerId(1),
+                heartbeat_ms: 5000,
+            },
+            Response::Ok,
+            Response::Assignment {
+                job: JobId(0),
+                unit: RunUnit {
+                    index: 1,
+                    seed: 9,
+                    algorithm: Algorithm::MinMin,
+                },
+                spec: spec(),
+            },
+            Response::Idle,
+            Response::Unregistered,
+            Response::Accepted {
+                job: JobId(4),
+                units: 6,
+            },
+            Response::Status(JobStatus {
+                job: JobId(4),
+                state: "failed".into(),
+                reason: Some("retry budget exhausted".into()),
+                total: 6,
+                done: 2,
+                in_flight: 1,
+                pending: 3,
+                workers_alive: 2,
+            }),
+            Response::Artifact {
+                job: JobId(4),
+                body: Value::Null,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_json().to_wire_string().unwrap();
+            let back = Response::from_json(&serde::json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_messages() {
+        let bad = [
+            "{\"type\":\"nope\"}",
+            "{\"hostname\":\"h\"}",
+            "{\"type\":\"pull\"}",
+            "{\"type\":\"complete\",\"worker\":1,\"job\":0,\"unit\":2}",
+        ];
+        for text in bad {
+            let v = serde::json::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{text}");
+        }
+    }
+}

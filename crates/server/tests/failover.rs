@@ -1,0 +1,210 @@
+//! Failover semantics: heartbeat expiry, requeue backoff, retry budgets, and duplicate
+//! completions — all driven deterministically through the loopback master's manual clock.
+
+use p2pgrid_core::Algorithm;
+use p2pgrid_experiments::{CampaignSpec, ExperimentScale};
+use p2pgrid_server::state::{JobState, UnitState};
+use p2pgrid_server::{Client, LoopbackMaster, MasterConfig, Request, Response, Transport};
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "failover".to_string(),
+        scale: ExperimentScale::Smoke,
+        seeds: vec![7],
+        algorithms: vec![Algorithm::Dsmf],
+        workload: None,
+    }
+}
+
+fn config() -> MasterConfig {
+    MasterConfig {
+        heartbeat_timeout_ms: 1_000,
+        retry_budget: 2,
+        backoff_ms: 100,
+    }
+}
+
+/// Register a worker and pull the single unit of a freshly submitted tiny job.
+fn register_and_pull(master: &LoopbackMaster) -> (p2pgrid_server::WorkerId, p2pgrid_server::JobId) {
+    let mut client = Client::new(master.transport());
+    let (job, units) = client.submit(&tiny_spec()).expect("submit");
+    assert_eq!(units, 1);
+    let mut t = master.transport();
+    let Ok(Response::Registered { worker, .. }) = t.call(&Request::Register {
+        hostname: "doomed".into(),
+    }) else {
+        panic!("register failed")
+    };
+    let Ok(Response::Assignment { .. }) = t.call(&Request::Pull { worker }) else {
+        panic!("expected an assignment")
+    };
+    (worker, job)
+}
+
+#[test]
+fn silent_worker_expires_and_its_unit_requeues_with_backoff() {
+    let master = LoopbackMaster::new(config());
+    let (worker, job) = register_and_pull(&master);
+
+    // Before the timeout the unit stays assigned.
+    master.advance_ms(900);
+    master.with_state(|s| {
+        assert!(s.workers()[worker.0 as usize].alive);
+        assert_eq!(
+            s.jobs()[job.0 as usize].units[0].state,
+            UnitState::Assigned { worker }
+        );
+    });
+
+    // Crossing the timeout declares the worker dead and requeues with one backoff step.
+    master.advance_ms(200);
+    let now = master.now_ms();
+    master.with_state(|s| {
+        assert!(!s.workers()[worker.0 as usize].alive);
+        let unit = &s.jobs()[job.0 as usize].units[0];
+        assert_eq!(unit.attempts, 1);
+        assert_eq!(
+            unit.state,
+            UnitState::Pending {
+                eligible_at_ms: now + 100
+            }
+        );
+        s.assert_invariants();
+    });
+
+    // A fresh worker pulling before the backoff elapses gets nothing; after it, the unit.
+    let mut t = master.transport();
+    let Ok(Response::Registered { worker: w2, .. }) = t.call(&Request::Register {
+        hostname: "rescue".into(),
+    }) else {
+        panic!("register failed")
+    };
+    assert!(matches!(
+        t.call(&Request::Pull { worker: w2 }),
+        Ok(Response::Idle)
+    ));
+    master.advance_ms(100);
+    assert!(matches!(
+        t.call(&Request::Pull { worker: w2 }),
+        Ok(Response::Assignment { .. })
+    ));
+}
+
+#[test]
+fn exhausting_the_retry_budget_fails_the_job_with_a_reason() {
+    let master = LoopbackMaster::new(config());
+    let (_, job) = register_and_pull(&master);
+    // Lose the unit budget+1 = 3 times: each cycle, expire the holder and hand the unit to
+    // a fresh worker that promptly goes silent too.
+    for round in 0..2 {
+        master.advance_ms(2_000); // expire current holder, pass any backoff
+        let mut t = master.transport();
+        let Ok(Response::Registered { worker, .. }) = t.call(&Request::Register {
+            hostname: format!("casualty-{round}"),
+        }) else {
+            panic!("register failed")
+        };
+        master.advance_ms(1_000); // let the backoff elapse
+        assert!(
+            matches!(
+                t.call(&Request::Pull { worker }),
+                Ok(Response::Assignment { .. })
+            ),
+            "round {round} should get the requeued unit"
+        );
+    }
+    master.advance_ms(5_000); // third loss exceeds retry_budget = 2
+    master.with_state(|s| {
+        assert!(
+            matches!(&s.jobs()[job.0 as usize].state, JobState::Failed { reason } if reason.contains("retry budget")),
+            "job should be failed, got {:?}",
+            s.jobs()[job.0 as usize].state
+        );
+        s.assert_invariants();
+    });
+    // Status reports the failure; fetch refuses.
+    let mut client = Client::new(master.transport());
+    let status = client.status(job).expect("status");
+    assert_eq!(status.state, "failed");
+    assert!(client.fetch(job).is_err());
+}
+
+#[test]
+fn dead_worker_must_reregister_and_expiry_requires_registration() {
+    let master = LoopbackMaster::new(config());
+    let (worker, _) = register_and_pull(&master);
+    master.advance_ms(2_000);
+    let mut t = master.transport();
+    // The expired worker's id is rejected on both heartbeat and pull.
+    assert!(matches!(
+        t.call(&Request::Heartbeat { worker }),
+        Ok(Response::Unregistered)
+    ));
+    assert!(matches!(
+        t.call(&Request::Pull { worker }),
+        Ok(Response::Unregistered)
+    ));
+    // An unknown id is likewise unregistered, not an error.
+    assert!(matches!(
+        t.call(&Request::Heartbeat {
+            worker: p2pgrid_server::WorkerId(99)
+        }),
+        Ok(Response::Unregistered)
+    ));
+}
+
+#[test]
+fn duplicate_completion_is_idempotent_and_late_completion_from_expired_worker_counts() {
+    let master = LoopbackMaster::new(config());
+    let (worker, job) = register_and_pull(&master);
+    // Worker goes silent long enough to be declared dead; unit requeues.
+    master.advance_ms(2_000);
+    // ... but its completion still arrives (it was merely slow, not crashed). Determinism
+    // makes the artifact identical to any re-execution, so the master accepts it.
+    let artifact = {
+        let mut runner = p2pgrid_experiments::UnitRunner::new(tiny_spec()).expect("runner");
+        let unit = tiny_spec().units()[0];
+        runner.run(&unit).expect("unit run")
+    };
+    let mut t = master.transport();
+    let r = t.call(&Request::Complete {
+        worker,
+        job,
+        unit: 0,
+        artifact: artifact.clone(),
+    });
+    assert!(matches!(r, Ok(Response::Ok)));
+    // A second copy of the same completion is ignored, not double-counted.
+    let r = t.call(&Request::Complete {
+        worker,
+        job,
+        unit: 0,
+        artifact,
+    });
+    assert!(matches!(r, Ok(Response::Ok)));
+    let mut client = Client::new(master.transport());
+    let status = client.status(job).expect("status");
+    assert_eq!(
+        (status.done, status.total, status.state.as_str()),
+        (1, 1, "complete")
+    );
+    master.with_state(|s| s.assert_invariants());
+}
+
+#[test]
+fn loopback_fault_hook_cuts_the_connection_after_n_calls() {
+    let master = LoopbackMaster::new(config());
+    let mut t = master.transport();
+    t.fail_after(1);
+    assert!(
+        t.call(&Request::Status {
+            job: p2pgrid_server::JobId(0)
+        })
+        .is_ok(),
+        "first call passes the fault hook"
+    );
+    assert!(t.call(&Request::Shutdown).is_err(), "second call must fail");
+    let mut dead = master.transport();
+    dead.kill();
+    assert!(dead.call(&Request::Shutdown).is_err());
+}

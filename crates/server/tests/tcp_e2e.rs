@@ -1,0 +1,86 @@
+//! End-to-end over real sockets: a master on an ephemeral port, two workers (one rigged to
+//! die mid-campaign), a submitting client — and the fetched artifact byte-identical to a
+//! local run.
+
+use p2pgrid_core::Algorithm;
+use p2pgrid_experiments::rununit::{render_result, run_local};
+use p2pgrid_experiments::{CampaignSpec, ExperimentScale};
+use p2pgrid_server::tcp::{serve, TcpTransport};
+use p2pgrid_server::{Client, MasterConfig, Step, Worker};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "tcp-e2e".to_string(),
+        scale: ExperimentScale::Smoke,
+        seeds: vec![21, 22],
+        algorithms: vec![Algorithm::Dsmf, Algorithm::Heft],
+        workload: None,
+    }
+}
+
+fn spawn_worker(
+    addr: std::net::SocketAddr,
+    name: &str,
+    die_after: Option<usize>,
+) -> std::thread::JoinHandle<()> {
+    let name = name.to_string();
+    std::thread::spawn(move || {
+        let transport = TcpTransport::connect(addr).expect("worker connects");
+        let mut worker = Worker::new(transport, name);
+        if let Some(n) = die_after {
+            worker = worker.die_after(n);
+        }
+        loop {
+            match worker.step() {
+                Ok(Step::Executed { .. }) => {}
+                Ok(Step::Idle) => std::thread::sleep(Duration::from_millis(20)),
+                Ok(Step::Stopped) => break,
+                // Simulated crash: drop the connection without a word, like a real dead
+                // process would.
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+#[test]
+fn tcp_master_two_workers_one_killed_yields_local_bytes() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let config = MasterConfig {
+        // A dropped connection fails over instantly; the short timeout only covers the
+        // silent-stall path and keeps the test fast if that path is ever hit.
+        heartbeat_timeout_ms: 1_500,
+        retry_budget: 3,
+        backoff_ms: 50,
+    };
+    let server = std::thread::spawn(move || serve(listener, config).expect("serve"));
+
+    let spec = smoke_spec();
+    let mut client = Client::new(TcpTransport::connect(addr).expect("client connects"));
+    let (job, units) = client.submit(&spec).expect("submit");
+    assert_eq!(units, 4);
+
+    // One healthy worker and one that dies right after its first completed unit, while
+    // holding a second assignment.
+    let healthy = spawn_worker(addr, "healthy", None);
+    let doomed = spawn_worker(addr, "doomed", Some(1));
+
+    let status = client
+        .wait(job, |_| std::thread::sleep(Duration::from_millis(50)))
+        .expect("campaign completes despite the killed worker");
+    assert_eq!(status.done, 4);
+    let body = client.fetch(job).expect("fetch");
+    assert_eq!(
+        render_result(&body),
+        run_local(&spec).expect("local run"),
+        "distributed artifact must be byte-identical to the local run"
+    );
+
+    client.shutdown().expect("shutdown");
+    doomed.join().expect("doomed worker thread");
+    healthy.join().expect("healthy worker thread");
+    server.join().expect("server thread");
+}

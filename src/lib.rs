@@ -54,6 +54,8 @@ pub use p2pgrid_experiments as experiments;
 pub use p2pgrid_gossip as gossip;
 /// Metrics: throughput, ACT (Eq. 2) and AE (Eq. 3).
 pub use p2pgrid_metrics as metrics;
+/// The campaign server: master/worker sweep execution as a service.
+pub use p2pgrid_server as server;
 /// The deterministic discrete-event simulation engine.
 pub use p2pgrid_sim as sim;
 /// The Waxman WAN topology substrate.
@@ -72,7 +74,7 @@ pub mod prelude {
         SimulationReport, SlotClass, SlotModel, StochasticFaults, StreamKind, StreamSeeds,
         TimeSeriesProbe, TraceEvent, TraceRecorder, WorkloadSource,
     };
-    pub use p2pgrid_experiments::{Campaign, ExperimentScale};
+    pub use p2pgrid_experiments::{Campaign, CampaignSpec, ExperimentScale};
     pub use p2pgrid_metrics::{RobustnessStats, WorkflowMetrics, WorkflowRecord};
     pub use p2pgrid_sim::{SimDuration, SimRng, SimTime};
     pub use p2pgrid_topology::{Topology, WaxmanConfig, WaxmanGenerator};
